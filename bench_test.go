@@ -1,0 +1,307 @@
+// Benchmarks regenerating every figure of the paper's evaluation at reduced
+// scale (the full-scale runs are `wsansim fig1 … fig11`), plus
+// microbenchmarks of the three schedulers. Run with:
+//
+//	go test -bench=. -benchmem
+package wsan_test
+
+import (
+	"sync"
+	"testing"
+
+	"wsan"
+	"wsan/internal/experiment"
+)
+
+// benchOpt keeps figure benchmarks fast while exercising the identical code
+// paths as the full-scale CLI runs.
+var benchOpt = experiment.Options{Trials: 2, Seed: 1, TopoSeed: 1}
+
+var (
+	envOnce    sync.Once
+	indriyaEnv *experiment.Env
+	wustlEnv   *experiment.Env
+	envErr     error
+)
+
+func benchEnvs(b *testing.B) (*experiment.Env, *experiment.Env) {
+	b.Helper()
+	envOnce.Do(func() {
+		indriyaEnv, envErr = experiment.NewIndriyaEnv(1)
+		if envErr != nil {
+			return
+		}
+		wustlEnv, envErr = experiment.NewWUSTLEnv(1)
+	})
+	if envErr != nil {
+		b.Fatal(envErr)
+	}
+	return indriyaEnv, wustlEnv
+}
+
+func benchFigure(b *testing.B, fn func() ([]*experiment.Table, error)) {
+	b.Helper()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := fn()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(tables) == 0 {
+			b.Fatal("no tables produced")
+		}
+	}
+}
+
+// BenchmarkFig1 regenerates Fig. 1 (schedulable ratio, centralized,
+// Indriya).
+func BenchmarkFig1(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig1(ind, benchOpt) })
+}
+
+// BenchmarkFig2 regenerates Fig. 2 (schedulable ratio, peer-to-peer,
+// Indriya).
+func BenchmarkFig2(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig2(ind, benchOpt) })
+}
+
+// BenchmarkFig3 regenerates Fig. 3 (schedulable ratio, peer-to-peer, WUSTL).
+func BenchmarkFig3(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig3(wustl, benchOpt) })
+}
+
+// BenchmarkFig4 regenerates Fig. 4 (transmissions per channel, RA vs RC).
+func BenchmarkFig4(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig4(ind, benchOpt) })
+}
+
+// BenchmarkFig5 regenerates Fig. 5 (channel-reuse hop count, RA vs RC).
+func BenchmarkFig5(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig5(ind, benchOpt) })
+}
+
+// BenchmarkFig6 regenerates Fig. 6 (scheduler execution time).
+func BenchmarkFig6(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig6(ind, benchOpt) })
+}
+
+// BenchmarkFig7 regenerates Fig. 7 (testbed topology summary).
+func BenchmarkFig7(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig7(wustl, benchOpt) })
+}
+
+// BenchmarkFig8 regenerates Fig. 8 (PDR box plots) at reduced simulation
+// scale.
+func BenchmarkFig8(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	p := experiment.DefaultReliabilityParams()
+	p.NumFlowSets = 1
+	p.Hyperperiods = 10
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig8Scaled(wustl, benchOpt, p) })
+}
+
+// BenchmarkFig9 regenerates Fig. 9 (Tx/channel for the reliability flow
+// sets).
+func BenchmarkFig9(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig9(wustl, benchOpt) })
+}
+
+func scaledDetection() experiment.DetectionParams {
+	p := experiment.DefaultDetectionParams()
+	p.Epochs = 1
+	p.EpochSlots = 9_000
+	p.WindowSlots = 500
+	p.ProbeEverySlots = 200
+	return p
+}
+
+// BenchmarkFig10 regenerates Fig. 10 (detection policy PRRs) at reduced
+// horizon.
+func BenchmarkFig10(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	p := scaledDetection()
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig10Scaled(wustl, benchOpt, p) })
+}
+
+// BenchmarkFig11 regenerates Fig. 11 (rejected links per epoch) at reduced
+// horizon.
+func BenchmarkFig11(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	p := scaledDetection()
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.Fig11Scaled(wustl, benchOpt, p) })
+}
+
+// BenchmarkExtLatency regenerates the latency extension experiment.
+func BenchmarkExtLatency(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtLatency(wustl, benchOpt) })
+}
+
+// BenchmarkExtRhoSweep regenerates the ρ_t sensitivity extension experiment.
+func BenchmarkExtRhoSweep(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtRhoSweep(wustl, benchOpt) })
+}
+
+// BenchmarkExtPriority regenerates the DM-vs-RM extension experiment.
+func BenchmarkExtPriority(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtPriority(wustl, benchOpt) })
+}
+
+// BenchmarkExtFixedRho regenerates the ρ-search ablation.
+func BenchmarkExtFixedRho(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtFixedRho(wustl, benchOpt) })
+}
+
+// BenchmarkExtRepair regenerates the detect→repair loop at reduced scale.
+func BenchmarkExtRepair(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	p := experiment.DefaultDetectionParams()
+	p.Epochs = 1
+	p.EpochSlots = 9_000
+	p.WindowSlots = 500
+	p.ProbeEverySlots = 200
+	benchFigure(b, func() ([]*experiment.Table, error) {
+		return experiment.ExtRepairScaled(wustl, benchOpt, p)
+	})
+}
+
+// BenchmarkExtSeeds regenerates the topology-seed robustness sweep.
+func BenchmarkExtSeeds(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtSeeds(ind, benchOpt) })
+}
+
+// BenchmarkExtPhases regenerates the release-staggering comparison.
+func BenchmarkExtPhases(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtPhases(wustl, benchOpt) })
+}
+
+// BenchmarkExtDetector regenerates the detector-comparison study.
+func BenchmarkExtDetector(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtDetector(wustl, benchOpt) })
+}
+
+// BenchmarkExtManage regenerates the closed-management-loop study.
+func BenchmarkExtManage(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtManage(wustl, benchOpt) })
+}
+
+// BenchmarkExtDiversity regenerates the route-diversity sweep.
+func BenchmarkExtDiversity(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtDiversity(ind, benchOpt) })
+}
+
+// BenchmarkExtBursty regenerates the bursty-fading reliability comparison
+// at reduced scale.
+func BenchmarkExtBursty(b *testing.B) {
+	_, wustl := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtBursty(wustl, benchOpt) })
+}
+
+// BenchmarkExtBalance regenerates the AP load-balancing comparison.
+func BenchmarkExtBalance(b *testing.B) {
+	ind, _ := benchEnvs(b)
+	benchFigure(b, func() ([]*experiment.Table, error) { return experiment.ExtBalance(ind, benchOpt) })
+}
+
+// benchSchedule measures one scheduler on a fixed heavy peer-to-peer
+// workload (the Fig. 6 operating point: 100 flows, 5 channels).
+func benchSchedule(b *testing.B, alg wsan.Algorithm) {
+	b.Helper()
+	tb, err := wsan.GenerateIndriya(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := wsan.NewNetwork(tb, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows:     100,
+		MinPeriodExp: 0,
+		MaxPeriodExp: 2,
+		Traffic:      wsan.PeerToPeer,
+		Seed:         3,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := net.Schedule(flows, alg, wsan.ScheduleConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSchedulerNR measures the no-reuse baseline scheduler.
+func BenchmarkSchedulerNR(b *testing.B) { benchSchedule(b, wsan.NR) }
+
+// BenchmarkSchedulerRA measures the aggressive-reuse scheduler.
+func BenchmarkSchedulerRA(b *testing.B) { benchSchedule(b, wsan.RA) }
+
+// BenchmarkSchedulerRC measures the conservative-reuse scheduler
+// (Algorithm 1).
+func BenchmarkSchedulerRC(b *testing.B) { benchSchedule(b, wsan.RC) }
+
+// BenchmarkSimulate measures the TSCH network simulator on a 50-flow WUSTL
+// schedule (one hyperperiod per iteration).
+func BenchmarkSimulate(b *testing.B) {
+	tb, err := wsan.GenerateWUSTL(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flows []*wsan.Flow
+	var res *wsan.ScheduleResult
+	for seed := int64(0); ; seed++ {
+		if seed > 50 {
+			b.Fatal("no schedulable workload")
+		}
+		flows, err = net.GenerateWorkload(wsan.WorkloadConfig{
+			NumFlows:     50,
+			MinPeriodExp: 0,
+			MaxPeriodExp: 0,
+			Traffic:      wsan.PeerToPeer,
+			Seed:         seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err = net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Schedulable {
+			break
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cfg := net.NewSimConfig(flows, res, 1, int64(i))
+		if _, err := wsan.Simulate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

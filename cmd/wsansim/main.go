@@ -1,0 +1,223 @@
+// Command wsansim regenerates the evaluation of "Conservative Channel Reuse
+// in Real-Time Industrial Wireless Sensor-Actuator Networks" (ICDCS 2018):
+// one subcommand per figure, plus a topology inspector.
+//
+// Usage:
+//
+//	wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho |
+//	                 ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate>
+//
+// "all" regenerates every paper figure; "ext" runs the extension
+// experiments (latency, ρ_t sensitivity, DM-vs-RM, ρ-search ablation).
+//
+// Flags:
+//
+//	-trials N    random flow sets per data point (default 100; the paper's
+//	             scale — use a smaller value for a quick look)
+//	-seed N      workload seed (default 1)
+//	-toposeed N  testbed generation seed (default 1)
+//	-testbed S   for topo: which testbed to inspect (indriya|wustl)
+//	-json        for topo: dump the full testbed (nodes, PRRs, gains) as JSON
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wsan/internal/experiment"
+	"wsan/internal/topology"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "wsansim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("wsansim", flag.ContinueOnError)
+	trials := fs.Int("trials", 100, "random flow sets per data point")
+	seed := fs.Int64("seed", 1, "workload seed")
+	topoSeed := fs.Int64("toposeed", 1, "testbed generation seed")
+	testbed := fs.String("testbed", "wustl", "testbed for the topo command (indriya|wustl)")
+	asJSON := fs.Bool("json", false, "topo: dump the full testbed as JSON")
+	workers := fs.Int("workers", 0, "parallel trials per data point (0 = all CPUs; timing figures always run serially)")
+	format := fs.String("format", "table", "output format: table, csv, or chart:N (bar chart of column N)")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(),
+			"usage: wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho | ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate>")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		fs.Usage()
+		return fmt.Errorf("a command is required")
+	}
+	cmd := fs.Arg(0)
+	if fs.NArg() > 1 && cmd != "gen-schedule" && cmd != "simulate" && cmd != "describe" && cmd != "analyze-trace" && cmd != "manage" && cmd != "validate" {
+		fs.Usage()
+		return fmt.Errorf("command %q takes no arguments", cmd)
+	}
+	opt := experiment.Options{Trials: *trials, Seed: *seed, TopoSeed: *topoSeed, Workers: *workers}
+
+	switch cmd {
+	case "topo":
+		return runTopo(*testbed, *topoSeed, *asJSON, opt)
+	case "gen-schedule":
+		return runGenSchedule(fs.Args()[1:])
+	case "simulate":
+		return runSimulate(fs.Args()[1:])
+	case "describe":
+		return runDescribe(fs.Args()[1:])
+	case "analyze-trace":
+		return runAnalyzeTrace(fs.Args()[1:])
+	case "manage":
+		return runManage(fs.Args()[1:])
+	case "validate":
+		return runValidate(fs.Args()[1:])
+	}
+
+	type figure struct {
+		name string
+		env  string // which testbed environment it needs
+		fn   func(*experiment.Env, experiment.Options) ([]*experiment.Table, error)
+	}
+	figures := []figure{
+		{"fig1", "indriya", experiment.Fig1},
+		{"fig2", "indriya", experiment.Fig2},
+		{"fig3", "wustl", experiment.Fig3},
+		{"fig4", "indriya", experiment.Fig4},
+		{"fig5", "indriya", experiment.Fig5},
+		{"fig6", "indriya", experiment.Fig6},
+		{"fig7", "wustl", experiment.Fig7},
+		{"fig8", "wustl", experiment.Fig8},
+		{"fig9", "wustl", experiment.Fig9},
+		{"fig10", "wustl", experiment.Fig10},
+		{"fig11", "wustl", experiment.Fig11},
+		{"ext-latency", "wustl", experiment.ExtLatency},
+		{"ext-rho", "wustl", experiment.ExtRhoSweep},
+		{"ext-priority", "wustl", experiment.ExtPriority},
+		{"ext-fixedrho", "wustl", experiment.ExtFixedRho},
+		{"ext-repair", "wustl", experiment.ExtRepair},
+		{"ext-seeds", "indriya", experiment.ExtSeeds},
+		{"ext-phases", "wustl", experiment.ExtPhases},
+		{"ext-detector", "wustl", experiment.ExtDetector},
+		{"ext-manage", "wustl", experiment.ExtManage},
+		{"ext-diversity", "indriya", experiment.ExtDiversity},
+		{"ext-bursty", "wustl", experiment.ExtBursty},
+		{"ext-balance", "indriya", experiment.ExtBalance},
+	}
+	envs := make(map[string]*experiment.Env, 2)
+	getEnv := func(name string) (*experiment.Env, error) {
+		if env, ok := envs[name]; ok {
+			return env, nil
+		}
+		var env *experiment.Env
+		var err error
+		if name == "indriya" {
+			env, err = experiment.NewIndriyaEnv(*topoSeed)
+		} else {
+			env, err = experiment.NewWUSTLEnv(*topoSeed)
+		}
+		if err != nil {
+			return nil, err
+		}
+		envs[name] = env
+		return env, nil
+	}
+	ran := false
+	for _, f := range figures {
+		isExt := strings.HasPrefix(f.name, "ext-")
+		switch cmd {
+		case "all":
+			if isExt {
+				continue
+			}
+		case "ext":
+			if !isExt {
+				continue
+			}
+		default:
+			if cmd != f.name {
+				continue
+			}
+		}
+		ran = true
+		env, err := getEnv(f.env)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		start := time.Now()
+		tables, err := f.fn(env, opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", f.name, err)
+		}
+		for _, t := range tables {
+			if err := render(t, *format); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("(%s completed in %v)\n\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+	if !ran {
+		fs.Usage()
+		return fmt.Errorf("unknown command %q", cmd)
+	}
+	return nil
+}
+
+// render writes one result table in the requested format.
+func render(t *experiment.Table, format string) error {
+	switch {
+	case format == "table" || format == "":
+		fmt.Println(t.String())
+	case format == "csv":
+		if err := t.WriteCSV(os.Stdout); err != nil {
+			return err
+		}
+		fmt.Println()
+	case strings.HasPrefix(format, "chart:"):
+		col, err := strconv.Atoi(strings.TrimPrefix(format, "chart:"))
+		if err != nil {
+			return fmt.Errorf("bad chart column in %q: %w", format, err)
+		}
+		fmt.Println(t.Chart(col, 40))
+	default:
+		return fmt.Errorf("unknown format %q (want table, csv, or chart:N)", format)
+	}
+	return nil
+}
+
+func runTopo(name string, seed int64, asJSON bool, opt experiment.Options) error {
+	var tb *topology.Testbed
+	var err error
+	switch name {
+	case "indriya":
+		tb, err = topology.Indriya(seed)
+	case "wustl":
+		tb, err = topology.WUSTL(seed)
+	default:
+		return fmt.Errorf("unknown testbed %q (want indriya or wustl)", name)
+	}
+	if err != nil {
+		return err
+	}
+	if asJSON {
+		return tb.Encode(os.Stdout)
+	}
+	tables, err := experiment.Fig7(experiment.NewEnv(tb), opt)
+	if err != nil {
+		return err
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                        // missing command
+		{"fig1", "fig2"},          // too many commands
+		{"nonsense"},              // unknown command
+		{"-testbed", "x", "topo"}, // unknown testbed
+		{"-bogus", "fig1"},        // unknown flag
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunFig7(t *testing.T) {
+	if err := run([]string{"-trials", "1", "fig7"}); err != nil {
+		t.Fatalf("fig7: %v", err)
+	}
+}
+
+func TestRunTopo(t *testing.T) {
+	if err := run([]string{"topo"}); err != nil {
+		t.Fatalf("topo: %v", err)
+	}
+	if err := run([]string{"-testbed", "indriya", "topo"}); err != nil {
+		t.Fatalf("topo indriya: %v", err)
+	}
+}
+
+func TestRunTopoJSON(t *testing.T) {
+	if err := run([]string{"-json", "topo"}); err != nil {
+		t.Fatalf("topo -json: %v", err)
+	}
+}
+
+func TestRunSmallFigure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full figure run skipped in -short mode")
+	}
+	if err := run([]string{"-trials", "2", "fig4"}); err != nil {
+		t.Fatalf("fig4: %v", err)
+	}
+	if err := run([]string{"-trials", "2", "ext-rho"}); err != nil {
+		t.Fatalf("ext-rho: %v", err)
+	}
+}
+
+func TestPipelineSubcommands(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"gen-schedule", "-flows", "10", "-out", dir}); err != nil {
+		t.Fatalf("gen-schedule: %v", err)
+	}
+	for _, name := range []string{"survey.json", "workload.json", "schedule.json"} {
+		if _, err := os.Stat(dir + "/" + name); err != nil {
+			t.Fatalf("artifact %s missing: %v", name, err)
+		}
+	}
+	if err := run([]string{"simulate", "-dir", dir, "-reps", "5"}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	cases := [][]string{
+		{"gen-schedule", "-testbed", "bogus"},
+		{"gen-schedule", "-traffic", "bogus", "-out", t.TempDir()},
+		{"gen-schedule", "-alg", "bogus", "-out", t.TempDir()},
+		{"simulate", "-dir", t.TempDir()}, // no artifacts
+		{"fig1", "extra-arg"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRenderFormats(t *testing.T) {
+	if err := run([]string{"-trials", "1", "-format", "csv", "fig7"}); err != nil {
+		t.Fatalf("csv: %v", err)
+	}
+	if err := run([]string{"-trials", "1", "-format", "chart:1", "fig7"}); err != nil {
+		t.Fatalf("chart: %v", err)
+	}
+	if err := run([]string{"-trials", "1", "-format", "chart:x", "fig7"}); err == nil {
+		t.Error("bad chart column should fail")
+	}
+	if err := run([]string{"-trials", "1", "-format", "bogus", "fig7"}); err == nil {
+		t.Error("bad format should fail")
+	}
+}
+
+func TestParseAlgorithmAll(t *testing.T) {
+	for _, s := range []string{"nr", "ra", "rc"} {
+		if _, err := parseAlgorithm(s); err != nil {
+			t.Errorf("parseAlgorithm(%q): %v", s, err)
+		}
+	}
+}
+
+func TestDescribeSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"gen-schedule", "-flows", "8", "-out", dir}); err != nil {
+		t.Fatalf("gen-schedule: %v", err)
+	}
+	if err := run([]string{"describe", "-dir", dir, "-span", "10", "-node", "0"}); err != nil {
+		t.Fatalf("describe: %v", err)
+	}
+	if err := run([]string{"describe", "-dir", t.TempDir()}); err == nil {
+		t.Error("describe without artifacts should fail")
+	}
+}
+
+func TestAnalyzeTraceSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"gen-schedule", "-flows", "8", "-out", dir}); err != nil {
+		t.Fatalf("gen-schedule: %v", err)
+	}
+	trace := dir + "/trace.jsonl"
+	if err := run([]string{"simulate", "-dir", dir, "-reps", "3", "-trace", trace}); err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	if err := run([]string{"analyze-trace", "-file", trace}); err != nil {
+		t.Fatalf("analyze-trace: %v", err)
+	}
+	if err := run([]string{"analyze-trace"}); err == nil {
+		t.Error("missing -file should fail")
+	}
+	if err := run([]string{"analyze-trace", "-file", dir + "/missing.jsonl"}); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestManageSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	err := run([]string{"gen-schedule", "-alg", "ra", "-flows", "30",
+		"-minperiod", "0", "-maxperiod", "0", "-out", dir})
+	if err != nil {
+		t.Fatalf("gen-schedule: %v", err)
+	}
+	if err := run([]string{"manage", "-dir", dir, "-epoch", "5000", "-iterations", "2"}); err != nil {
+		t.Fatalf("manage: %v", err)
+	}
+	// The written schedule must still decode and simulate.
+	if err := run([]string{"simulate", "-dir", dir, "-reps", "3"}); err != nil {
+		t.Fatalf("simulate after manage: %v", err)
+	}
+	if err := run([]string{"manage", "-dir", t.TempDir()}); err == nil {
+		t.Error("manage without artifacts should fail")
+	}
+}
+
+func TestValidateSubcommand(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"gen-schedule", "-flows", "10", "-out", dir}); err != nil {
+		t.Fatalf("gen-schedule: %v", err)
+	}
+	if err := run([]string{"validate", "-dir", dir}); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	if err := run([]string{"validate", "-dir", t.TempDir()}); err == nil {
+		t.Error("validate without artifacts should fail")
+	}
+}

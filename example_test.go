@@ -1,0 +1,147 @@
+package wsan_test
+
+import (
+	"fmt"
+
+	"wsan"
+)
+
+// ExampleNewNetwork shows the minimal pipeline: testbed → network →
+// workload → RC schedule.
+func ExampleNewNetwork() {
+	tb, err := wsan.GenerateWUSTL(1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows: 10, MinPeriodExp: 0, MaxPeriodExp: 1,
+		Traffic: wsan.PeerToPeer, Seed: 7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("schedulable:", res.Schedulable)
+	// Output: schedulable: true
+}
+
+// ExampleCustomTestbed builds a testbed from explicit link gains — the
+// entry point for users with their own site surveys.
+func ExampleCustomTestbed() {
+	nodes := []wsan.Node{{ID: 0}, {ID: 1}, {ID: 2}}
+	tb, err := wsan.CustomTestbed("lab", nodes, func(u, v, ch int) float64 {
+		return -60 // every pair strongly connected on every channel
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, err := wsan.NewNetwork(tb, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("links:", net.CommEdges())
+	// Output: links: 3
+}
+
+// ExampleKSTest demonstrates the detection policy's statistical core.
+func ExampleKSTest() {
+	healthy := []float64{0.95, 0.97, 0.96, 0.98, 0.95, 0.97, 0.99, 0.96}
+	degraded := []float64{0.60, 0.65, 0.58, 0.62, 0.66, 0.61, 0.59, 0.63}
+	res, err := wsan.KSTest(healthy, degraded)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("D=%.2f reject=%v\n", res.D, res.Reject(0.05))
+	// Output: D=1.00 reject=true
+}
+
+// ExampleDelayAnalysis admission-tests a workload without running the
+// scheduler.
+func ExampleDelayAnalysis() {
+	flows := []*wsan.Flow{
+		{ID: 0, Src: 0, Dst: 2, Period: 100, Deadline: 50,
+			Route: []wsan.Link{{From: 0, To: 1}, {From: 1, To: 2}}},
+		{ID: 1, Src: 3, Dst: 1, Period: 200, Deadline: 100,
+			Route: []wsan.Link{{From: 3, To: 1}}},
+	}
+	bounds, err := wsan.DelayAnalysis(flows, 4, true)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, b := range bounds {
+		fmt.Printf("flow %d: response ≤ %d slots\n", b.FlowID, b.ResponseSlots)
+	}
+	// Output:
+	// flow 0: response ≤ 4 slots
+	// flow 1: response ≤ 6 slots
+}
+
+// ExampleSummary shows the box-plot helper used for Fig. 8-style reporting.
+func ExampleSummary() {
+	fn, err := wsan.Summary([]float64{1, 0.98, 0.99, 1, 0.97, 1, 1, 0.85})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("min=%.2f median=%.2f\n", fn.Min, fn.Median)
+	// Output: min=0.85 median=0.99
+}
+
+// ExampleNetwork_AddFlow admits a new control loop into a running schedule
+// without disturbing the existing transmissions.
+func ExampleNetwork_AddFlow() {
+	tb, err := wsan.GenerateWUSTL(1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows: 10, MinPeriodExp: 0, MaxPeriodExp: 1,
+		Traffic: wsan.PeerToPeer, Seed: 7,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{})
+	if err != nil || !res.Schedulable {
+		fmt.Println("base schedule failed")
+		return
+	}
+	before := res.Schedule.Len()
+	newFlow := &wsan.Flow{
+		ID: 10, Src: flows[0].Src, Dst: flows[1].Src,
+		Period: 200, Deadline: 200,
+	}
+	if err := net.Route([]*wsan.Flow{newFlow}, wsan.PeerToPeer); err != nil {
+		fmt.Println(err)
+		return
+	}
+	add, err := net.AddFlow(res, newFlow, wsan.RC, wsan.ScheduleConfig{})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("admitted:", add.Schedulable, "existing untouched:", res.Schedule.Len() > before)
+	// Output: admitted: true existing untouched: true
+}

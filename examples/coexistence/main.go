@@ -1,0 +1,226 @@
+// Coexistence: why channel reuse across gateways is dangerous — the paper's
+// Sec. III premise.
+//
+// WirelessHART forbids channel reuse *within* one gateway's network but
+// cannot coordinate *between* networks: two plants, each with its own
+// gateway, schedule independently and may land transmissions on the same
+// channel in the same slot. This program builds two 24-node networks,
+// schedules each in isolation (each manager knows nothing of the other),
+// and executes both on a shared radio medium at three configurations:
+// far apart, wall-to-wall on the same channels, and wall-to-wall on
+// disjoint channels (the practical mitigation).
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"wsan"
+	"wsan/internal/schedule"
+)
+
+const (
+	nodesPerNet = 24
+	numChannels = 4
+	netBFlowIDs = 100 // offset so the two networks' flow IDs stay distinct
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "coexistence:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("two independently scheduled 24-node networks sharing the air:")
+	fmt.Println()
+	fmt.Println("configuration                       net A PDR (min/med)  net B PDR (min/med)")
+	for _, cfg := range []struct {
+		name    string
+		gapM    float64
+		bOffset int // channel offset base for network B
+	}{
+		{"200 m apart, same channels", 200, 0},
+		{"adjacent, same channels", 0, 0},
+		{"adjacent, disjoint channels", 0, numChannels},
+	} {
+		aMin, aMed, bMin, bMed, err := simulate(cfg.gapM, cfg.bOffset)
+		if err != nil {
+			return fmt.Errorf("%s: %w", cfg.name, err)
+		}
+		fmt.Printf("%-35s  %.3f / %.3f        %.3f / %.3f\n",
+			cfg.name, aMin, aMed, bMin, bMed)
+	}
+	fmt.Println()
+	fmt.Println("independent schedules collide on shared channels when the plants adjoin;")
+	fmt.Println("splitting the band (or one manager coordinating both — the paper's setting)")
+	fmt.Println("restores delivery.")
+	return nil
+}
+
+// simulate builds both plants gapM meters apart, schedules each in
+// isolation, merges the schedules onto one medium (network B shifted to
+// channel indices bBase..bBase+3), and returns min/median PDR per network.
+func simulate(gapM float64, bBase int) (aMin, aMed, bMin, bMed float64, err error) {
+	// One combined world: network A occupies x ∈ [0, 60), network B starts
+	// at 60+gap. Links inside a network are strong; coupling across the gap
+	// falls off with distance.
+	var nodes []wsan.Node
+	for i := 0; i < nodesPerNet; i++ {
+		nodes = append(nodes, wsan.Node{ID: i, X: float64(i%6) * 10, Y: float64(i/6) * 10})
+	}
+	for i := 0; i < nodesPerNet; i++ {
+		nodes = append(nodes, wsan.Node{
+			ID: nodesPerNet + i,
+			X:  60 + gapM + float64(i%6)*10,
+			Y:  float64(i/6) * 10,
+		})
+	}
+	gain := func(u, v, ch int) float64 {
+		du := nodes[u].X - nodes[v].X
+		dv := nodes[u].Y - nodes[v].Y
+		dist := math.Sqrt(du*du + dv*dv)
+		if dist < 1 {
+			dist = 1
+		}
+		return -40.2 - 10*3.2*math.Log10(dist)
+	}
+	world, err := wsan.CustomTestbed("coexistence", nodes, gain)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Each manager sees only its own plant.
+	planA, flowsA, err := plan(0)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	planB, flowsB, err := plan(1)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+
+	// Merge onto the shared medium: remap network B's nodes and flow IDs,
+	// and give it its channel block.
+	hyper := planA.Schedule.NumSlots()
+	if planB.Schedule.NumSlots() != hyper {
+		return 0, 0, 0, 0, fmt.Errorf("hyperperiods differ")
+	}
+	totalOffsets := bBase + numChannels
+	if totalOffsets < numChannels {
+		totalOffsets = numChannels
+	}
+	merged, err := schedule.New(hyper, totalOffsets, 2*nodesPerNet)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	for _, tx := range planA.Schedule.Txs() {
+		if err := merged.Place(tx); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	for _, tx := range planB.Schedule.Txs() {
+		tx.FlowID += netBFlowIDs
+		tx.Link.From += nodesPerNet
+		tx.Link.To += nodesPerNet
+		tx.Offset += bBase
+		if err := merged.Place(tx); err != nil {
+			return 0, 0, 0, 0, err
+		}
+	}
+	var allFlows []*wsan.Flow
+	allFlows = append(allFlows, flowsA...)
+	for _, f := range flowsB {
+		cp := *f
+		cp.ID += netBFlowIDs
+		cp.Src += nodesPerNet
+		cp.Dst += nodesPerNet
+		cp.Route = nil
+		for _, l := range f.Route {
+			cp.Route = append(cp.Route, wsan.Link{From: l.From + nodesPerNet, To: l.To + nodesPerNet})
+		}
+		allFlows = append(allFlows, &cp)
+	}
+	channels := make([]int, totalOffsets)
+	for i := range channels {
+		channels[i] = i % wsan.NumChannels
+	}
+
+	sim, err := wsan.Simulate(wsan.SimConfig{
+		Testbed:            world,
+		Flows:              allFlows,
+		Schedule:           merged,
+		Channels:           channels,
+		Hyperperiods:       200,
+		FadingSigmaDB:      2.5,
+		SurveyDriftSigmaDB: 2.0,
+		Retransmit:         true,
+		Seed:               7,
+	})
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	var aPDRs, bPDRs []float64
+	for id := range sim.Released {
+		if id >= netBFlowIDs {
+			bPDRs = append(bPDRs, sim.PDR(id))
+		} else {
+			aPDRs = append(aPDRs, sim.PDR(id))
+		}
+	}
+	aFn, err := wsan.Summary(aPDRs)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	bFn, err := wsan.Summary(bPDRs)
+	if err != nil {
+		return 0, 0, 0, 0, err
+	}
+	return aFn.Min, aFn.Median, bFn.Min, bFn.Median, nil
+}
+
+// plan schedules one plant in isolation: its manager surveys only its own
+// 24 nodes (IDs 0..23 in local space) and runs RC on 4 channels.
+func plan(which int) (*wsan.ScheduleResult, []*wsan.Flow, error) {
+	var nodes []wsan.Node
+	for i := 0; i < nodesPerNet; i++ {
+		nodes = append(nodes, wsan.Node{ID: i, X: float64(i%6) * 10, Y: float64(i/6) * 10})
+	}
+	gain := func(u, v, ch int) float64 {
+		du := nodes[u].X - nodes[v].X
+		dv := nodes[u].Y - nodes[v].Y
+		dist := math.Sqrt(du*du + dv*dv)
+		if dist < 1 {
+			dist = 1
+		}
+		return -40.2 - 10*3.2*math.Log10(dist)
+	}
+	tb, err := wsan.CustomTestbed(fmt.Sprintf("plant-%d", which), nodes, gain)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := wsan.NewNetwork(tb, numChannels)
+	if err != nil {
+		return nil, nil, err
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows:     16,
+		MinPeriodExp: 0,
+		MaxPeriodExp: 1,
+		Traffic:      wsan.PeerToPeer,
+		Seed:         int64(31 + which),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !res.Schedulable {
+		return nil, nil, fmt.Errorf("plant %d workload unschedulable", which)
+	}
+	return res, flows, nil
+}

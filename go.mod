@@ -1,0 +1,3 @@
+module wsan
+
+go 1.22

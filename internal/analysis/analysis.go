@@ -1,0 +1,167 @@
+// Package analysis provides static analyses over flow sets and transmission
+// schedules: end-to-end latency extraction, utilization accounting, and
+// quick necessary conditions for schedulability. These complement the
+// scheduler (which answers "is it schedulable?" constructively) with the
+// explanatory metrics an operator dimensioning a network needs — and give
+// the evaluation a latency view of what channel reuse buys beyond the binary
+// schedulable ratio.
+package analysis
+
+import (
+	"fmt"
+
+	"wsan/internal/flow"
+	"wsan/internal/schedule"
+)
+
+// FlowLatency summarizes the end-to-end latency of one flow across all of
+// its releases in a schedule.
+type FlowLatency struct {
+	FlowID int
+	// WorstSlots and BestSlots are the maximum and minimum latency over the
+	// flow's instances, in slots from release to the last scheduled
+	// transmission (inclusive).
+	WorstSlots int
+	BestSlots  int
+	// MeanSlots is the mean over instances.
+	MeanSlots float64
+	// DeadlineSlots echoes the flow's relative deadline for slack
+	// computation.
+	DeadlineSlots int
+}
+
+// Slack returns the worst-case slack (deadline − worst latency) in slots.
+func (l FlowLatency) Slack() int { return l.DeadlineSlots - l.WorstSlots }
+
+// Latencies extracts per-flow end-to-end schedule latencies: for each flow
+// instance, the span from its release slot to its final scheduled
+// transmission. It requires the schedule to contain every instance of every
+// flow (i.e., a schedulable result) and returns flows in ID order.
+func Latencies(flows []*flow.Flow, sched *schedule.Schedule) ([]FlowLatency, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("analysis: nil schedule")
+	}
+	byID := make(map[int]*flow.Flow, len(flows))
+	for _, f := range flows {
+		byID[f.ID] = f
+	}
+	// lastSlot[flow][instance] = last scheduled slot.
+	type key struct{ id, inst int }
+	last := make(map[key]int)
+	for _, tx := range sched.Txs() {
+		k := key{tx.FlowID, tx.Instance}
+		if s, ok := last[k]; !ok || tx.Slot > s {
+			last[k] = tx.Slot
+		}
+	}
+	hyper := sched.NumSlots()
+	out := make([]FlowLatency, 0, len(flows))
+	for _, f := range flows {
+		instances := hyper / f.Period
+		if instances == 0 {
+			return nil, fmt.Errorf("analysis: flow %d period %d exceeds schedule length %d",
+				f.ID, f.Period, hyper)
+		}
+		fl := FlowLatency{FlowID: f.ID, BestSlots: int(^uint(0) >> 1), DeadlineSlots: f.Deadline}
+		total := 0
+		for inst := 0; inst < instances; inst++ {
+			s, ok := last[key{f.ID, inst}]
+			if !ok {
+				return nil, fmt.Errorf("analysis: flow %d instance %d missing from schedule", f.ID, inst)
+			}
+			lat := s - f.Release(inst) + 1
+			total += lat
+			if lat > fl.WorstSlots {
+				fl.WorstSlots = lat
+			}
+			if lat < fl.BestSlots {
+				fl.BestSlots = lat
+			}
+		}
+		fl.MeanSlots = float64(total) / float64(instances)
+		out = append(out, fl)
+	}
+	return out, nil
+}
+
+// Utilization describes how heavily a workload loads the network.
+type Utilization struct {
+	// Channel is the total transmission demand divided by the slot-channel
+	// capacity: Σ (transmissions per hyperperiod) / (hyperperiod × |M|).
+	// Above 1 the workload is trivially unschedulable without reuse.
+	Channel float64
+	// BottleneckNode is the busiest node's demand divided by the
+	// hyperperiod: the fraction of all slots in which that node must be
+	// awake. Above 1 the workload is unschedulable under ANY policy (the
+	// radio is half-duplex), reuse or not.
+	BottleneckNode float64
+	// BottleneckID is the node realizing BottleneckNode.
+	BottleneckID int
+}
+
+// ComputeUtilization accounts the demand of a routed flow set. attempts is
+// the number of dedicated slots per hop (2 with retransmission).
+func ComputeUtilization(flows []*flow.Flow, numChannels, attempts int) (Utilization, error) {
+	if numChannels <= 0 || attempts <= 0 {
+		return Utilization{}, fmt.Errorf("analysis: channels %d and attempts %d must be positive",
+			numChannels, attempts)
+	}
+	hyper, err := flow.Hyperperiod(flows)
+	if err != nil {
+		return Utilization{}, fmt.Errorf("analysis: %w", err)
+	}
+	totalTx := 0
+	nodeDemand := make(map[int]int)
+	for _, f := range flows {
+		if len(f.Route) == 0 {
+			return Utilization{}, fmt.Errorf("analysis: flow %d has no route", f.ID)
+		}
+		instances := hyper / f.Period
+		perInstance := len(f.Route) * attempts
+		totalTx += instances * perInstance
+		for _, l := range f.Route {
+			nodeDemand[l.From] += instances * attempts
+			nodeDemand[l.To] += instances * attempts
+		}
+	}
+	u := Utilization{
+		Channel: float64(totalTx) / float64(hyper*numChannels),
+	}
+	for id, d := range nodeDemand {
+		share := float64(d) / float64(hyper)
+		if share > u.BottleneckNode {
+			u.BottleneckNode = share
+			u.BottleneckID = id
+		} else if share == u.BottleneckNode && id < u.BottleneckID {
+			u.BottleneckID = id
+		}
+	}
+	return u, nil
+}
+
+// NecessarySchedulable applies quick necessary (not sufficient) conditions:
+// a workload whose bottleneck node exceeds its deadline-scaled budget or
+// whose channel demand exceeds capacity cannot be scheduled. It returns nil
+// if no condition is violated, or an explanatory error.
+func NecessarySchedulable(flows []*flow.Flow, numChannels, attempts int, allowReuse bool) error {
+	u, err := ComputeUtilization(flows, numChannels, attempts)
+	if err != nil {
+		return err
+	}
+	if u.BottleneckNode > 1 {
+		return fmt.Errorf("node %d must be awake %.0f%% of slots: unschedulable under any policy",
+			u.BottleneckID, u.BottleneckNode*100)
+	}
+	if !allowReuse && u.Channel > 1 {
+		return fmt.Errorf("channel demand %.0f%% of capacity: unschedulable without channel reuse",
+			u.Channel*100)
+	}
+	// Per-flow: each instance needs route×attempts slots within its
+	// deadline.
+	for _, f := range flows {
+		if need := len(f.Route) * attempts; need > f.Deadline {
+			return fmt.Errorf("flow %d needs %d slots but its deadline is %d", f.ID, need, f.Deadline)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+// Package detect implements the paper's Sec. VI classifier: given per-link
+// PRR statistics collected by the network manager, it decides for every link
+// involved in channel reuse whether a reliability shortfall is *caused by*
+// channel reuse or by other factors (external interference, environment
+// changes).
+//
+// The policy, verbatim from the paper:
+//
+//   - If PRR_r(l) < PRR_t, run a two-sample Kolmogorov-Smirnov test on
+//     PRR_DIST_r(l) (samples from slots where l shares a channel) versus
+//     PRR_DIST_cf(l) (samples from contention-free transmissions).
+//   - K-S reject ⇒ channel reuse degrades the link (reschedule it).
+//   - K-S accept ⇒ the link fails its requirement for other reasons.
+//   - Otherwise the link meets the reliability requirement.
+package detect
+
+import (
+	"fmt"
+	"sort"
+
+	"wsan/internal/flow"
+	"wsan/internal/netsim"
+	"wsan/internal/stats"
+)
+
+// Verdict is the per-link-per-epoch classification outcome.
+type Verdict int
+
+const (
+	// Meets: the link's reuse-condition PRR meets the reliability
+	// requirement; no action needed.
+	Meets Verdict = iota + 1
+	// ReuseDegraded: the link fails the requirement and the K-S test
+	// attributes the degradation to channel reuse (reject).
+	ReuseDegraded
+	// OtherCause: the link fails the requirement but its reuse and
+	// contention-free distributions are indistinguishable (accept) — the
+	// cause is external interference or environmental change.
+	OtherCause
+	// Inconclusive: not enough samples to run the test.
+	Inconclusive
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Meets:
+		return "meets"
+	case ReuseDegraded:
+		return "reuse-degraded"
+	case OtherCause:
+		return "other-cause"
+	case Inconclusive:
+		return "inconclusive"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Method selects the statistical test the policy runs on the two PRR
+// distributions.
+type Method int
+
+const (
+	// MethodKS is the paper's two-sample Kolmogorov-Smirnov test.
+	MethodKS Method = iota + 1
+	// MethodMWU substitutes the Mann-Whitney U test — sensitive to location
+	// shifts specifically rather than any distributional difference.
+	MethodMWU
+	// MethodThreshold is the naive baseline the paper argues against: no
+	// statistical test, every below-threshold link is blamed on reuse.
+	MethodThreshold
+)
+
+// String implements fmt.Stringer.
+func (m Method) String() string {
+	switch m {
+	case MethodKS:
+		return "K-S"
+	case MethodMWU:
+		return "MWU"
+	case MethodThreshold:
+		return "threshold"
+	default:
+		return fmt.Sprintf("Method(%d)", int(m))
+	}
+}
+
+// Config parameterizes the detection policy.
+type Config struct {
+	// PRRThreshold is PRR_t, the reliability requirement (paper: 0.9).
+	PRRThreshold float64
+	// Alpha is the K-S significance level (paper: 0.05).
+	Alpha float64
+	// MinSamples is the minimum sample count required in each distribution
+	// to run the K-S test; below it the report is Inconclusive.
+	MinSamples int
+	// Method selects the statistical test (default MethodKS, the paper's).
+	Method Method
+	// RequireWorse refines the paper's policy: a K-S rejection is
+	// attributed to channel reuse only when the reuse-condition PRR is also
+	// lower than the contention-free PRR. The paper's two-sided test can
+	// flag a link whose reuse slots perform BETTER than its contention-free
+	// slots (e.g., external interference bursts aligned with probe slots);
+	// with RequireWorse those become OtherCause. Off by default for
+	// paper-faithful behavior.
+	RequireWorse bool
+}
+
+// DefaultConfig returns the paper's parameters.
+func DefaultConfig() Config {
+	return Config{PRRThreshold: 0.9, Alpha: 0.05, MinSamples: 3}
+}
+
+// Report is the classification of one link in one epoch.
+type Report struct {
+	Link  flow.Link
+	Epoch int
+	// Verdict is the policy outcome.
+	Verdict Verdict
+	// ReusePRR and CFPRR are the epoch-aggregate PRRs under each condition
+	// (-1 when the condition has no transmissions).
+	ReusePRR float64
+	CFPRR    float64
+	// KS holds the test result when a test was run (Verdict ReuseDegraded
+	// or OtherCause).
+	KS       stats.KSResult
+	KSTested bool
+}
+
+// Classify applies the detection policy to every link involved in channel
+// reuse, for every epoch in which it carried reuse traffic. Reports are
+// ordered by (From, To, Epoch) for determinism.
+func Classify(linkEpochs map[flow.Link][]netsim.EpochStats, cfg Config) []Report {
+	links := make([]flow.Link, 0, len(linkEpochs))
+	for l := range linkEpochs {
+		links = append(links, l)
+	}
+	sort.Slice(links, func(i, j int) bool {
+		if links[i].From != links[j].From {
+			return links[i].From < links[j].From
+		}
+		return links[i].To < links[j].To
+	})
+	var reports []Report
+	for _, link := range links {
+		for epoch, es := range linkEpochs[link] {
+			// Only links associated with channel reuse in this epoch.
+			if es.Reuse.Attempts == 0 {
+				continue
+			}
+			rep := Report{
+				Link:     link,
+				Epoch:    epoch,
+				ReusePRR: es.Reuse.PRR(),
+				CFPRR:    es.CF.PRR(),
+			}
+			switch {
+			case rep.ReusePRR >= cfg.PRRThreshold:
+				rep.Verdict = Meets
+			case cfg.Method == MethodThreshold:
+				// Naive policy: any below-threshold link is blamed on reuse.
+				rep.Verdict = ReuseDegraded
+			case len(es.Reuse.Samples) < cfg.MinSamples || len(es.CF.Samples) < cfg.MinSamples:
+				rep.Verdict = Inconclusive
+			default:
+				var reject bool
+				var testErr error
+				switch cfg.Method {
+				case MethodMWU:
+					var mwu stats.MWUResult
+					mwu, testErr = stats.MannWhitneyU(es.Reuse.Samples, es.CF.Samples)
+					reject = testErr == nil && mwu.Reject(cfg.Alpha)
+				default: // MethodKS and the zero value
+					var ks stats.KSResult
+					ks, testErr = stats.KSTest(es.Reuse.Samples, es.CF.Samples)
+					if testErr == nil {
+						rep.KS = ks
+						reject = ks.Reject(cfg.Alpha)
+					}
+				}
+				if testErr != nil {
+					rep.Verdict = Inconclusive
+					break
+				}
+				rep.KSTested = true
+				if reject && cfg.RequireWorse && rep.ReusePRR >= rep.CFPRR {
+					reject = false
+				}
+				if reject {
+					rep.Verdict = ReuseDegraded
+				} else {
+					rep.Verdict = OtherCause
+				}
+			}
+			reports = append(reports, rep)
+		}
+	}
+	return reports
+}
+
+// CountByEpoch tallies reports with the given verdict per epoch (Fig. 11).
+func CountByEpoch(reports []Report, v Verdict) map[int]int {
+	out := make(map[int]int)
+	for _, r := range reports {
+		if r.Verdict == v {
+			out[r.Epoch]++
+		}
+	}
+	return out
+}
+
+// MeanPRRs aggregates, over all reports with the given verdict, the mean
+// reuse-condition and contention-free PRRs (Fig. 10). It returns
+// (-1, -1, 0) when no report matches.
+func MeanPRRs(reports []Report, v Verdict) (reuse, cf float64, n int) {
+	var sumR, sumCF float64
+	for _, r := range reports {
+		if r.Verdict != v {
+			continue
+		}
+		sumR += r.ReusePRR
+		sumCF += r.CFPRR
+		n++
+	}
+	if n == 0 {
+		return -1, -1, 0
+	}
+	return sumR / float64(n), sumCF / float64(n), n
+}
+
+// Links returns the distinct links among the reports with the given verdict.
+func Links(reports []Report, v Verdict) []flow.Link {
+	seen := make(map[flow.Link]bool)
+	var out []flow.Link
+	for _, r := range reports {
+		if r.Verdict == v && !seen[r.Link] {
+			seen[r.Link] = true
+			out = append(out, r.Link)
+		}
+	}
+	return out
+}

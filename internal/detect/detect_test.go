@@ -1,0 +1,264 @@
+package detect
+
+import (
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/netsim"
+)
+
+func epochStats(reuseSamples, cfSamples []float64, reuseAtt, reuseSucc, cfAtt, cfSucc int) netsim.EpochStats {
+	return netsim.EpochStats{
+		Reuse: netsim.LinkCondStats{Attempts: reuseAtt, Successes: reuseSucc, Samples: reuseSamples},
+		CF:    netsim.LinkCondStats{Attempts: cfAtt, Successes: cfSucc, Samples: cfSamples},
+	}
+}
+
+func many(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Meets: "meets", ReuseDegraded: "reuse-degraded",
+		OtherCause: "other-cause", Inconclusive: "inconclusive",
+	} {
+		if v.String() != want {
+			t.Errorf("%d.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestClassifyMeets(t *testing.T) {
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 0, To: 1}: {epochStats(many(0.95, 10), many(0.97, 10), 100, 95, 100, 97)},
+	}
+	reports := Classify(le, DefaultConfig())
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	if reports[0].Verdict != Meets {
+		t.Errorf("verdict = %v, want Meets", reports[0].Verdict)
+	}
+}
+
+func TestClassifySkipsNonReuseLinks(t *testing.T) {
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 0, To: 1}: {epochStats(nil, many(0.5, 10), 0, 0, 100, 50)},
+	}
+	if reports := Classify(le, DefaultConfig()); len(reports) != 0 {
+		t.Errorf("links without reuse traffic must be skipped, got %v", reports)
+	}
+}
+
+func TestClassifyReuseDegraded(t *testing.T) {
+	// Low PRR under reuse, high contention-free PRR: K-S must reject.
+	reuse := []float64{0.2, 0.3, 0.25, 0.4, 0.35, 0.3, 0.2, 0.45, 0.3, 0.25,
+		0.3, 0.35, 0.4, 0.2, 0.3, 0.25, 0.35, 0.3}
+	cf := []float64{0.95, 1, 0.97, 0.98, 1, 0.96, 0.99, 1, 0.95, 0.97,
+		1, 0.98, 0.96, 1, 0.99, 0.97, 0.95, 1}
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 2, To: 3}: {epochStats(reuse, cf, 180, 54, 180, 176)},
+	}
+	reports := Classify(le, DefaultConfig())
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	r := reports[0]
+	if r.Verdict != ReuseDegraded {
+		t.Errorf("verdict = %v (p=%v), want ReuseDegraded", r.Verdict, r.KS.P)
+	}
+	if !r.KSTested {
+		t.Error("KS should have been run")
+	}
+}
+
+func TestClassifyOtherCause(t *testing.T) {
+	// Low PRR in BOTH conditions (external interference): K-S must accept.
+	reuse := []float64{0.4, 0.5, 0.45, 0.55, 0.5, 0.4, 0.6, 0.5, 0.45, 0.5,
+		0.55, 0.5, 0.4, 0.45, 0.5, 0.55, 0.5, 0.45}
+	cf := []float64{0.45, 0.5, 0.55, 0.4, 0.5, 0.45, 0.5, 0.55, 0.5, 0.4,
+		0.5, 0.45, 0.55, 0.5, 0.4, 0.5, 0.45, 0.5}
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 4, To: 5}: {epochStats(reuse, cf, 180, 88, 180, 86)},
+	}
+	reports := Classify(le, DefaultConfig())
+	if len(reports) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reports))
+	}
+	if reports[0].Verdict != OtherCause {
+		t.Errorf("verdict = %v (p=%v), want OtherCause", reports[0].Verdict, reports[0].KS.P)
+	}
+}
+
+func TestClassifyInconclusive(t *testing.T) {
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 0, To: 1}: {epochStats([]float64{0.1}, []float64{0.9}, 10, 1, 10, 9)},
+	}
+	reports := Classify(le, DefaultConfig())
+	if len(reports) != 1 || reports[0].Verdict != Inconclusive {
+		t.Errorf("too few samples should be Inconclusive: %+v", reports)
+	}
+}
+
+func TestClassifyOrderingDeterministic(t *testing.T) {
+	mk := func() map[flow.Link][]netsim.EpochStats {
+		return map[flow.Link][]netsim.EpochStats{
+			{From: 5, To: 1}: {epochStats(many(0.95, 5), many(0.95, 5), 10, 9, 10, 9)},
+			{From: 1, To: 2}: {epochStats(many(0.95, 5), many(0.95, 5), 10, 9, 10, 9)},
+			{From: 1, To: 0}: {epochStats(many(0.95, 5), many(0.95, 5), 10, 9, 10, 9)},
+		}
+	}
+	a := Classify(mk(), DefaultConfig())
+	if len(a) != 3 {
+		t.Fatalf("got %d reports", len(a))
+	}
+	if a[0].Link != (flow.Link{From: 1, To: 0}) ||
+		a[1].Link != (flow.Link{From: 1, To: 2}) ||
+		a[2].Link != (flow.Link{From: 5, To: 1}) {
+		t.Errorf("reports not sorted: %+v", a)
+	}
+}
+
+func TestClassifyMultipleEpochs(t *testing.T) {
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 0, To: 1}: {
+			epochStats(many(0.95, 6), many(0.95, 6), 60, 57, 60, 57), // meets
+			epochStats(nil, many(0.95, 6), 0, 0, 60, 57),             // no reuse → skipped
+			epochStats(many(0.95, 6), many(0.95, 6), 60, 57, 60, 57), // meets
+		},
+	}
+	reports := Classify(le, DefaultConfig())
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports, want 2", len(reports))
+	}
+	if reports[0].Epoch != 0 || reports[1].Epoch != 2 {
+		t.Errorf("epochs = %d,%d want 0,2", reports[0].Epoch, reports[1].Epoch)
+	}
+}
+
+func TestClassifyRequireWorse(t *testing.T) {
+	// Reuse distribution clearly HIGHER than contention-free: two-sided K-S
+	// rejects, but with RequireWorse the verdict must be OtherCause.
+	reuse := []float64{0.85, 0.9, 0.88, 0.86, 0.87, 0.84, 0.89, 0.85, 0.86, 0.9,
+		0.87, 0.88, 0.84, 0.85, 0.89, 0.86, 0.87, 0.88}
+	cf := []float64{0.6, 0.65, 0.62, 0.58, 0.64, 0.61, 0.66, 0.6, 0.63, 0.59,
+		0.62, 0.65, 0.6, 0.61, 0.64, 0.58, 0.63, 0.62}
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 8, To: 9}: {epochStats(reuse, cf, 180, 156, 180, 111)},
+	}
+	paper := Classify(le, DefaultConfig())
+	if len(paper) != 1 || paper[0].Verdict != ReuseDegraded {
+		t.Errorf("paper-faithful policy should reject: %+v", paper)
+	}
+	cfg := DefaultConfig()
+	cfg.RequireWorse = true
+	refined := Classify(le, cfg)
+	if len(refined) != 1 || refined[0].Verdict != OtherCause {
+		t.Errorf("RequireWorse should yield OtherCause: %+v", refined)
+	}
+	// A genuinely reuse-degraded link must still be rejected.
+	le2 := map[flow.Link][]netsim.EpochStats{
+		{From: 1, To: 2}: {epochStats(cf, reuse, 180, 111, 180, 156)},
+	}
+	refined2 := Classify(le2, cfg)
+	if len(refined2) != 1 || refined2[0].Verdict != ReuseDegraded {
+		t.Errorf("worse reuse should still be rejected: %+v", refined2)
+	}
+}
+
+func TestCountByEpoch(t *testing.T) {
+	reports := []Report{
+		{Epoch: 0, Verdict: ReuseDegraded},
+		{Epoch: 0, Verdict: ReuseDegraded},
+		{Epoch: 1, Verdict: ReuseDegraded},
+		{Epoch: 1, Verdict: OtherCause},
+	}
+	got := CountByEpoch(reports, ReuseDegraded)
+	if got[0] != 2 || got[1] != 1 {
+		t.Errorf("CountByEpoch = %v", got)
+	}
+}
+
+func TestMeanPRRs(t *testing.T) {
+	reports := []Report{
+		{Verdict: ReuseDegraded, ReusePRR: 0.4, CFPRR: 0.9},
+		{Verdict: ReuseDegraded, ReusePRR: 0.6, CFPRR: 1.0},
+		{Verdict: OtherCause, ReusePRR: 0.5, CFPRR: 0.5},
+	}
+	r, cf, n := MeanPRRs(reports, ReuseDegraded)
+	if n != 2 || r != 0.5 || cf != 0.95 {
+		t.Errorf("MeanPRRs = (%v, %v, %d)", r, cf, n)
+	}
+	r, cf, n = MeanPRRs(reports, Meets)
+	if n != 0 || r != -1 || cf != -1 {
+		t.Errorf("empty MeanPRRs = (%v, %v, %d)", r, cf, n)
+	}
+}
+
+func TestLinks(t *testing.T) {
+	reports := []Report{
+		{Link: flow.Link{From: 0, To: 1}, Epoch: 0, Verdict: ReuseDegraded},
+		{Link: flow.Link{From: 0, To: 1}, Epoch: 1, Verdict: ReuseDegraded},
+		{Link: flow.Link{From: 2, To: 3}, Epoch: 0, Verdict: ReuseDegraded},
+		{Link: flow.Link{From: 4, To: 5}, Epoch: 0, Verdict: Meets},
+	}
+	got := Links(reports, ReuseDegraded)
+	if len(got) != 2 {
+		t.Errorf("Links = %v, want 2 distinct", got)
+	}
+}
+
+func TestMethodString(t *testing.T) {
+	if MethodKS.String() != "K-S" || MethodMWU.String() != "MWU" || MethodThreshold.String() != "threshold" {
+		t.Error("Method.String wrong")
+	}
+}
+
+func TestClassifyMWUMethod(t *testing.T) {
+	reuse := []float64{0.2, 0.3, 0.25, 0.4, 0.35, 0.3, 0.2, 0.45, 0.3, 0.25,
+		0.3, 0.35, 0.4, 0.2, 0.3, 0.25, 0.35, 0.3}
+	cf := []float64{0.95, 1, 0.97, 0.98, 1, 0.96, 0.99, 1, 0.95, 0.97,
+		1, 0.98, 0.96, 1, 0.99, 0.97, 0.95, 1}
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 2, To: 3}: {epochStats(reuse, cf, 180, 54, 180, 176)},
+	}
+	cfg := DefaultConfig()
+	cfg.Method = MethodMWU
+	reports := Classify(le, cfg)
+	if len(reports) != 1 || reports[0].Verdict != ReuseDegraded {
+		t.Errorf("MWU should reject a clear shift: %+v", reports)
+	}
+	// Indistinguishable distributions: accept.
+	le2 := map[flow.Link][]netsim.EpochStats{
+		{From: 4, To: 5}: {epochStats(reuse, reuse, 180, 54, 180, 54)},
+	}
+	reports = Classify(le2, cfg)
+	if len(reports) != 1 || reports[0].Verdict != OtherCause {
+		t.Errorf("MWU should accept identical distributions: %+v", reports)
+	}
+}
+
+func TestClassifyThresholdMethod(t *testing.T) {
+	// The naive baseline blames reuse for every below-threshold link, even
+	// when contention-free slots are equally bad (external interference).
+	same := many(0.5, 18)
+	le := map[flow.Link][]netsim.EpochStats{
+		{From: 0, To: 1}: {epochStats(same, same, 100, 50, 100, 50)},
+	}
+	cfg := DefaultConfig()
+	cfg.Method = MethodThreshold
+	reports := Classify(le, cfg)
+	if len(reports) != 1 || reports[0].Verdict != ReuseDegraded {
+		t.Errorf("threshold method should blame reuse: %+v", reports)
+	}
+	// The statistical policies do not make that mistake.
+	reports = Classify(le, DefaultConfig())
+	if len(reports) != 1 || reports[0].Verdict != OtherCause {
+		t.Errorf("K-S should attribute to other causes: %+v", reports)
+	}
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsan/internal/flow"
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+)
+
+// ExtBalance measures access-point load balancing, the routing-side remedy
+// for the AP bottleneck that makes centralized traffic hard (Sec. VII-A
+// observes reuse helps centralized workloads less because conflicts
+// concentrate near the access points). Nearest-AP routing can pile both of
+// a region's uplinks and downlinks onto one AP; balancing spreads
+// equidistant endpoints across APs by assigned rate.
+func ExtBalance(env *Env, opt Options) ([]*Table, error) {
+	const numFlows = 60
+	t := &Table{
+		Title: fmt.Sprintf("Ext: nearest-AP vs load-balanced AP selection (centralized, %d flows, %s)",
+			numFlows, env.TB.Name),
+		Header: []string{"channels", "routing", "NR", "RA", "RC"},
+	}
+	for _, nch := range []int{3, 4, 5} {
+		ce, err := env.ForChannels(nch)
+		if err != nil {
+			return nil, err
+		}
+		for _, balance := range []bool{false, true} {
+			ok := map[scheduler.Algorithm]int{}
+			for trial := 0; trial < opt.Trials; trial++ {
+				rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(trial)))
+				fs, err := flow.Generate(rng, ce.Gc, flow.GenConfig{
+					NumFlows:     numFlows,
+					MinPeriodExp: 0,
+					MaxPeriodExp: 2,
+					Exclude:      ce.APs,
+				})
+				if err != nil {
+					return nil, err
+				}
+				err = routing.Assign(fs, ce.Gc, routing.Config{
+					Traffic:    routing.Centralized,
+					APs:        ce.APs,
+					BalanceAPs: balance,
+				})
+				if err != nil {
+					return nil, err
+				}
+				for _, alg := range allAlgs {
+					res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
+						Algorithm:   alg,
+						NumChannels: nch,
+						RhoT:        RhoT,
+						HopGR:       ce.Hop,
+						Retransmit:  true,
+					})
+					if err != nil {
+						return nil, err
+					}
+					if res.Schedulable {
+						ok[alg]++
+					}
+				}
+			}
+			label := "nearest"
+			if balance {
+				label = "balanced"
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(nch), label,
+				ratio(ok[scheduler.NR], opt.Trials),
+				ratio(ok[scheduler.RA], opt.Trials),
+				ratio(ok[scheduler.RC], opt.Trials),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}

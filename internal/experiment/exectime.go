@@ -1,0 +1,57 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+)
+
+// Fig6 reproduces Fig. 6: scheduler wall-clock execution time versus flow
+// count (NR, RA, RC; 5 channels; P=[2^0,2^2] s; peer-to-peer; Indriya). For
+// each point it reports the mean execution time over all trials along with
+// how many trials each algorithm could schedule, mirroring the paper's note
+// that NR stops producing schedules beyond 120 flows.
+func Fig6(env *Env, opt Options) ([]*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("Fig 6: scheduler execution time (peer-to-peer, 5 channels, P=[2^0,2^2]s, %s)",
+			env.TB.Name),
+		Header: []string{"flows", "NR ms", "RA ms", "RC ms", "NR ok", "RA ok", "RC ok"},
+	}
+	for _, nf := range []int{40, 60, 80, 100, 120, 140, 160} {
+		total := make(map[scheduler.Algorithm]time.Duration, len(allAlgs))
+		ok := make(map[scheduler.Algorithm]int, len(allAlgs))
+		for trial := 0; trial < opt.Trials; trial++ {
+			spec := TrialSpec{
+				Traffic:   routing.PeerToPeer,
+				Channels:  5,
+				Flows:     nf,
+				PeriodExp: [2]int{0, 2},
+				Seed:      opt.Seed*1_000_003 + int64(trial),
+			}
+			results, _, err := env.RunTrial(spec, allAlgs)
+			if err != nil {
+				return nil, err
+			}
+			for alg, res := range results {
+				total[alg] += res.Elapsed
+				if res.Schedulable {
+					ok[alg]++
+				}
+			}
+		}
+		ms := func(alg scheduler.Algorithm) string {
+			mean := total[alg] / time.Duration(opt.Trials)
+			return fmt.Sprintf("%.3f", float64(mean.Microseconds())/1000)
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(nf),
+			ms(scheduler.NR), ms(scheduler.RA), ms(scheduler.RC),
+			ratio(ok[scheduler.NR], opt.Trials),
+			ratio(ok[scheduler.RA], opt.Trials),
+			ratio(ok[scheduler.RC], opt.Trials),
+		})
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,297 @@
+// Package experiment regenerates every figure of the paper's evaluation
+// (Sec. VII) as a text table: schedulable-ratio sweeps (Figs. 1–3),
+// channel-reuse efficiency distributions (Figs. 4–5), scheduler execution
+// time (Fig. 6), topology summaries (Fig. 7), packet-delivery-ratio box
+// plots from the network simulator (Figs. 8–9), and the reliability-
+// degradation detection study (Figs. 10–11).
+//
+// Each runner is deterministic for a fixed Options value; the number of
+// random flow sets per data point is configurable so benchmarks can run
+// scaled-down versions of the same code paths the CLI runs at full scale.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+	"wsan/internal/topology"
+)
+
+// RhoT is the minimum channel-reuse hop distance used throughout the
+// evaluation (Sec. VII: "we set the minimum channel reuse distance ρ_t for
+// RC to 2", and RA uses the same for fairness).
+const RhoT = 2
+
+// PRRThreshold is PRR_t, the link-selection and reliability threshold.
+const PRRThreshold = 0.9
+
+// Options controls experiment scale and seeding.
+type Options struct {
+	// Trials is the number of random flow sets per data point (paper: 100).
+	Trials int
+	// Seed derives workload seeds; TopoSeed generates the testbeds.
+	Seed     int64
+	TopoSeed int64
+	// Workers bounds the number of trials evaluated concurrently; 0 means
+	// GOMAXPROCS. Every trial derives its randomness from its own seed, so
+	// results are identical at any parallelism. Timing experiments (Fig. 6)
+	// always run serially.
+	Workers int
+}
+
+// DefaultOptions mirrors the paper's scale.
+func DefaultOptions() Options {
+	return Options{Trials: 100, Seed: 1, TopoSeed: 1}
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachTrial runs fn for every trial index, fanning out across
+// opt.workers() goroutines. fn must synchronize its own result collection;
+// the first error cancels nothing but is reported after all workers drain
+// (trials are short). Aggregation must be order-independent for
+// deterministic results.
+func forEachTrial(opt Options, fn func(trial int) error) error {
+	workers := opt.workers()
+	if workers <= 1 || opt.Trials <= 1 {
+		for trial := 0; trial < opt.Trials; trial++ {
+			if err := fn(trial); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Int64
+		mu       sync.Mutex
+		firstErr error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				trial := int(next.Add(1)) - 1
+				if trial >= opt.Trials {
+					return
+				}
+				if err := fn(trial); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Env caches a testbed and its per-channel-count derived graphs. It is safe
+// for concurrent use by parallel trials.
+type Env struct {
+	TB *topology.Testbed
+
+	mu   sync.Mutex
+	byCh map[int]*ChanEnv
+}
+
+// ChanEnv bundles everything derived from a (testbed, channel count) pair.
+type ChanEnv struct {
+	Channels []int
+	Gc       *graph.Graph
+	Gr       *graph.Graph
+	Hop      *graph.HopMatrix
+	APs      []int
+}
+
+// NewEnv wraps a testbed.
+func NewEnv(tb *topology.Testbed) *Env {
+	return &Env{TB: tb, byCh: make(map[int]*ChanEnv)}
+}
+
+// NewIndriyaEnv and NewWUSTLEnv build the two evaluation testbeds.
+func NewIndriyaEnv(seed int64) (*Env, error) {
+	tb, err := topology.Indriya(seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnv(tb), nil
+}
+
+// NewWUSTLEnv builds the WUSTL-like testbed environment.
+func NewWUSTLEnv(seed int64) (*Env, error) {
+	tb, err := topology.WUSTL(seed)
+	if err != nil {
+		return nil, err
+	}
+	return NewEnv(tb), nil
+}
+
+// ForChannels returns (building on first use) the graphs for the first n
+// channels.
+func (e *Env) ForChannels(n int) (*ChanEnv, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if ce, ok := e.byCh[n]; ok {
+		return ce, nil
+	}
+	chs := topology.Channels(n)
+	gc, err := e.TB.CommGraph(chs, PRRThreshold)
+	if err != nil {
+		return nil, fmt.Errorf("comm graph: %w", err)
+	}
+	gr, err := e.TB.ReuseGraph(chs)
+	if err != nil {
+		return nil, fmt.Errorf("reuse graph: %w", err)
+	}
+	ce := &ChanEnv{
+		Channels: chs,
+		Gc:       gc,
+		Gr:       gr,
+		Hop:      gr.AllPairsHop(),
+		APs:      topology.AccessPoints(gc, 2),
+	}
+	e.byCh[n] = ce
+	return ce, nil
+}
+
+// TrialSpec pins down one random workload instance.
+type TrialSpec struct {
+	Traffic   routing.Traffic
+	Channels  int
+	Flows     int
+	PeriodExp [2]int // P = [2^a, 2^b] seconds
+	Seed      int64
+}
+
+// GenerateFlows draws the trial's flow set and assigns routes.
+func (e *Env) GenerateFlows(spec TrialSpec) ([]*flow.Flow, *ChanEnv, error) {
+	ce, err := e.ForChannels(spec.Channels)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	fs, err := flow.Generate(rng, ce.Gc, flow.GenConfig{
+		NumFlows:     spec.Flows,
+		MinPeriodExp: spec.PeriodExp[0],
+		MaxPeriodExp: spec.PeriodExp[1],
+		Exclude:      ce.APs,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	rcfg := routing.Config{Traffic: spec.Traffic, APs: ce.APs}
+	if err := routing.Assign(fs, ce.Gc, rcfg); err != nil {
+		return nil, nil, err
+	}
+	return fs, ce, nil
+}
+
+// RunTrial schedules one workload under each requested algorithm, cloning
+// the flow set so runs are independent.
+func (e *Env) RunTrial(spec TrialSpec, algs []scheduler.Algorithm) (map[scheduler.Algorithm]*scheduler.Result, []*flow.Flow, error) {
+	fs, ce, err := e.GenerateFlows(spec)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make(map[scheduler.Algorithm]*scheduler.Result, len(algs))
+	for _, alg := range algs {
+		res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
+			Algorithm:   alg,
+			NumChannels: spec.Channels,
+			RhoT:        RhoT,
+			HopGR:       ce.Hop,
+			Retransmit:  true,
+		})
+		if err != nil {
+			return nil, nil, fmt.Errorf("%v: %w", alg, err)
+		}
+		out[alg] = res
+	}
+	return out, fs, nil
+}
+
+// CloneFlows deep-copies a flow set (routes included) so that priority
+// renumbering or scheduling cannot alias across runs.
+func CloneFlows(fs []*flow.Flow) []*flow.Flow {
+	out := make([]*flow.Flow, len(fs))
+	for i, f := range fs {
+		cp := *f
+		cp.Route = append([]flow.Link(nil), f.Route...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Note carries caveats (e.g. skipped flow sets).
+	Note string
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Note)
+	}
+	return b.String()
+}
+
+func pct(x float64) string   { return fmt.Sprintf("%.0f%%", x*100) }
+func f3(x float64) string    { return fmt.Sprintf("%.3f", x) }
+func itoa(x int) string      { return fmt.Sprintf("%d", x) }
+func ratio(ok, n int) string { return pct(float64(ok) / float64(n)) }

@@ -1,0 +1,83 @@
+package experiment
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestExtensionsSmoke exercises each extension experiment at reduced scale.
+func TestExtensionsSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("extension smoke skipped in -short mode")
+	}
+	opt := Options{Trials: 5, Seed: 1}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []struct {
+		name string
+		f    func(*Env, Options) ([]*Table, error)
+	}{
+		{"ext-latency", ExtLatency},
+		{"ext-rho", ExtRhoSweep},
+		{"ext-priority", ExtPriority},
+		{"ext-fixedrho", ExtFixedRho},
+		{"ext-seeds", ExtSeeds},
+		{"ext-phases", ExtPhases},
+		{"ext-detector", ExtDetector},
+		{"ext-manage", ExtManage},
+		{"ext-diversity", ExtDiversity},
+		{"ext-bursty", ExtBursty},
+		{"ext-balance", ExtBalance},
+	} {
+		tables, err := fn.f(wustl, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", fn.name, err)
+		}
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			t.Fatalf("%s: empty result", fn.name)
+		}
+		t.Log("\n" + tables[0].String())
+	}
+}
+
+// TestExtRepairSmoke exercises the detect→repair loop at reduced scale and
+// asserts it does not worsen worst-case delivery.
+func TestExtRepairSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("repair smoke skipped in -short mode")
+	}
+	opt := Options{Trials: 3, Seed: 1}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultDetectionParams()
+	p.Epochs = 1
+	p.EpochSlots = 20_000
+	p.WindowSlots = 1_000
+	p.ProbeEverySlots = 200
+	tables, err := ExtRepairScaled(wustl, opt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tables[0].String())
+	rows := tables[0].Rows
+	if len(rows) != 2 {
+		t.Fatalf("want before/after rows, got %d", len(rows))
+	}
+	var beforeMin, afterMin float64
+	if _, err := fmt.Sscanf(rows[0][4], "%f", &beforeMin); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fmt.Sscanf(rows[1][4], "%f", &afterMin); err != nil {
+		t.Fatal(err)
+	}
+	// The before/after runs are independent stochastic realizations; the
+	// min over 50 flows carries a few percent of sampling noise, so only a
+	// clear regression fails.
+	if afterMin < beforeMin-0.05 {
+		t.Errorf("repair clearly worsened min PDR: before=%v after=%v", beforeMin, afterMin)
+	}
+}

@@ -1,0 +1,259 @@
+package experiment
+
+import (
+	"fmt"
+
+	"wsan/internal/analysis"
+	"wsan/internal/flow"
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+)
+
+// The extension experiments go beyond the paper's figures: they quantify
+// design choices the paper discusses qualitatively (the ρ_t trade-off, the
+// hop-distance-maximization heuristic) and add the latency view of what
+// channel reuse buys.
+
+// ExtLatency compares end-to-end schedule latency under NR, RA, and RC on
+// workloads all three can schedule: reuse lets transmissions land earlier,
+// so worst-case latency and slack should improve even where all three are
+// schedulable.
+func ExtLatency(env *Env, opt Options) ([]*Table, error) {
+	p := DefaultReliabilityParams()
+	p.NumFlows = 35 // light enough that NR schedules most sets
+	sets, skipped, err := env.findSchedulableSets(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("ext-latency: %w", err)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Ext: end-to-end schedule latency (%d flows, %d channels, %s)",
+			p.NumFlows, p.NumChannels, env.TB.Name),
+		Header: []string{"set", "alg", "mean ms", "worst ms", "min slack ms"},
+	}
+	if skipped > 0 {
+		t.Note = fmt.Sprintf("%d candidate flow sets skipped", skipped)
+	}
+	const msPerSlot = 10
+	for i, fs := range sets {
+		for _, alg := range allAlgs {
+			lats, err := analysis.Latencies(fs.flows, fs.results[alg].Schedule)
+			if err != nil {
+				return nil, fmt.Errorf("ext-latency set %d %v: %w", i+1, alg, err)
+			}
+			var meanSum float64
+			worst, minSlack := 0, int(^uint(0)>>1)
+			for _, l := range lats {
+				meanSum += l.MeanSlots
+				if l.WorstSlots > worst {
+					worst = l.WorstSlots
+				}
+				if l.Slack() < minSlack {
+					minSlack = l.Slack()
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(i + 1), alg.String(),
+				fmt.Sprintf("%.1f", meanSum/float64(len(lats))*msPerSlot),
+				itoa(worst * msPerSlot),
+				itoa(minSlack * msPerSlot),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// ExtRhoSweep quantifies the ρ_t trade-off the paper describes in Sec. V-C:
+// a larger minimum reuse hop distance is safer but reduces capacity. It
+// sweeps ρ_t for RC (and RA for reference) on a heavy peer-to-peer workload.
+func ExtRhoSweep(env *Env, opt Options) ([]*Table, error) {
+	const (
+		numFlows = 100
+		nch      = 4
+	)
+	t := &Table{
+		Title: fmt.Sprintf("Ext: schedulable ratio vs ρ_t (peer-to-peer, %d flows, %d channels, %s)",
+			numFlows, nch, env.TB.Name),
+		Header: []string{"ρ_t", "RA", "RC", "RC mean reuse hop"},
+	}
+	ce, err := env.ForChannels(nch)
+	if err != nil {
+		return nil, err
+	}
+	for _, rhoT := range []int{2, 3, 4} {
+		ok := map[scheduler.Algorithm]int{}
+		hopTotal, hopCount := 0, 0
+		for trial := 0; trial < opt.Trials; trial++ {
+			fs, _, err := env.GenerateFlows(TrialSpec{
+				Traffic:   routing.PeerToPeer,
+				Channels:  nch,
+				Flows:     numFlows,
+				PeriodExp: [2]int{0, 2},
+				Seed:      opt.Seed*1_000_003 + int64(trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			for _, alg := range reuseAlgs {
+				res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
+					Algorithm:   alg,
+					NumChannels: nch,
+					RhoT:        rhoT,
+					HopGR:       ce.Hop,
+					Retransmit:  true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Schedulable {
+					ok[alg]++
+					if alg == scheduler.RC {
+						for h, n := range res.Schedule.ReuseHopHist(ce.Hop) {
+							hopTotal += h * n
+							hopCount += n
+						}
+					}
+				}
+			}
+		}
+		meanHop := "-"
+		if hopCount > 0 {
+			meanHop = fmt.Sprintf("%.2f", float64(hopTotal)/float64(hopCount))
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(rhoT),
+			ratio(ok[scheduler.RA], opt.Trials),
+			ratio(ok[scheduler.RC], opt.Trials),
+			meanHop,
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// ExtPriority compares Deadline-Monotonic against Rate-Monotonic priority
+// assignment for all three schedulers on a heavy peer-to-peer workload.
+func ExtPriority(env *Env, opt Options) ([]*Table, error) {
+	const (
+		numFlows = 130
+		nch      = 5
+	)
+	t := &Table{
+		Title: fmt.Sprintf("Ext: DM vs RM priority assignment (peer-to-peer, %d flows, %d channels, %s)",
+			numFlows, nch, env.TB.Name),
+		Header: []string{"priority", "NR", "RA", "RC"},
+	}
+	ce, err := env.ForChannels(nch)
+	if err != nil {
+		return nil, err
+	}
+	for _, prio := range []string{"DM", "RM"} {
+		ok := map[scheduler.Algorithm]int{}
+		for trial := 0; trial < opt.Trials; trial++ {
+			fs, _, err := env.GenerateFlows(TrialSpec{
+				Traffic:   routing.PeerToPeer,
+				Channels:  nch,
+				Flows:     numFlows,
+				PeriodExp: [2]int{0, 2},
+				Seed:      opt.Seed*1_000_003 + int64(trial),
+			})
+			if err != nil {
+				return nil, err
+			}
+			if prio == "RM" {
+				flow.AssignRM(fs)
+			}
+			for _, alg := range allAlgs {
+				res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
+					Algorithm:   alg,
+					NumChannels: nch,
+					RhoT:        RhoT,
+					HopGR:       ce.Hop,
+					Retransmit:  true,
+				})
+				if err != nil {
+					return nil, err
+				}
+				if res.Schedulable {
+					ok[alg]++
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			prio,
+			ratio(ok[scheduler.NR], opt.Trials),
+			ratio(ok[scheduler.RA], opt.Trials),
+			ratio(ok[scheduler.RC], opt.Trials),
+		})
+	}
+	return []*Table{t}, nil
+}
+
+// ExtFixedRho is the ablation of RC's maximize-hop-distance heuristic: RC
+// with the full descending ρ search versus RC jumping straight to ρ_t, in
+// terms of schedulability, reuse hop distances, and worst-case delivery.
+func ExtFixedRho(env *Env, opt Options) ([]*Table, error) {
+	p := DefaultReliabilityParams()
+	sets, skipped, err := env.findSchedulableSets(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("ext-fixedrho: %w", err)
+	}
+	ce, err := env.ForChannels(p.NumChannels)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Ext: RC ρ-search ablation (%d flows, %d channels, %s)",
+			p.NumFlows, p.NumChannels, env.TB.Name),
+		Header: []string{"set", "variant", "mean reuse hop", "reused cells", "min PDR"},
+	}
+	if skipped > 0 {
+		t.Note = fmt.Sprintf("%d candidate flow sets skipped", skipped)
+	}
+	for i, fs := range sets {
+		for _, fixed := range []bool{false, true} {
+			res, err := scheduler.Run(CloneFlows(fs.flows), scheduler.Config{
+				Algorithm:   scheduler.RC,
+				NumChannels: p.NumChannels,
+				RhoT:        RhoT,
+				HopGR:       ce.Hop,
+				Retransmit:  true,
+				FixedRho:    fixed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			variant := "descend"
+			if fixed {
+				variant = "fixed ρ_t"
+			}
+			if !res.Schedulable {
+				t.Rows = append(t.Rows, []string{itoa(i + 1), variant, "-", "-", "unschedulable"})
+				continue
+			}
+			hopTotal, cells := 0, 0
+			for h, n := range res.Schedule.ReuseHopHist(ce.Hop) {
+				hopTotal += h * n
+				cells += n
+			}
+			meanHop := "-"
+			if cells > 0 {
+				meanHop = fmt.Sprintf("%.2f", float64(hopTotal)/float64(cells))
+			}
+			sub := fs
+			sub.results = map[scheduler.Algorithm]*scheduler.Result{scheduler.RC: res}
+			pdrs, err := env.simulate(sub, scheduler.RC, p, fs.seed)
+			if err != nil {
+				return nil, err
+			}
+			minPDR := 2.0
+			for _, v := range pdrs {
+				if v < minPDR {
+					minPDR = v
+				}
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(i + 1), variant, meanHop, itoa(cells), f3(minPDR),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}

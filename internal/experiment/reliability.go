@@ -1,0 +1,182 @@
+package experiment
+
+import (
+	"fmt"
+
+	"wsan/internal/flow"
+	"wsan/internal/netsim"
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+	"wsan/internal/stats"
+	"wsan/internal/topology"
+)
+
+// ReliabilityParams pins down the Sec. VII-D experiment; the defaults
+// follow the paper (4 channels, half the flows at 0.5 s and half at 1 s,
+// 100 schedule executions, 5 flow sets) with the flow count scaled to 45 so
+// that the synthetic WUSTL topology — whose routes are longer than the
+// physical testbed's — still admits NR-schedulable workloads.
+type ReliabilityParams struct {
+	NumFlowSets   int
+	NumFlows      int
+	NumChannels   int
+	PeriodExp     [2]int
+	Hyperperiods  int
+	FadingSigmaDB float64
+	// SurveyDriftSigmaDB is the survey-to-runtime gain drift (see
+	// netsim.Config).
+	SurveyDriftSigmaDB float64
+	// FadingCorrelation makes per-slot fading bursty (see netsim.Config).
+	FadingCorrelation float64
+}
+
+// DefaultReliabilityParams mirrors the paper.
+func DefaultReliabilityParams() ReliabilityParams {
+	return ReliabilityParams{
+		NumFlowSets:        5,
+		NumFlows:           40,
+		NumChannels:        4,
+		PeriodExp:          [2]int{-1, 0},
+		Hyperperiods:       100,
+		FadingSigmaDB:      2.5,
+		SurveyDriftSigmaDB: 2.5,
+	}
+}
+
+// flowSet is one workload that all three algorithms can schedule.
+type flowSet struct {
+	seed    int64
+	flows   []*flow.Flow
+	results map[scheduler.Algorithm]*scheduler.Result
+}
+
+// findSchedulableSets searches seeds for workloads schedulable under every
+// algorithm (the paper's five flow sets were all executed under NR, RA, and
+// RC). It reports how many candidate seeds were skipped.
+func (e *Env) findSchedulableSets(p ReliabilityParams, opt Options) ([]flowSet, int, error) {
+	var sets []flowSet
+	skipped := 0
+	for seed := int64(0); len(sets) < p.NumFlowSets; seed++ {
+		if skipped > 400 {
+			return nil, skipped, fmt.Errorf("could not find %d schedulable flow sets (skipped %d)",
+				p.NumFlowSets, skipped)
+		}
+		spec := TrialSpec{
+			Traffic:   routing.PeerToPeer,
+			Channels:  p.NumChannels,
+			Flows:     p.NumFlows,
+			PeriodExp: p.PeriodExp,
+			Seed:      opt.Seed*7_000_003 + seed,
+		}
+		results, fs, err := e.RunTrial(spec, allAlgs)
+		if err != nil {
+			return nil, skipped, err
+		}
+		all := true
+		for _, res := range results {
+			if !res.Schedulable {
+				all = false
+				break
+			}
+		}
+		if !all {
+			skipped++
+			continue
+		}
+		sets = append(sets, flowSet{seed: spec.Seed, flows: fs, results: results})
+	}
+	return sets, skipped, nil
+}
+
+// simulate executes one algorithm's schedule and returns the per-flow PDRs.
+func (e *Env) simulate(fs flowSet, alg scheduler.Algorithm, p ReliabilityParams, simSeed int64) ([]float64, error) {
+	res, err := netsim.Run(netsim.Config{
+		Testbed:            e.TB,
+		Flows:              fs.flows,
+		Schedule:           fs.results[alg].Schedule,
+		Channels:           topology.Channels(p.NumChannels),
+		Hyperperiods:       p.Hyperperiods,
+		FadingSigmaDB:      p.FadingSigmaDB,
+		FadingCorrelation:  p.FadingCorrelation,
+		SurveyDriftSigmaDB: p.SurveyDriftSigmaDB,
+		Retransmit:         true,
+		Seed:               simSeed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.PDRs(), nil
+}
+
+// Fig8 reproduces Fig. 8: box plots (as five-number summaries) of the
+// packet delivery ratio of every flow, for 5 flow sets under NR, RA, and RC
+// on the WUSTL topology.
+func Fig8(env *Env, opt Options) ([]*Table, error) {
+	return fig8WithParams(env, opt, DefaultReliabilityParams())
+}
+
+// Fig8Scaled runs the same experiment at reduced scale (for benchmarks).
+func Fig8Scaled(env *Env, opt Options, p ReliabilityParams) ([]*Table, error) {
+	return fig8WithParams(env, opt, p)
+}
+
+func fig8WithParams(env *Env, opt Options, p ReliabilityParams) ([]*Table, error) {
+	sets, skipped, err := env.findSchedulableSets(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Fig 8: per-flow PDR box plots (%d flows, %d channels, %d executions, %s)",
+			p.NumFlows, p.NumChannels, p.Hyperperiods, env.TB.Name),
+		Header: []string{"set", "alg", "min", "q1", "median", "q3", "max"},
+	}
+	if skipped > 0 {
+		t.Note = fmt.Sprintf("%d candidate flow sets skipped (not schedulable under all of NR/RA/RC)", skipped)
+	}
+	for i, fs := range sets {
+		for _, alg := range allAlgs {
+			pdrs, err := env.simulate(fs, alg, p, fs.seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 set %d %v: %w", i+1, alg, err)
+			}
+			fn, err := stats.Summary(pdrs)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 set %d %v: %w", i+1, alg, err)
+			}
+			t.Rows = append(t.Rows, []string{
+				itoa(i + 1), alg.String(),
+				f3(fn.Min), f3(fn.Q1), f3(fn.Median), f3(fn.Q3), f3(fn.Max),
+			})
+		}
+	}
+	return []*Table{t}, nil
+}
+
+// Fig9 reproduces Fig. 9: the transmissions-per-channel distribution of RA
+// and RC for the same five flow sets used in Fig. 8.
+func Fig9(env *Env, opt Options) ([]*Table, error) {
+	p := DefaultReliabilityParams()
+	sets, skipped, err := env.findSchedulableSets(p, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	buckets := []int{1, 2, 3, 4}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 9: transmissions per channel for the Fig 8 flow sets (%s)", env.TB.Name),
+		Header: []string{"set", "alg", "Tx/ch=1", "Tx/ch=2", "Tx/ch=3", "Tx/ch>=4"},
+	}
+	if skipped > 0 {
+		t.Note = fmt.Sprintf("%d candidate flow sets skipped", skipped)
+	}
+	for i, fs := range sets {
+		for _, alg := range reuseAlgs {
+			props := stats.Proportions(clampHist(fs.results[alg].Schedule.TxPerChannelHist(), buckets))
+			row := []string{itoa(i + 1), alg.String()}
+			for _, b := range buckets {
+				row = append(row, pct(props[b]))
+			}
+			t.Rows = append(t.Rows, row)
+		}
+	}
+	return []*Table{t}, nil
+}

@@ -1,0 +1,116 @@
+package experiment
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV emits the table as RFC-4180 CSV (header row first) for plotting
+// pipelines. The title and note travel as comment lines ("# ...") before
+// and after the records, which encoding/csv readers skip when configured
+// with Comment = '#'.
+func (t *Table) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "# %s\n", t.Title); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	if t.Note != "" {
+		if _, err := fmt.Fprintf(w, "# note: %s\n", t.Note); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Chart renders an ASCII bar chart of one numeric column (percentages like
+// "85%" and plain numbers both parse), labeled by the concatenated
+// non-numeric leading columns. It is a terminal-friendly stand-in for the
+// paper's plots. Columns out of range or non-numeric rows degrade to a
+// plain listing of the raw cell.
+func (t *Table) Chart(valueCol int, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s ==\n", t.Title, headerAt(t, valueCol))
+	labels := make([]string, len(t.Rows))
+	values := make([]float64, len(t.Rows))
+	valid := make([]bool, len(t.Rows))
+	maxVal := 0.0
+	maxLabel := 0
+	for i, row := range t.Rows {
+		var parts []string
+		for c, cell := range row {
+			if c != valueCol && c < valueCol {
+				parts = append(parts, cell)
+			}
+		}
+		labels[i] = strings.Join(parts, " ")
+		if len(labels[i]) > maxLabel {
+			maxLabel = len(labels[i])
+		}
+		if valueCol < 0 || valueCol >= len(row) {
+			continue
+		}
+		v, ok := parseCell(row[valueCol])
+		if !ok {
+			continue
+		}
+		values[i], valid[i] = v, true
+		if v > maxVal {
+			maxVal = v
+		}
+	}
+	for i, row := range t.Rows {
+		if !valid[i] {
+			fmt.Fprintf(&b, "%-*s  %s\n", maxLabel, labels[i], cellAt(row, valueCol))
+			continue
+		}
+		bar := 0
+		if maxVal > 0 {
+			bar = int(values[i] / maxVal * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s  %s %s\n", maxLabel, labels[i],
+			strings.Repeat("█", bar), cellAt(row, valueCol))
+	}
+	return b.String()
+}
+
+func headerAt(t *Table, col int) string {
+	if col >= 0 && col < len(t.Header) {
+		return t.Header[col]
+	}
+	return fmt.Sprintf("col %d", col)
+}
+
+func cellAt(row []string, col int) string {
+	if col >= 0 && col < len(row) {
+		return row[col]
+	}
+	return "-"
+}
+
+// parseCell reads "85%", "0.93", or "123" into a float.
+func parseCell(s string) (float64, bool) {
+	s = strings.TrimSpace(strings.TrimSuffix(strings.TrimSpace(s), "%"))
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}

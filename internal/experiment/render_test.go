@@ -1,0 +1,106 @@
+package experiment
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func demoTable() *Table {
+	return &Table{
+		Title:  "demo sweep",
+		Header: []string{"channels", "NR", "RA"},
+		Rows: [][]string{
+			{"3", "10%", "90%"},
+			{"4", "55%", "100%"},
+			{"5", "80%", "100%"},
+		},
+		Note: "toy data",
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := demoTable().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "# demo sweep\n") {
+		t.Errorf("missing title comment:\n%s", out)
+	}
+	if !strings.Contains(out, "# note: toy data") {
+		t.Errorf("missing note comment:\n%s", out)
+	}
+	r := csv.NewReader(strings.NewReader(out))
+	r.Comment = '#'
+	records, err := r.ReadAll()
+	if err != nil {
+		t.Fatalf("emitted CSV does not parse: %v", err)
+	}
+	if len(records) != 4 {
+		t.Fatalf("got %d records, want header+3", len(records))
+	}
+	if records[0][1] != "NR" || records[2][2] != "100%" {
+		t.Errorf("records wrong: %v", records)
+	}
+}
+
+func TestChart(t *testing.T) {
+	out := demoTable().Chart(1, 20)
+	if !strings.Contains(out, "demo sweep — NR") {
+		t.Errorf("missing chart title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// The 80% bar must be the longest and exactly `width` glyphs.
+	bars := make([]int, 3)
+	for i, line := range lines[1:] {
+		bars[i] = strings.Count(line, "█")
+	}
+	if bars[2] != 20 {
+		t.Errorf("max bar = %d glyphs, want 20", bars[2])
+	}
+	if !(bars[0] < bars[1] && bars[1] < bars[2]) {
+		t.Errorf("bars not monotone: %v", bars)
+	}
+}
+
+func TestChartNonNumericDegradesGracefully(t *testing.T) {
+	tb := &Table{
+		Title:  "mixed",
+		Header: []string{"k", "v"},
+		Rows:   [][]string{{"a", "-"}, {"b", "3"}},
+	}
+	out := tb.Chart(1, 10)
+	if !strings.Contains(out, "a  -") {
+		t.Errorf("non-numeric row should list raw cell:\n%s", out)
+	}
+	// Out-of-range column.
+	out = tb.Chart(9, 10)
+	if !strings.Contains(out, "col 9") {
+		t.Errorf("out-of-range header missing:\n%s", out)
+	}
+}
+
+func TestParseCell(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"85%", 85, true},
+		{" 0.93 ", 0.93, true},
+		{"123", 123, true},
+		{"-", 0, false},
+		{"", 0, false},
+	}
+	for _, tc := range cases {
+		got, ok := parseCell(tc.in)
+		if ok != tc.ok || (ok && got != tc.want) {
+			t.Errorf("parseCell(%q) = (%v,%v), want (%v,%v)", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+}

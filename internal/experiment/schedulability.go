@@ -1,0 +1,150 @@
+package experiment
+
+import (
+	"fmt"
+	"sync"
+
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+)
+
+var allAlgs = []scheduler.Algorithm{scheduler.NR, scheduler.RA, scheduler.RC}
+
+// RatioVsChannels sweeps the number of channels at a fixed flow count and
+// returns the schedulable ratio of NR, RA, and RC at each point.
+func (e *Env) RatioVsChannels(traffic routing.Traffic, periodExp [2]int, numFlows int, channels []int, opt Options) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("schedulable ratio vs #channels (%v, %d flows, P=[2^%d,2^%d]s, %s)",
+			traffic, numFlows, periodExp[0], periodExp[1], e.TB.Name),
+		Header: []string{"channels", "NR", "RA", "RC"},
+	}
+	for _, nch := range channels {
+		ok, err := e.countSchedulable(traffic, periodExp, numFlows, nch, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(nch),
+			ratio(ok[scheduler.NR], opt.Trials),
+			ratio(ok[scheduler.RA], opt.Trials),
+			ratio(ok[scheduler.RC], opt.Trials),
+		})
+	}
+	return t, nil
+}
+
+// RatioVsFlows sweeps the workload size at a fixed channel count.
+func (e *Env) RatioVsFlows(traffic routing.Traffic, periodExp [2]int, numChannels int, flowCounts []int, opt Options) (*Table, error) {
+	t := &Table{
+		Title: fmt.Sprintf("schedulable ratio vs #flows (%v, %d channels, P=[2^%d,2^%d]s, %s)",
+			traffic, numChannels, periodExp[0], periodExp[1], e.TB.Name),
+		Header: []string{"flows", "NR", "RA", "RC"},
+	}
+	for _, nf := range flowCounts {
+		ok, err := e.countSchedulable(traffic, periodExp, nf, numChannels, opt)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			itoa(nf),
+			ratio(ok[scheduler.NR], opt.Trials),
+			ratio(ok[scheduler.RA], opt.Trials),
+			ratio(ok[scheduler.RC], opt.Trials),
+		})
+	}
+	return t, nil
+}
+
+// countSchedulable runs opt.Trials random flow sets (in parallel up to
+// opt.Workers) and counts, per algorithm, how many were schedulable.
+func (e *Env) countSchedulable(traffic routing.Traffic, periodExp [2]int, numFlows, numChannels int, opt Options) (map[scheduler.Algorithm]int, error) {
+	var mu sync.Mutex
+	ok := make(map[scheduler.Algorithm]int, len(allAlgs))
+	err := forEachTrial(opt, func(trial int) error {
+		spec := TrialSpec{
+			Traffic:   traffic,
+			Channels:  numChannels,
+			Flows:     numFlows,
+			PeriodExp: periodExp,
+			Seed:      opt.Seed*1_000_003 + int64(trial),
+		}
+		results, _, err := e.RunTrial(spec, allAlgs)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		defer mu.Unlock()
+		for alg, res := range results {
+			if res.Schedulable {
+				ok[alg]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ok, nil
+}
+
+// channelSweep is the channel range used by Figs. 1(a,b), 2(a,b), 3(a),
+// 4, and 5.
+var channelSweep = []int{3, 4, 5, 6, 7, 8}
+
+// Fig1 reproduces Fig. 1: schedulable ratios for centralized traffic on the
+// Indriya topology — (a) and (b) vary channels under two period ranges, (c)
+// varies the flow count.
+func Fig1(env *Env, opt Options) ([]*Table, error) {
+	a, err := env.RatioVsChannels(routing.Centralized, [2]int{0, 2}, 60, channelSweep, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig1a: %w", err)
+	}
+	a.Title = "Fig 1(a): " + a.Title
+	b, err := env.RatioVsChannels(routing.Centralized, [2]int{-1, 3}, 45, channelSweep, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig1b: %w", err)
+	}
+	b.Title = "Fig 1(b): " + b.Title
+	c, err := env.RatioVsFlows(routing.Centralized, [2]int{0, 2}, 4, []int{40, 45, 50, 55, 60, 65, 70}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig1c: %w", err)
+	}
+	c.Title = "Fig 1(c): " + c.Title
+	return []*Table{a, b, c}, nil
+}
+
+// Fig2 reproduces Fig. 2: the same sweeps for peer-to-peer traffic
+// (Indriya).
+func Fig2(env *Env, opt Options) ([]*Table, error) {
+	a, err := env.RatioVsChannels(routing.PeerToPeer, [2]int{0, 2}, 100, channelSweep, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig2a: %w", err)
+	}
+	a.Title = "Fig 2(a): " + a.Title
+	b, err := env.RatioVsChannels(routing.PeerToPeer, [2]int{-1, 3}, 60, channelSweep, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig2b: %w", err)
+	}
+	b.Title = "Fig 2(b): " + b.Title
+	c, err := env.RatioVsFlows(routing.PeerToPeer, [2]int{0, 2}, 5, []int{40, 60, 80, 100, 120, 140, 160}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig2c: %w", err)
+	}
+	c.Title = "Fig 2(c): " + c.Title
+	return []*Table{a, b, c}, nil
+}
+
+// Fig3 reproduces Fig. 3: peer-to-peer sweeps on the WUSTL topology.
+func Fig3(env *Env, opt Options) ([]*Table, error) {
+	a, err := env.RatioVsChannels(routing.PeerToPeer, [2]int{0, 2}, 120, channelSweep, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig3a: %w", err)
+	}
+	a.Title = "Fig 3(a): " + a.Title
+	b, err := env.RatioVsFlows(routing.PeerToPeer, [2]int{0, 2}, 5, []int{40, 60, 80, 100, 120, 140, 160}, opt)
+	if err != nil {
+		return nil, fmt.Errorf("fig3b: %w", err)
+	}
+	b.Title = "Fig 3(b): " + b.Title
+	return []*Table{a, b}, nil
+}

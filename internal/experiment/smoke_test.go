@@ -1,0 +1,108 @@
+package experiment
+
+import "testing"
+
+func TestSmokeAll(t *testing.T) {
+	opt := Options{Trials: 5, Seed: 1, TopoSeed: 1}
+	ind, err := NewIndriyaEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fn := range []struct {
+		name string
+		f    func() ([]*Table, error)
+	}{
+		{"fig1", func() ([]*Table, error) { return Fig1(ind, opt) }},
+		{"fig2", func() ([]*Table, error) { return Fig2(ind, opt) }},
+		{"fig3", func() ([]*Table, error) { return Fig3(wustl, opt) }},
+		{"fig4", func() ([]*Table, error) { return Fig4(ind, opt) }},
+		{"fig5", func() ([]*Table, error) { return Fig5(ind, opt) }},
+		{"fig6", func() ([]*Table, error) { return Fig6(ind, opt) }},
+		{"fig7", func() ([]*Table, error) { return Fig7(wustl, opt) }},
+	} {
+		tables, err := fn.f()
+		if err != nil {
+			t.Fatalf("%s: %v", fn.name, err)
+		}
+		for _, tb := range tables {
+			t.Log("\n" + tb.String())
+		}
+	}
+}
+
+func TestSmokeFig8(t *testing.T) {
+	opt := Options{Trials: 5, Seed: 1}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultReliabilityParams()
+	p.NumFlowSets = 2
+	p.Hyperperiods = 30
+	tables, err := Fig8Scaled(wustl, opt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		t.Log("\n" + tb.String())
+	}
+}
+
+func TestSmokeFig10(t *testing.T) {
+	opt := Options{Trials: 5, Seed: 1}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultDetectionParams()
+	p.Epochs = 2
+	p.EpochSlots = 20000
+	p.WindowSlots = 1200
+	p.ProbeEverySlots = 100
+	tables, err := Fig10Scaled(wustl, opt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tb := range tables {
+		t.Log("\n" + tb.String())
+	}
+}
+
+// TestSmokeFig9And11 covers the remaining figure entry points at reduced
+// scale.
+func TestSmokeFig9And11(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke skipped in -short mode")
+	}
+	opt := Options{Trials: 3, Seed: 1}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables, err := Fig9(wustl, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables[0].Rows) != 10 {
+		t.Errorf("fig9: %d rows, want 5 sets × 2 algorithms", len(tables[0].Rows))
+	}
+	p := DefaultDetectionParams()
+	p.Epochs = 2
+	p.EpochSlots = 10_000
+	p.WindowSlots = 600
+	p.ProbeEverySlots = 200
+	f11, err := Fig11Scaled(wustl, opt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f11[0].Rows) != 2 {
+		t.Errorf("fig11: %d rows, want RA and RC", len(f11[0].Rows))
+	}
+	if len(f11[0].Header) != 1+p.Epochs {
+		t.Errorf("fig11 header = %v", f11[0].Header)
+	}
+}

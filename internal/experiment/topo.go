@@ -1,0 +1,38 @@
+package experiment
+
+import (
+	"fmt"
+)
+
+// Fig7 reproduces Fig. 7 in tabular form: a summary of the testbed topology
+// as used with channels 11–14 (indices 0–3) — the communication and reuse
+// graphs' size, connectivity, diameter, and the selected access points.
+// (The paper's figure is a node map; `wsansim topo -json` dumps the full
+// testbed, including positions, for plotting.)
+func Fig7(env *Env, opt Options) ([]*Table, error) {
+	ce, err := env.ForChannels(4)
+	if err != nil {
+		return nil, err
+	}
+	hopGc := ce.Gc.AllPairsHop()
+	degSum := 0
+	for i := 0; i < ce.Gc.Len(); i++ {
+		degSum += ce.Gc.Degree(i)
+	}
+	t := &Table{
+		Title:  fmt.Sprintf("Fig 7: %s testbed topology on channels 11-14", env.TB.Name),
+		Header: []string{"metric", "value"},
+		Rows: [][]string{
+			{"nodes", itoa(env.TB.NumNodes())},
+			{"G_c edges", itoa(ce.Gc.NumEdges())},
+			{"G_c avg degree", fmt.Sprintf("%.1f", float64(degSum)/float64(ce.Gc.Len()))},
+			{"G_c diameter", itoa(hopGc.Diameter())},
+			{"G_c largest component", itoa(len(ce.Gc.LargestComponent()))},
+			{"G_c cut vertices", fmt.Sprintf("%v", ce.Gc.ArticulationPoints())},
+			{"G_R edges", itoa(ce.Gr.NumEdges())},
+			{"G_R diameter (λ_R)", itoa(ce.Hop.Diameter())},
+			{"access points", fmt.Sprintf("%v", ce.APs)},
+		},
+	}
+	return []*Table{t}, nil
+}

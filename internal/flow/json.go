@@ -1,0 +1,62 @@
+package flow
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// workloadJSON is the on-disk representation of a flow set.
+type workloadJSON struct {
+	// SlotsPerSecond records the slot rate the periods are expressed in, so
+	// a decoder can detect mismatched conventions.
+	SlotsPerSecond int     `json:"slotsPerSecond"`
+	Flows          []*Flow `json:"flows"`
+}
+
+// EncodeWorkload writes a flow set (with any assigned routes) as JSON, the
+// format the wsansim tooling and tests use to pin down workloads.
+func EncodeWorkload(w io.Writer, flows []*Flow) error {
+	if len(flows) == 0 {
+		return fmt.Errorf("encode workload: empty flow set")
+	}
+	return json.NewEncoder(w).Encode(workloadJSON{
+		SlotsPerSecond: SlotsPerSecond,
+		Flows:          flows,
+	})
+}
+
+// DecodeWorkload reads a flow set written by EncodeWorkload, validating
+// every flow and the priority numbering (IDs must be 0..n-1 in order, the
+// scheduler's contract).
+func DecodeWorkload(r io.Reader) ([]*Flow, error) {
+	var in workloadJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode workload: %w", err)
+	}
+	if in.SlotsPerSecond != SlotsPerSecond {
+		return nil, fmt.Errorf("decode workload: slot rate %d does not match %d",
+			in.SlotsPerSecond, SlotsPerSecond)
+	}
+	if len(in.Flows) == 0 {
+		return nil, fmt.Errorf("decode workload: empty flow set")
+	}
+	for i, f := range in.Flows {
+		if f == nil {
+			return nil, fmt.Errorf("decode workload: null flow at %d", i)
+		}
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("decode workload: %w", err)
+		}
+		if f.ID != i {
+			return nil, fmt.Errorf("decode workload: flow at position %d has ID %d (priority order broken)",
+				i, f.ID)
+		}
+		for h, l := range f.Route {
+			if l.From == l.To {
+				return nil, fmt.Errorf("decode workload: flow %d hop %d is a self-loop", f.ID, h)
+			}
+		}
+	}
+	return in.Flows, nil
+}

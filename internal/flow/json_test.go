@@ -1,0 +1,64 @@
+package flow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	flows := []*Flow{
+		{ID: 0, Src: 1, Dst: 3, Period: 100, Deadline: 80,
+			Route: []Link{{From: 1, To: 2}, {From: 2, To: 3}}},
+		{ID: 1, Src: 4, Dst: 5, Period: 200, Deadline: 200,
+			Route: []Link{{From: 4, To: 5}}},
+	}
+	var buf bytes.Buffer
+	if err := EncodeWorkload(&buf, flows); err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %d flows", len(got))
+	}
+	for i, f := range got {
+		if f.ID != flows[i].ID || f.Period != flows[i].Period || len(f.Route) != len(flows[i].Route) {
+			t.Errorf("flow %d mismatch: %+v vs %+v", i, f, flows[i])
+		}
+	}
+}
+
+func TestEncodeWorkloadEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EncodeWorkload(&buf, nil); err == nil {
+		t.Error("empty set should fail")
+	}
+}
+
+func TestDecodeWorkloadRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"garbage", "{"},
+		{"empty flows", `{"slotsPerSecond":100,"flows":[]}`},
+		{"wrong slot rate", `{"slotsPerSecond":10,
+			"flows":[{"id":0,"src":0,"dst":1,"period":100,"deadline":100}]}`},
+		{"invalid flow", `{"slotsPerSecond":100,
+			"flows":[{"id":0,"src":0,"dst":1,"period":0,"deadline":0}]}`},
+		{"priority order", `{"slotsPerSecond":100,
+			"flows":[{"id":1,"src":0,"dst":1,"period":100,"deadline":100}]}`},
+		{"null flow", `{"slotsPerSecond":100,"flows":[null]}`},
+		{"self-loop hop", `{"slotsPerSecond":100,
+			"flows":[{"id":0,"src":0,"dst":1,"period":100,"deadline":100,
+			          "route":[{"from":2,"to":2}]}]}`},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeWorkload(strings.NewReader(tc.in)); err == nil {
+			t.Errorf("%s: should fail", tc.name)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNodeDisjointPathsLine(t *testing.T) {
+	g := line(5)
+	if got := g.NodeDisjointPaths(0, 4, 3); got != 1 {
+		t.Errorf("line has %d disjoint paths, want 1", got)
+	}
+}
+
+func TestNodeDisjointPathsCycle(t *testing.T) {
+	g := New(6)
+	for i := 0; i < 6; i++ {
+		if err := g.AddEdge(i, (i+1)%6); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := g.NodeDisjointPaths(0, 3, 3); got != 2 {
+		t.Errorf("cycle has %d disjoint paths, want 2", got)
+	}
+}
+
+func TestNodeDisjointPathsComplete(t *testing.T) {
+	g := New(5)
+	for u := 0; u < 5; u++ {
+		for v := u + 1; v < 5; v++ {
+			if err := g.AddEdge(u, v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// K5: direct edge + 3 two-hop detours = 4 disjoint paths.
+	if got := g.NodeDisjointPaths(0, 1, 10); got != 4 {
+		t.Errorf("K5 has %d disjoint paths, want 4", got)
+	}
+	// The cap truncates.
+	if got := g.NodeDisjointPaths(0, 1, 2); got != 2 {
+		t.Errorf("capped count = %d, want 2", got)
+	}
+}
+
+func TestNodeDisjointPathsDisconnected(t *testing.T) {
+	g := New(4)
+	if err := g.AddEdge(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.NodeDisjointPaths(0, 3, 3); got != 0 {
+		t.Errorf("disconnected pair has %d paths, want 0", got)
+	}
+}
+
+func TestNodeDisjointPathsDegenerate(t *testing.T) {
+	g := line(3)
+	if g.NodeDisjointPaths(0, 0, 3) != 0 {
+		t.Error("src == dst should be 0")
+	}
+	if g.NodeDisjointPaths(-1, 2, 3) != 0 || g.NodeDisjointPaths(0, 9, 3) != 0 {
+		t.Error("out of range should be 0")
+	}
+	if g.NodeDisjointPaths(0, 2, 0) != 0 {
+		t.Error("zero cap should be 0")
+	}
+}
+
+// TestNodeDisjointPathsMatchesCutBruteForce checks Menger's theorem on
+// random small graphs: the disjoint-path count equals the minimum number of
+// interior nodes whose removal disconnects the pair (brute-forced over all
+// subsets). Adjacent pairs are skipped (no finite node cut).
+func TestNodeDisjointPathsMatchesCutBruteForce(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(4)
+		g := randomGraph(rng, n, 0.35)
+		src, dst := 0, n-1
+		if g.HasEdge(src, dst) {
+			continue
+		}
+		got := g.NodeDisjointPaths(src, dst, n)
+		want := bruteMinCut(g, src, dst)
+		if got != want {
+			t.Fatalf("seed %d: disjoint paths = %d, min cut = %d", seed, got, want)
+		}
+	}
+}
+
+// bruteMinCut finds the smallest interior node set whose removal separates
+// src and dst (∞ represented as the number of interior candidates + 1 never
+// occurs for non-adjacent pairs in a connected component).
+func bruteMinCut(g *Graph, src, dst int) int {
+	if g.BFS(src)[dst] == Unreachable {
+		return 0
+	}
+	var interior []int
+	for v := 0; v < g.Len(); v++ {
+		if v != src && v != dst {
+			interior = append(interior, v)
+		}
+	}
+	for size := 0; size <= len(interior); size++ {
+		if cutOfSizeExists(g, src, dst, interior, size) {
+			return size
+		}
+	}
+	return len(interior)
+}
+
+func cutOfSizeExists(g *Graph, src, dst int, interior []int, size int) bool {
+	idx := make([]int, size)
+	var recur func(start, depth int) bool
+	recur = func(start, depth int) bool {
+		if depth == size {
+			removed := make(map[int]bool, size)
+			for _, i := range idx {
+				removed[interior[i]] = true
+			}
+			return !reachableWithout(g, src, dst, removed)
+		}
+		for i := start; i < len(interior); i++ {
+			idx[depth] = i
+			if recur(i+1, depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return recur(0, 0)
+}
+
+func reachableWithout(g *Graph, src, dst int, removed map[int]bool) bool {
+	if removed[src] || removed[dst] {
+		return false
+	}
+	seen := make([]bool, g.Len())
+	seen[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if u == dst {
+			return true
+		}
+		for _, w := range g.Neighbors(u) {
+			v := int(w)
+			if !seen[v] && !removed[v] {
+				seen[v] = true
+				queue = append(queue, v)
+			}
+		}
+	}
+	return false
+}

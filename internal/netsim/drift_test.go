@@ -1,0 +1,484 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/radio"
+	"wsan/internal/schedule"
+	"wsan/internal/topology"
+)
+
+func TestGaussianHashDeterministic(t *testing.T) {
+	a := gaussianHash(7, 1, 2, 3)
+	b := gaussianHash(7, 1, 2, 3)
+	if a != b {
+		t.Error("same inputs must hash to the same sample")
+	}
+	if gaussianHash(8, 1, 2, 3) == a {
+		t.Error("different seeds should differ")
+	}
+	if gaussianHash(7, 2, 1, 3) == a {
+		t.Error("drift must be direction-sensitive")
+	}
+	if gaussianHash(7, 1, 2, 4) == a {
+		t.Error("drift must be channel-sensitive")
+	}
+}
+
+func TestGaussianHashDistribution(t *testing.T) {
+	// Mean ≈ 0, variance ≈ 1 over many samples.
+	const n = 20000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		x := gaussianHash(1, i, i*31, i%16)
+		sum += x
+		sumSq += x * x
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean) > 0.05 {
+		t.Errorf("mean = %v, want ≈0", mean)
+	}
+	if math.Abs(variance-1) > 0.1 {
+		t.Errorf("variance = %v, want ≈1", variance)
+	}
+}
+
+func TestDriftedGainOffsetsBase(t *testing.T) {
+	base := func(tx, rx, ch int) float64 { return -70 }
+	g := driftedGain(base, 3, 5)
+	v1 := g(0, 1, 2)
+	if v1 == -70 {
+		t.Error("drift should move the gain (with overwhelming probability)")
+	}
+	if g(0, 1, 2) != v1 {
+		t.Error("drifted gain must be stable across calls")
+	}
+	// Zero reconstruction cost: a new wrapper with the same seed matches.
+	if driftedGain(base, 3, 5)(0, 1, 2) != v1 {
+		t.Error("drift must depend only on (seed, path, channel)")
+	}
+}
+
+func TestSimulationDriftChangesOutcomes(t *testing.T) {
+	// A link with moderate margin: drift on vs off must yield a different
+	// loss pattern while staying deterministic per seed.
+	nodes := []topology.Node{{ID: 0}, {ID: 1}}
+	tb, err := topology.Custom("pair", nodes, func(u, v, ch int) float64 {
+		return -90
+	}, topology.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, sched := lineFlowSchedule(t, 1, 10, false)
+	run := func(drift float64, seed int64) float64 {
+		res, err := Run(Config{
+			Testbed: tb, Flows: flows, Schedule: sched,
+			Channels: topology.Channels(4), Hyperperiods: 500,
+			SurveyDriftSigmaDB: drift, FadingSigmaDB: 2, Seed: seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PDR(0)
+	}
+	if run(3, 9) != run(3, 9) {
+		t.Error("drifted run must be deterministic per seed")
+	}
+	// Across seeds, drift should spread outcomes more than fading alone.
+	spread := func(drift float64) float64 {
+		lo, hi := 1.0, 0.0
+		for seed := int64(0); seed < 8; seed++ {
+			p := run(drift, seed)
+			if p < lo {
+				lo = p
+			}
+			if p > hi {
+				hi = p
+			}
+		}
+		return hi - lo
+	}
+	if spread(4) <= spread(0) {
+		t.Errorf("drift should widen the PDR spread: with=%v without=%v", spread(4), spread(0))
+	}
+}
+
+func TestTrackLatency(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 3, 100, false)
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 20,
+		TrackLatency: true, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lats := res.Latencies[0]
+	if len(lats) != 20 {
+		t.Fatalf("got %d latency samples, want 20", len(lats))
+	}
+	// The schedule places hops at slots 0,1,2: latency = 3 slots.
+	for _, l := range lats {
+		if l != 3 {
+			t.Fatalf("latency = %d, want 3", l)
+		}
+	}
+	// Without tracking, no samples.
+	res, err = Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Latencies[0]) != 0 {
+		t.Error("latencies recorded without TrackLatency")
+	}
+}
+
+var _ = radio.AckBits
+
+// TestNeighborProbes verifies the neighbor-discovery probe path: a link
+// whose every scheduled transmission shares a channel still accumulates
+// contention-free samples from probes.
+func TestNeighborProbes(t *testing.T) {
+	tb := denseTestbed(t, 6)
+	flows := []*flow.Flow{
+		{ID: 0, Src: 0, Dst: 1, Period: 100, Deadline: 100,
+			Route: []flow.Link{{From: 0, To: 1}}},
+		{ID: 1, Src: 2, Dst: 3, Period: 100, Deadline: 100,
+			Route: []flow.Link{{From: 2, To: 3}}},
+	}
+	sched, err := schedule.New(100, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both flows share cell (0,0): all their data traffic is reuse-labeled.
+	for _, f := range flows {
+		if err := sched.Place(schedule.Tx{FlowID: f.ID, Link: f.Route[0], Slot: 0, Offset: 0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 40,
+		EpochSlots: 2000, SampleWindowSlots: 500, ProbeEverySlots: 100,
+		Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		epochs := res.LinkEpochs[f.Route[0]]
+		if len(epochs) == 0 {
+			t.Fatalf("no stats for link %v", f.Route[0])
+		}
+		for i, ep := range epochs {
+			if ep.Reuse.Attempts == 0 {
+				t.Errorf("link %v epoch %d: no reuse traffic recorded", f.Route[0], i)
+			}
+			if ep.CF.Attempts == 0 {
+				t.Errorf("link %v epoch %d: probes produced no CF samples", f.Route[0], i)
+			}
+		}
+	}
+}
+
+// TestProbesDisabledWithoutEpochStats: probing without stats collection is
+// a no-op rather than a panic.
+func TestProbesDisabledWithoutEpochStats(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 2, 50, false)
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 4,
+		ProbeEverySlots: 10, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.LinkEpochs) != 0 {
+		t.Error("stats collected without EpochSlots")
+	}
+}
+
+// TestTrace verifies the JSONL event trace: one parseable event per fired
+// transmission, with consistent fields.
+func TestTrace(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 3, 100, false)
+	var buf bytes.Buffer
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 5,
+		Trace: &buf, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered[0] != 5 {
+		t.Fatalf("delivered = %d", res.Delivered[0])
+	}
+	dec := json.NewDecoder(&buf)
+	count := 0
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatalf("event %d: %v", count, err)
+		}
+		if ev.FlowID != 0 || ev.From == ev.To {
+			t.Fatalf("bad event: %+v", ev)
+		}
+		if !ev.DataOK {
+			t.Fatalf("perfect network dropped a frame: %+v", ev)
+		}
+		if ev.Channel < 0 || ev.Channel > 3 {
+			t.Fatalf("channel out of range: %+v", ev)
+		}
+		count++
+	}
+	// 3 hops × 5 hyperperiods, no retries fire on a perfect network.
+	if count != 15 {
+		t.Errorf("got %d events, want 15", count)
+	}
+}
+
+// failAfter fails on the nth write, to exercise trace error reporting.
+type failAfter struct{ n int }
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, errWrite
+	}
+	f.n--
+	return len(p), nil
+}
+
+var errWrite = errors.New("write failed")
+
+func TestTraceWriteErrorSurfaces(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 3, 100, false)
+	_, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 5,
+		Trace: &failAfter{n: 2}, Seed: 1,
+	})
+	if err == nil || !errors.Is(err, errWrite) {
+		t.Errorf("trace write failure should surface, got %v", err)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 3, 100, true)
+	em := DefaultEnergyModel()
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 10,
+		Energy: &em, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perfect network with retransmit slots: primaries fire (hop advances),
+	// retry slots never fire → receiver idle-listens.
+	// Node 0: sends hop 0 primary (10×Tx) + retry slot unfired (sender: no
+	// cost). Node 1: receives hop 0 (10×Rx), idle-listens hop-0 retry
+	// (10×Idle), sends hop 1 (10×Tx), no cost on unfired hop-1 retry.
+	want0 := 10 * em.TxFrameMJ
+	want1 := 10 * (em.RxFrameMJ + em.IdleListenMJ + em.TxFrameMJ)
+	if got := res.EnergyMJ[0]; math.Abs(got-want0) > 1e-9 {
+		t.Errorf("node 0 energy = %v, want %v", got, want0)
+	}
+	if got := res.EnergyMJ[1]; math.Abs(got-want1) > 1e-9 {
+		t.Errorf("node 1 energy = %v, want %v", got, want1)
+	}
+	// Without the model: no accounting.
+	res, err = Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.EnergyMJ) != 0 {
+		t.Error("energy accounted without a model")
+	}
+}
+
+func TestLifetimeYears(t *testing.T) {
+	// 0.5 mJ per 100-slot (1 s) frame = 0.5 mW average; 20 kJ battery →
+	// 4e7 s ≈ 1.27 years.
+	got := LifetimeYears(0.5, 100, 20_000)
+	if math.Abs(got-1.2675) > 0.01 {
+		t.Errorf("LifetimeYears = %v, want ≈1.27", got)
+	}
+	if LifetimeYears(0, 100, 1000) != 0 || LifetimeYears(1, 0, 1000) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestConvergePerfectNetwork(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 3, 100, false)
+	res, err := Converge(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Seed: 1,
+	}, ConvergeOpts{ChunkHyperperiods: 10, MaxChunks: 40, HalfWidth: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lossless network converges once the adjusted interval tightens —
+	// well within the budget, but never after a single tiny chunk (the
+	// Agresti-Coull interval guards against premature certainty).
+	if !res.Converged {
+		t.Errorf("perfect network should converge: %+v", res)
+	}
+	if res.Chunks < 2 {
+		t.Errorf("adjusted interval should need more than one chunk: %+v", res)
+	}
+	if res.Result.PDR(0) != 1 {
+		t.Errorf("PDR = %v", res.Result.PDR(0))
+	}
+}
+
+func TestConvergeNoisyNetworkNeedsMoreChunks(t *testing.T) {
+	nodes := []topology.Node{{ID: 0}, {ID: 1}}
+	tb, err := topology.Custom("marginal", nodes, func(u, v, ch int) float64 {
+		return -92
+	}, topology.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, sched := lineFlowSchedule(t, 1, 10, false)
+	res, err := Converge(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), FadingSigmaDB: 4, Seed: 2,
+	}, ConvergeOpts{ChunkHyperperiods: 10, MaxChunks: 100, HalfWidth: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Chunks < 2 {
+		t.Errorf("noisy link should need several chunks: %+v", res)
+	}
+	if res.Converged && res.WorstHalfWidth > 0.02 {
+		t.Errorf("converged but half-width %v above target", res.WorstHalfWidth)
+	}
+	p := res.Result.PDR(0)
+	if p <= 0 || p >= 1 {
+		t.Errorf("marginal link PDR = %v, want interior", p)
+	}
+}
+
+func TestConvergeBudgetExhaustion(t *testing.T) {
+	nodes := []topology.Node{{ID: 0}, {ID: 1}}
+	tb, err := topology.Custom("marginal", nodes, func(u, v, ch int) float64 {
+		return -92
+	}, topology.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, sched := lineFlowSchedule(t, 1, 10, false)
+	res, err := Converge(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), FadingSigmaDB: 4, Seed: 3,
+	}, ConvergeOpts{ChunkHyperperiods: 2, MaxChunks: 3, HalfWidth: 0.0001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Converged || res.Chunks != 3 {
+		t.Errorf("tiny budget should exhaust: %+v", res)
+	}
+}
+
+func TestDriftSeedPinsEnvironment(t *testing.T) {
+	nodes := []topology.Node{{ID: 0}, {ID: 1}}
+	tb, err := topology.Custom("pair", nodes, func(u, v, ch int) float64 {
+		return -90
+	}, topology.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed, driftSeed int64) float64 {
+		flows, sched := lineFlowSchedule(t, 1, 10, false)
+		res, err := Run(Config{
+			Testbed: tb, Flows: flows, Schedule: sched,
+			Channels: topology.Channels(4), Hyperperiods: 400,
+			SurveyDriftSigmaDB: 3, Seed: seed, DriftSeed: driftSeed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.PDR(0)
+	}
+	// Same drift, different noise: PDRs should be close (same environment).
+	a := run(1, 77)
+	b := run(2, 77)
+	// Different drift, same noise seed: environments differ.
+	c := run(1, 78)
+	if a == c && b == c {
+		t.Skip("drift draws coincided; inconclusive")
+	}
+	if diff := a - b; diff > 0.1 || diff < -0.1 {
+		t.Errorf("pinned drift should give similar PDRs: %v vs %v", a, b)
+	}
+}
+
+// TestDuplicateRetryOnAckLoss forces a one-way link (strong forward, dead
+// reverse): every DATA arrives but no ACK returns, so the scheduled retry
+// fires as a duplicate and delivery still completes.
+func TestDuplicateRetryOnAckLoss(t *testing.T) {
+	nodes := []topology.Node{{ID: 0}, {ID: 1}}
+	tb, err := topology.Custom("oneway", nodes, func(u, v, ch int) float64 {
+		if u == 0 && v == 1 {
+			return -50 // forward: perfect
+		}
+		return -130 // reverse: ACKs never arrive
+	}, topology.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, sched := lineFlowSchedule(t, 1, 10, true) // primary + retry slots
+	var buf bytes.Buffer
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 20,
+		Retransmit: true, Trace: &buf, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR(0) != 1 {
+		t.Fatalf("forward-perfect link should deliver everything, PDR = %v", res.PDR(0))
+	}
+	dec := json.NewDecoder(&buf)
+	dups, total := 0, 0
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if ev.Duplicate {
+			dups++
+			if ev.Attempt != 1 {
+				t.Errorf("duplicate on attempt %d, want retry slot", ev.Attempt)
+			}
+		}
+		if ev.AckOK {
+			t.Errorf("ACK succeeded on a dead reverse link: %+v", ev)
+		}
+	}
+	// Every hyperperiod: primary fires + duplicate retry fires.
+	if dups != 20 || total != 40 {
+		t.Errorf("events = %d with %d duplicates, want 40/20", total, dups)
+	}
+}

@@ -1,0 +1,397 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"wsan/internal/flow"
+	"wsan/internal/radio"
+	"wsan/internal/schedule"
+)
+
+// txRef is one schedule entry with its precomputed reuse condition.
+type txRef struct {
+	tx schedule.Tx
+	// reuse records whether the schedule assigns this transmission a cell
+	// shared with others — the condition label the detection policy uses.
+	reuse bool
+}
+
+// packetState tracks one packet (one flow instance release) through its
+// route within the current hyperperiod execution.
+type packetState struct {
+	pos       int  // next hop index whose receiver lacks the packet
+	ackOK     bool // whether the last completed hop's ACK reached the sender
+	dropped   bool
+	delivered bool
+}
+
+// condAcc accumulates attempts/successes for one condition.
+type condAcc struct{ att, succ int }
+
+const (
+	condReuse = 0
+	condCF    = 1
+)
+
+type simulator struct {
+	cfg   Config
+	rng   *rand.Rand
+	env   *radio.Env
+	res   *Result
+	flows map[int]*flow.Flow
+
+	bySlot [][]txRef
+
+	// interferer state and precomputed interferer→node gains (dBm).
+	interfOn   []bool
+	interfGain [][]float64
+
+	// linkWins[link][window][cond] accumulates per-window outcomes.
+	linkWins map[flow.Link]map[int]*[2]condAcc
+
+	// links is the deterministic list of distinct scheduled links, used for
+	// neighbor-discovery probing.
+	links []flow.Link
+
+	packets map[[2]int]*packetState
+
+	trace  *tracer
+	energy *EnergyModel
+}
+
+// buildSlotIndex flattens the schedule into a per-slot transmission list and
+// labels each transmission with its reuse condition.
+func (s *simulator) buildSlotIndex() {
+	sched := s.cfg.Schedule
+	s.bySlot = make([][]txRef, sched.NumSlots())
+	for slot := 0; slot < sched.NumSlots(); slot++ {
+		for off := 0; off < sched.NumOffsets(); off++ {
+			cell := sched.Cell(slot, off)
+			for _, tx := range cell {
+				s.bySlot[slot] = append(s.bySlot[slot], txRef{tx: tx, reuse: len(cell) >= 2})
+			}
+		}
+	}
+	if s.cfg.EpochSlots > 0 {
+		s.linkWins = make(map[flow.Link]map[int]*[2]condAcc)
+	}
+	seen := make(map[flow.Link]bool)
+	for _, tx := range sched.Txs() {
+		if !seen[tx.Link] {
+			seen[tx.Link] = true
+			s.links = append(s.links, tx.Link)
+		}
+	}
+	sort.Slice(s.links, func(i, j int) bool {
+		if s.links[i].From != s.links[j].From {
+			return s.links[i].From < s.links[j].From
+		}
+		return s.links[i].To < s.links[j].To
+	})
+}
+
+// initInterferers samples initial ON/OFF states and precomputes gains from
+// every interferer to every node.
+func (s *simulator) initInterferers() {
+	nodes := s.cfg.Testbed.Nodes
+	s.interfGain = make([][]float64, len(s.cfg.Interferers))
+	for i, intf := range s.cfg.Interferers {
+		s.interfOn[i] = s.rng.Float64() < intf.DutyCycle
+		gains := make([]float64, len(nodes))
+		for j, nd := range nodes {
+			dx, dy, dz := nd.X-intf.X, nd.Y-intf.Y, nd.Z-intf.Z
+			dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+			floors := nd.Floor - intf.Floor
+			if floors < 0 {
+				floors = -floors
+			}
+			gains[j] = intf.PowerDBm - s.cfg.PathLoss.LossDB(dist, floors)
+		}
+		s.interfGain[i] = gains
+	}
+}
+
+// stepInterferers advances each interferer's two-state Markov burst process
+// by one slot.
+func (s *simulator) stepInterferers() {
+	for i, intf := range s.cfg.Interferers {
+		burst := intf.MeanBurstSlots
+		if burst < 1 {
+			burst = 1
+		}
+		if s.interfOn[i] {
+			if s.rng.Float64() < 1/burst {
+				s.interfOn[i] = false
+			}
+			continue
+		}
+		duty := intf.DutyCycle
+		var pOn float64
+		switch {
+		case duty >= 1:
+			pOn = 1
+		case duty <= 0:
+			pOn = 0
+		default:
+			pOn = duty / ((1 - duty) * burst)
+			if pOn > 1 {
+				pOn = 1
+			}
+		}
+		if s.rng.Float64() < pOn {
+			s.interfOn[i] = true
+		}
+	}
+}
+
+// externalInterference returns the cumulative active interferer power (mW)
+// at a receiver on a physical channel, or nil if there are no interferers.
+func (s *simulator) externalInterference() radio.InterferenceFunc {
+	if len(s.cfg.Interferers) == 0 {
+		return nil
+	}
+	return func(rx, ch int) float64 {
+		total := 0.0
+		for i, intf := range s.cfg.Interferers {
+			if !s.interfOn[i] {
+				continue
+			}
+			for _, c := range intf.Channels {
+				if c == ch {
+					total += radio.DBmToMilliwatts(s.interfGain[i][rx])
+					break
+				}
+			}
+		}
+		return total
+	}
+}
+
+// runHyperperiod executes one pass over the slotframe.
+func (s *simulator) runHyperperiod(rep int) {
+	hyper := s.cfg.Schedule.NumSlots()
+	s.packets = make(map[[2]int]*packetState, len(s.flows)*2)
+	for id, f := range s.flows {
+		instances := hyper / f.Period
+		s.res.Released[id] += instances
+		for inst := 0; inst < instances; inst++ {
+			s.packets[[2]int{id, inst}] = &packetState{}
+		}
+	}
+	attempts := 1
+	if s.cfg.Retransmit {
+		attempts = 2
+	}
+	extra := s.externalInterference()
+	for slot := 0; slot < hyper; slot++ {
+		asn := rep*hyper + slot
+		s.stepInterferers()
+		if s.cfg.ProbeEverySlots > 0 && asn%s.cfg.ProbeEverySlots == 0 {
+			s.runProbes(asn, extra)
+		}
+		refs := s.bySlot[slot]
+		if len(refs) == 0 {
+			continue
+		}
+		// Decide which transmissions fire.
+		type firing struct {
+			ref txRef
+			st  *packetState
+			dup bool // duplicate retry caused by a lost ACK
+		}
+		var fires []firing
+		for _, ref := range refs {
+			st := s.packets[[2]int{ref.tx.FlowID, ref.tx.Instance}]
+			willFire := false
+			if st != nil && !st.dropped {
+				switch {
+				case !st.delivered && ref.tx.Hop == st.pos:
+					fires = append(fires, firing{ref: ref, st: st})
+					willFire = true
+				case ref.tx.Attempt > 0 && ref.tx.Hop == st.pos-1 && !st.ackOK:
+					// The previous hop's DATA got through but its ACK did
+					// not: the sender does not know (even if this was the
+					// final hop and the packet is already delivered), so the
+					// scheduled retry fires as a duplicate.
+					fires = append(fires, firing{ref: ref, st: st, dup: true})
+					willFire = true
+				}
+			}
+			s.chargeSlot(ref, willFire)
+		}
+		if len(fires) == 0 {
+			continue
+		}
+		// Evaluate all concurrent DATA frames together.
+		data := make([]radio.Transmission, len(fires))
+		for i, f := range fires {
+			data[i] = radio.Transmission{
+				Sender:   f.ref.tx.Link.From,
+				Receiver: f.ref.tx.Link.To,
+				Channel:  s.physChannel(asn, f.ref.tx.Offset),
+				Bits:     radio.DefaultPacketBits,
+			}
+		}
+		dataOK := s.env.Evaluate(s.rng, data, extra)
+		// Evaluate the ACKs of the successful DATA frames together.
+		var acks []radio.Transmission
+		var ackIdx []int
+		for i, ok := range dataOK {
+			if ok {
+				acks = append(acks, radio.Transmission{
+					Sender:   data[i].Receiver,
+					Receiver: data[i].Sender,
+					Channel:  data[i].Channel,
+					Bits:     radio.AckBits,
+				})
+				ackIdx = append(ackIdx, i)
+			}
+		}
+		ackOK := make([]bool, len(fires))
+		if len(acks) > 0 {
+			res := s.env.Evaluate(s.rng, acks, extra)
+			for k, i := range ackIdx {
+				ackOK[i] = res[k]
+			}
+		}
+		// Record statistics and update packet states.
+		for i, f := range fires {
+			s.record(asn, f.ref, dataOK[i])
+			if s.trace != nil {
+				s.trace.emit(TraceEvent{
+					ASN:       asn,
+					Slot:      slot,
+					Offset:    f.ref.tx.Offset,
+					Channel:   data[i].Channel,
+					FlowID:    f.ref.tx.FlowID,
+					Hop:       f.ref.tx.Hop,
+					Attempt:   f.ref.tx.Attempt,
+					From:      f.ref.tx.Link.From,
+					To:        f.ref.tx.Link.To,
+					Reuse:     f.ref.reuse,
+					Duplicate: f.dup,
+					DataOK:    dataOK[i],
+					AckOK:     ackOK[i],
+				})
+			}
+			st := f.st
+			if f.dup {
+				// Receiver already had the packet; the retry only refreshes
+				// the ACK state.
+				st.ackOK = st.ackOK || ackOK[i]
+				continue
+			}
+			if dataOK[i] {
+				st.pos++
+				st.ackOK = ackOK[i]
+				if st.pos == len(s.flows[f.ref.tx.FlowID].Route) {
+					st.delivered = true
+					s.res.Delivered[f.ref.tx.FlowID]++
+					if s.cfg.TrackLatency {
+						release := s.flows[f.ref.tx.FlowID].Release(f.ref.tx.Instance)
+						s.res.Latencies[f.ref.tx.FlowID] = append(
+							s.res.Latencies[f.ref.tx.FlowID], slot-release+1)
+					}
+				}
+			} else if f.ref.tx.Attempt == attempts-1 {
+				st.dropped = true
+			}
+		}
+	}
+}
+
+// runProbes exchanges one isolated neighbor-discovery probe per scheduled
+// link and records the outcomes as contention-free samples. Probes hop
+// channels with the ASN like regular traffic.
+func (s *simulator) runProbes(asn int, extra radio.InterferenceFunc) {
+	if s.linkWins == nil {
+		return
+	}
+	ch := s.cfg.Channels[asn%len(s.cfg.Channels)]
+	for _, link := range s.links {
+		tx := []radio.Transmission{{
+			Sender:   link.From,
+			Receiver: link.To,
+			Channel:  ch,
+			Bits:     radio.DefaultPacketBits,
+		}}
+		ok := s.env.Evaluate(s.rng, tx, extra)
+		s.record(asn, txRef{tx: schedule.Tx{Link: link}, reuse: false}, ok[0])
+	}
+}
+
+// physChannel applies the TSCH hopping formula.
+func (s *simulator) physChannel(asn, offset int) int {
+	m := len(s.cfg.Channels)
+	return s.cfg.Channels[(asn+offset)%m]
+}
+
+// record accumulates a fired transmission's outcome into its (link, window,
+// condition) bucket.
+func (s *simulator) record(asn int, ref txRef, ok bool) {
+	if s.linkWins == nil {
+		return
+	}
+	wins := s.linkWins[ref.tx.Link]
+	if wins == nil {
+		wins = make(map[int]*[2]condAcc)
+		s.linkWins[ref.tx.Link] = wins
+	}
+	win := asn / s.cfg.SampleWindowSlots
+	acc := wins[win]
+	if acc == nil {
+		acc = &[2]condAcc{}
+		wins[win] = acc
+	}
+	cond := condCF
+	if ref.reuse {
+		cond = condReuse
+	}
+	acc[cond].att++
+	if ok {
+		acc[cond].succ++
+	}
+}
+
+// finishStats converts window accumulators into per-epoch statistics with
+// deterministic sample ordering.
+func (s *simulator) finishStats() {
+	if s.linkWins == nil {
+		return
+	}
+	totalSlots := s.cfg.Schedule.NumSlots() * s.cfg.Hyperperiods
+	numEpochs := (totalSlots + s.cfg.EpochSlots - 1) / s.cfg.EpochSlots
+	for link, wins := range s.linkWins {
+		epochs := make([]EpochStats, numEpochs)
+		winIDs := make([]int, 0, len(wins))
+		for w := range wins {
+			winIDs = append(winIDs, w)
+		}
+		sort.Ints(winIDs)
+		for _, w := range winIDs {
+			acc := wins[w]
+			ep := w * s.cfg.SampleWindowSlots / s.cfg.EpochSlots
+			if ep >= numEpochs {
+				ep = numEpochs - 1
+			}
+			for cond := 0; cond < 2; cond++ {
+				a := acc[cond]
+				if a.att == 0 {
+					continue
+				}
+				var cs *LinkCondStats
+				if cond == condReuse {
+					cs = &epochs[ep].Reuse
+				} else {
+					cs = &epochs[ep].CF
+				}
+				cs.Attempts += a.att
+				cs.Successes += a.succ
+				cs.Samples = append(cs.Samples, float64(a.succ)/float64(a.att))
+			}
+		}
+		s.res.LinkEpochs[link] = epochs
+	}
+}

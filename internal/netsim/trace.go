@@ -1,0 +1,58 @@
+package netsim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// TraceEvent is one line of the simulator's JSONL event trace: a single
+// DATA(+ACK) exchange with its realized outcome. Traces are for debugging
+// and for feeding external analysis pipelines; they are voluminous (one
+// event per fired transmission), so tracing is off unless Config.Trace is
+// set.
+type TraceEvent struct {
+	ASN     int  `json:"asn"`
+	Slot    int  `json:"slot"`
+	Offset  int  `json:"offset"`
+	Channel int  `json:"channel"`
+	FlowID  int  `json:"flow"`
+	Hop     int  `json:"hop"`
+	Attempt int  `json:"attempt"`
+	From    int  `json:"from"`
+	To      int  `json:"to"`
+	Reuse   bool `json:"reuse"`
+	// Duplicate marks a retry fired only because the primary's ACK was
+	// lost (the receiver already holds the packet).
+	Duplicate bool `json:"duplicate,omitempty"`
+	DataOK    bool `json:"dataOk"`
+	AckOK     bool `json:"ackOk"`
+}
+
+// tracer serializes events to the configured writer, remembering the first
+// write error so the hot loop stays branch-light.
+type tracer struct {
+	enc *json.Encoder
+	err error
+}
+
+func newTracer(w io.Writer) *tracer {
+	if w == nil {
+		return nil
+	}
+	return &tracer{enc: json.NewEncoder(w)}
+}
+
+func (t *tracer) emit(ev TraceEvent) {
+	if t == nil || t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}
+
+func (t *tracer) flushErr() error {
+	if t == nil || t.err == nil {
+		return nil
+	}
+	return fmt.Errorf("netsim: trace write: %w", t.err)
+}

@@ -1,0 +1,120 @@
+package repair
+
+import (
+	"fmt"
+	"sort"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/schedule"
+)
+
+// Compact shifts transmissions toward earlier slots without violating any
+// constraint: transmission conflicts, the channel-reuse hop constraint at
+// rhoT (checked on hop), release times, and per-instance route order all
+// hold afterwards. Repairs and incremental admissions leave schedules with
+// late placements; compaction recovers the latency the fixed-priority
+// scheduler would have achieved, without changing which cells are shared
+// beyond what rhoT permits.
+//
+// Passing a nil hop matrix restricts moves to exclusive cells only — the
+// conservative mode: it never creates channel sharing the scheduler avoided,
+// and a fresh earliest-slot schedule is a fixed point. Passing the G_R hop
+// matrix with rhoT ≥ 1 additionally allows moves into reuse-compatible
+// cells, which packs harder (RA-like) at the usual reliability cost.
+// It returns the number of transmissions moved.
+func Compact(sched *schedule.Schedule, flows []*flow.Flow, hop *graph.HopMatrix, rhoT int) (int, error) {
+	if sched == nil {
+		return 0, fmt.Errorf("compact: nil schedule")
+	}
+	byID := make(map[int]*flow.Flow, len(flows))
+	for _, f := range flows {
+		byID[f.ID] = f
+	}
+	// Global earliest-first pass: process transmissions in slot order so a
+	// moved predecessor frees room for its successors.
+	txs := append([]schedule.Tx(nil), sched.Txs()...)
+	sort.Slice(txs, func(i, j int) bool {
+		if txs[i].Slot != txs[j].Slot {
+			return txs[i].Slot < txs[j].Slot
+		}
+		if txs[i].FlowID != txs[j].FlowID {
+			return txs[i].FlowID < txs[j].FlowID
+		}
+		if txs[i].Hop != txs[j].Hop {
+			return txs[i].Hop < txs[j].Hop
+		}
+		return txs[i].Attempt < txs[j].Attempt
+	})
+	moved := 0
+	for _, tx := range txs {
+		f := byID[tx.FlowID]
+		if f == nil {
+			return moved, fmt.Errorf("compact: schedule references unknown flow %d", tx.FlowID)
+		}
+		// Earliest legal slot: after the preceding transmission of this
+		// instance (tracked live from the schedule) and at/after release.
+		lo := f.Release(tx.Instance)
+		for _, other := range sched.Txs() {
+			if other.FlowID != tx.FlowID || other.Instance != tx.Instance || other == tx {
+				continue
+			}
+			before := other.Hop < tx.Hop ||
+				(other.Hop == tx.Hop && other.Attempt < tx.Attempt)
+			if before && other.Slot+1 > lo {
+				lo = other.Slot + 1
+			}
+		}
+		if lo >= tx.Slot {
+			continue
+		}
+		if err := sched.Remove(tx); err != nil {
+			return moved, fmt.Errorf("compact: %w", err)
+		}
+		slot, offset, ok := findCompatible(sched, tx.Link, lo, tx.Slot-1, hop, rhoT)
+		place := tx
+		if ok {
+			place.Slot, place.Offset = slot, offset
+			moved++
+		}
+		if err := sched.Place(place); err != nil {
+			return moved, fmt.Errorf("compact: %w", err)
+		}
+	}
+	return moved, nil
+}
+
+// findCompatible scans [lo, hi] for the earliest slot where the link's
+// endpoints are idle and some offset is either empty or reuse-compatible at
+// rhoT.
+func findCompatible(sched *schedule.Schedule, l flow.Link, lo, hi int, hop *graph.HopMatrix, rhoT int) (int, int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	for s := lo; s <= hi; s++ {
+		if sched.NodeBusy(l.From, s) || sched.NodeBusy(l.To, s) {
+			continue
+		}
+		for c := 0; c < sched.NumOffsets(); c++ {
+			cell := sched.Cell(s, c)
+			if len(cell) == 0 {
+				return s, c, true
+			}
+			if hop == nil || rhoT < 1 {
+				continue
+			}
+			compatible := true
+			for _, other := range cell {
+				if int(hop.Dist(l.From, other.Link.To)) < rhoT ||
+					int(hop.Dist(other.Link.From, l.To)) < rhoT {
+					compatible = false
+					break
+				}
+			}
+			if compatible {
+				return s, c, true
+			}
+		}
+	}
+	return 0, 0, false
+}

@@ -1,0 +1,122 @@
+package schedule
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDiffAndApply(t *testing.T) {
+	old := mustNew(t, 20, 2, 8)
+	for _, p := range []Tx{
+		tx(0, 0, 1, 0, 0),
+		tx(1, 2, 3, 1, 0),
+		tx(2, 4, 5, 2, 1),
+	} {
+		if err := old.Place(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// New state: flow 1's transmission moved from slot 1 to slot 5.
+	new := old.Clone()
+	moved := tx(1, 2, 3, 1, 0)
+	if err := new.Remove(moved); err != nil {
+		t.Fatal(err)
+	}
+	moved.Slot = 5
+	if err := new.Place(moved); err != nil {
+		t.Fatal(err)
+	}
+	changes, err := Diff(old, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 2 {
+		t.Fatalf("delta = %v, want 2 entries", changes)
+	}
+	if changes[0].Kind != Removed || changes[0].Tx.Slot != 1 {
+		t.Errorf("first change = %+v, want removal at slot 1", changes[0])
+	}
+	if changes[1].Kind != Added || changes[1].Tx.Slot != 5 {
+		t.Errorf("second change = %+v, want addition at slot 5", changes[1])
+	}
+	// Affected devices: only the moved link's endpoints.
+	devs := AffectedDevices(changes)
+	if len(devs) != 2 || devs[0] != 2 || devs[1] != 3 {
+		t.Errorf("affected devices = %v, want [2 3]", devs)
+	}
+	// Replaying the delta onto the old schedule reproduces the new one.
+	replay := old.Clone()
+	if err := Apply(replay, changes); err != nil {
+		t.Fatal(err)
+	}
+	again, err := Diff(replay, new)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again) != 0 {
+		t.Errorf("replayed schedule still differs: %v", again)
+	}
+}
+
+func TestDiffIdentical(t *testing.T) {
+	s := mustNew(t, 10, 1, 4)
+	if err := s.Place(tx(0, 0, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	changes, err := Diff(s, s.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Errorf("identical schedules differ: %v", changes)
+	}
+}
+
+func TestDiffErrors(t *testing.T) {
+	s := mustNew(t, 10, 1, 4)
+	if _, err := Diff(nil, s); err == nil {
+		t.Error("nil old should fail")
+	}
+	other := mustNew(t, 20, 1, 4)
+	if _, err := Diff(s, other); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+}
+
+func TestApplyErrors(t *testing.T) {
+	s := mustNew(t, 10, 1, 4)
+	bad := []Change{{Kind: Removed, Tx: tx(0, 0, 1, 3, 0)}}
+	if err := Apply(s, bad); err == nil {
+		t.Error("removing an absent transmission should fail")
+	}
+	if err := s.Place(tx(0, 0, 1, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	conflict := []Change{{Kind: Added, Tx: tx(1, 1, 2, 3, 0)}}
+	if err := Apply(s, conflict); err == nil {
+		t.Error("conflicting addition should fail")
+	}
+}
+
+func TestChangeKindString(t *testing.T) {
+	if Added.String() != "add" || Removed.String() != "remove" {
+		t.Error("ChangeKind.String wrong")
+	}
+	if !strings.Contains(ChangeKind(9).String(), "9") {
+		t.Error("unknown kind should include number")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	s := mustNew(t, 10, 1, 4)
+	if err := s.Place(tx(0, 0, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	cp := s.Clone()
+	if err := cp.Place(tx(1, 2, 3, 5, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 || cp.Len() != 2 {
+		t.Errorf("clone not independent: %d vs %d", s.Len(), cp.Len())
+	}
+}

@@ -1,0 +1,69 @@
+package schedule
+
+import (
+	"bytes"
+	"testing"
+
+	"wsan/internal/flow"
+)
+
+// FuzzDecode hardens the schedule JSON decoder: arbitrary input must either
+// error or produce a schedule whose invariants Validate-with-reuse-allowed
+// accepts and whose busy bitsets match its transmission list.
+func FuzzDecode(f *testing.F) {
+	s, err := New(20, 2, 6)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, tx := range []Tx{
+		{FlowID: 0, Link: flow.Link{From: 0, To: 1}, Slot: 0, Offset: 0},
+		{FlowID: 1, Link: flow.Link{From: 2, To: 3}, Slot: 0, Offset: 1},
+		{FlowID: 2, Link: flow.Link{From: 4, To: 5}, Slot: 7, Offset: 0},
+	} {
+		if err := s.Place(tx); err != nil {
+			f.Fatalf("seed tx %d: %v", i, err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{"numSlots":10,"numOffsets":1,"numNodes":2,"transmissions":[]}`))
+	f.Add([]byte(`{"numSlots":-1}`))
+	f.Add([]byte(`{"numSlots":10,"numOffsets":1,"numNodes":4,
+	  "transmissions":[{"flow":0,"link":{"from":0,"to":1},"slot":3,"offset":0},
+	                   {"flow":1,"link":{"from":1,"to":2},"slot":3,"offset":0}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Busy bits must exactly cover the decoded transmissions.
+		busy := make(map[[2]int]bool)
+		for _, tx := range got.Txs() {
+			busy[[2]int{tx.Link.From, tx.Slot}] = true
+			busy[[2]int{tx.Link.To, tx.Slot}] = true
+		}
+		for node := 0; node < got.NumNodes(); node++ {
+			for slot := 0; slot < got.NumSlots(); slot++ {
+				if got.NodeBusy(node, slot) != busy[[2]int{node, slot}] {
+					t.Fatalf("busy bit mismatch at node %d slot %d", node, slot)
+				}
+			}
+		}
+		// No transmission conflicts can survive decoding.
+		for slot := 0; slot < got.NumSlots(); slot++ {
+			seen := make(map[int]bool)
+			for off := 0; off < got.NumOffsets(); off++ {
+				for _, tx := range got.Cell(slot, off) {
+					if seen[tx.Link.From] || seen[tx.Link.To] {
+						t.Fatalf("conflict in decoded schedule at slot %d", slot)
+					}
+					seen[tx.Link.From] = true
+					seen[tx.Link.To] = true
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package schedule
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// scheduleJSON is the on-disk representation of a schedule.
+type scheduleJSON struct {
+	NumSlots   int  `json:"numSlots"`
+	NumOffsets int  `json:"numOffsets"`
+	NumNodes   int  `json:"numNodes"`
+	Txs        []Tx `json:"transmissions"`
+}
+
+// Encode writes the schedule as JSON, transmissions in placement order.
+func (s *Schedule) Encode(w io.Writer) error {
+	return json.NewEncoder(w).Encode(scheduleJSON{
+		NumSlots:   s.numSlots,
+		NumOffsets: s.numOffsets,
+		NumNodes:   s.numNodes,
+		Txs:        s.txs,
+	})
+}
+
+// Decode reads a schedule written by Encode, re-validating every placement
+// (bounds and transmission conflicts).
+func Decode(r io.Reader) (*Schedule, error) {
+	var in scheduleJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("decode schedule: %w", err)
+	}
+	s, err := New(in.NumSlots, in.NumOffsets, in.NumNodes)
+	if err != nil {
+		return nil, fmt.Errorf("decode schedule: %w", err)
+	}
+	for _, tx := range in.Txs {
+		if err := s.Place(tx); err != nil {
+			return nil, fmt.Errorf("decode schedule: %w", err)
+		}
+	}
+	return s, nil
+}
+
+// DeviceRole describes what a device does in one of its scheduled slots.
+type DeviceRole int
+
+const (
+	// RoleTransmit: the device sends the DATA frame (and receives the ACK).
+	RoleTransmit DeviceRole = iota + 1
+	// RoleReceive: the device receives the DATA frame (and sends the ACK).
+	RoleReceive
+)
+
+// String implements fmt.Stringer.
+func (r DeviceRole) String() string {
+	switch r {
+	case RoleTransmit:
+		return "tx"
+	case RoleReceive:
+		return "rx"
+	default:
+		return fmt.Sprintf("DeviceRole(%d)", int(r))
+	}
+}
+
+// DeviceSlot is one entry of a per-device link schedule — the unit a
+// WirelessHART network manager disseminates to each field device.
+type DeviceSlot struct {
+	Slot   int        `json:"slot"`
+	Offset int        `json:"offset"`
+	Role   DeviceRole `json:"role"`
+	// Peer is the other endpoint of the link.
+	Peer int `json:"peer"`
+	// FlowID identifies the flow the slot serves.
+	FlowID int `json:"flow"`
+	// Shared marks slots whose channel is reused by other transmissions.
+	Shared bool `json:"shared"`
+}
+
+// DeviceSchedule extracts the link schedule of one device, ordered by slot.
+// This is the view each field device receives from the network manager: it
+// needs to know only when to wake, on which channel offset, and in which
+// role.
+func (s *Schedule) DeviceSchedule(node int) []DeviceSlot {
+	var out []DeviceSlot
+	for _, tx := range s.txs {
+		var role DeviceRole
+		var peer int
+		switch node {
+		case tx.Link.From:
+			role, peer = RoleTransmit, tx.Link.To
+		case tx.Link.To:
+			role, peer = RoleReceive, tx.Link.From
+		default:
+			continue
+		}
+		out = append(out, DeviceSlot{
+			Slot:   tx.Slot,
+			Offset: tx.Offset,
+			Role:   role,
+			Peer:   peer,
+			FlowID: tx.FlowID,
+			Shared: len(s.Cell(tx.Slot, tx.Offset)) > 1,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Slot < out[j].Slot })
+	return out
+}
+
+// DutyCycle returns the fraction of slots in which the device is awake
+// (transmitting or receiving) — the energy-relevant metric TSCH scheduling
+// optimizes for in battery-powered field devices.
+func (s *Schedule) DutyCycle(node int) float64 {
+	if s.numSlots == 0 {
+		return 0
+	}
+	busy := 0
+	for slot := 0; slot < s.numSlots; slot++ {
+		if s.NodeBusy(node, slot) {
+			busy++
+		}
+	}
+	return float64(busy) / float64(s.numSlots)
+}

@@ -1,0 +1,194 @@
+package schedule
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestScheduleJSONRoundTrip(t *testing.T) {
+	s := mustNew(t, 50, 4, 10)
+	placements := []Tx{
+		tx(0, 0, 1, 0, 0),
+		tx(0, 1, 2, 1, 2),
+		tx(1, 4, 5, 0, 1),
+		tx(2, 6, 7, 0, 1), // would reuse offset 1 — conflict-free nodes
+	}
+	for _, p := range placements {
+		if err := s.Place(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Encode(&buf); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.NumSlots() != 50 || got.NumOffsets() != 4 || got.NumNodes() != 10 {
+		t.Errorf("dimensions lost: %d/%d/%d", got.NumSlots(), got.NumOffsets(), got.NumNodes())
+	}
+	if got.Len() != s.Len() {
+		t.Fatalf("tx count = %d, want %d", got.Len(), s.Len())
+	}
+	for i, tx := range got.Txs() {
+		if tx != s.Txs()[i] {
+			t.Errorf("tx %d mismatch: %+v vs %+v", i, tx, s.Txs()[i])
+		}
+	}
+	// Busy bitsets must be rebuilt.
+	if !got.NodeBusy(1, 0) || !got.NodeBusy(2, 1) {
+		t.Error("decoded schedule lost busy state")
+	}
+}
+
+func TestDecodeRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		"{",
+		`{"numSlots":0,"numOffsets":1,"numNodes":1}`,
+		`{"numSlots":10,"numOffsets":1,"numNodes":4,
+		  "transmissions":[{"flow":0,"link":{"from":0,"to":1},"slot":99,"offset":0}]}`,
+		`{"numSlots":10,"numOffsets":1,"numNodes":4,
+		  "transmissions":[{"flow":0,"link":{"from":0,"to":1},"slot":0,"offset":0},
+		                   {"flow":1,"link":{"from":1,"to":2},"slot":0,"offset":0}]}`,
+	}
+	for i, c := range cases {
+		if _, err := Decode(strings.NewReader(c)); err == nil {
+			t.Errorf("case %d should fail to decode", i)
+		}
+	}
+}
+
+func TestDeviceSchedule(t *testing.T) {
+	s := mustNew(t, 20, 2, 6)
+	placements := []Tx{
+		tx(0, 0, 1, 5, 0),
+		tx(0, 1, 2, 7, 1),
+		tx(1, 3, 4, 5, 1),
+		tx(2, 1, 5, 2, 0),
+	}
+	for _, p := range placements {
+		if err := s.Place(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ds := s.DeviceSchedule(1)
+	if len(ds) != 3 {
+		t.Fatalf("device 1 has %d slots, want 3", len(ds))
+	}
+	// Ordered by slot: slot 2 (rx from 1? no — 1→5 means node 1 transmits).
+	if ds[0].Slot != 2 || ds[0].Role != RoleTransmit || ds[0].Peer != 5 {
+		t.Errorf("ds[0] = %+v", ds[0])
+	}
+	if ds[1].Slot != 5 || ds[1].Role != RoleReceive || ds[1].Peer != 0 {
+		t.Errorf("ds[1] = %+v", ds[1])
+	}
+	if ds[2].Slot != 7 || ds[2].Role != RoleTransmit || ds[2].Peer != 2 {
+		t.Errorf("ds[2] = %+v", ds[2])
+	}
+	// Uninvolved device.
+	if got := s.DeviceSchedule(4); len(got) != 1 {
+		t.Errorf("device 4 has %d slots, want 1", len(got))
+	}
+}
+
+func TestDeviceScheduleSharedFlag(t *testing.T) {
+	s := mustNew(t, 10, 1, 8)
+	if err := s.Place(tx(0, 0, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(tx(1, 4, 5, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(tx(2, 6, 7, 3, 0)); err != nil {
+		t.Fatal(err)
+	}
+	ds := s.DeviceSchedule(0)
+	if len(ds) != 1 || !ds[0].Shared {
+		t.Errorf("reused slot should be Shared: %+v", ds)
+	}
+	ds = s.DeviceSchedule(6)
+	if len(ds) != 1 || ds[0].Shared {
+		t.Errorf("exclusive slot should not be Shared: %+v", ds)
+	}
+}
+
+func TestDeviceRoleString(t *testing.T) {
+	if RoleTransmit.String() != "tx" || RoleReceive.String() != "rx" {
+		t.Error("DeviceRole.String wrong")
+	}
+	if !strings.Contains(DeviceRole(9).String(), "9") {
+		t.Error("unknown role should include number")
+	}
+}
+
+func TestDutyCycle(t *testing.T) {
+	s := mustNew(t, 10, 2, 4)
+	if got := s.DutyCycle(0); got != 0 {
+		t.Errorf("idle duty cycle = %v, want 0", got)
+	}
+	if err := s.Place(tx(0, 0, 1, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Place(tx(0, 0, 1, 4, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.DutyCycle(0); got != 0.2 {
+		t.Errorf("duty cycle = %v, want 0.2", got)
+	}
+	if got := s.DutyCycle(3); got != 0 {
+		t.Errorf("uninvolved node duty cycle = %v, want 0", got)
+	}
+}
+
+func TestRender(t *testing.T) {
+	s := mustNew(t, 6, 2, 10)
+	placements := []Tx{
+		tx(0, 0, 1, 0, 0),
+		tx(1, 2, 3, 0, 0), // shares cell (0,0) with flow 0
+		tx(2, 4, 5, 1, 1),
+	}
+	for _, p := range placements {
+		if err := s.Place(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf, 0, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"[f0 f1]", "f2", "offset 0", "offset 1", "slot"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered schedule missing %q:\n%s", want, out)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Errorf("got %d lines, want header + 2 offsets:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderWindowing(t *testing.T) {
+	s := mustNew(t, 100, 1, 4)
+	if err := s.Place(tx(7, 0, 1, 50, 0)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := s.Render(&buf, 49, 52); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "f7") {
+		t.Errorf("window missed the transmission:\n%s", buf.String())
+	}
+	if err := s.Render(&buf, 60, 60); err == nil {
+		t.Error("empty window should fail")
+	}
+	// Clamped bounds are fine.
+	buf.Reset()
+	if err := s.Render(&buf, -5, 9999); err != nil {
+		t.Errorf("clamped render failed: %v", err)
+	}
+}

@@ -1,0 +1,251 @@
+// Package schedule holds the transmission-schedule data structure produced by
+// the schedulers and the constraint primitives of Sec. V-A:
+//
+//   - transmission conflict: two transmissions in the same slot must not
+//     share a node (half-duplex radios), and
+//   - channel constraint: transmissions sharing a slot AND a channel offset
+//     must have their senders at least ρ hops from each other's receivers on
+//     the channel-reuse graph G_R (or the offset must be exclusive when
+//     reuse is disabled).
+//
+// The hot query behind the laxity computation of Eq. 1 — "how many slots in
+// [a,b] conflict with link (u,v)?" — is served by per-node slot-busy bitsets
+// with word-level popcounts.
+package schedule
+
+import (
+	"fmt"
+	"math/bits"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+)
+
+// Tx is one scheduled transmission: a single DATA(+ACK) exchange over one
+// link in one dedicated slot on one channel offset.
+type Tx struct {
+	// FlowID identifies the flow; Instance is the release index within the
+	// hyperperiod; Hop is the index into the flow's route; Attempt is 0 for
+	// the primary transmission and 1 for the retransmission slot.
+	FlowID   int `json:"flow"`
+	Instance int `json:"instance"`
+	Hop      int `json:"hop"`
+	Attempt  int `json:"attempt"`
+	// Link is the directed hop this transmission carries.
+	Link flow.Link `json:"link"`
+	// Slot and Offset are the assigned time slot and channel offset.
+	Slot   int `json:"slot"`
+	Offset int `json:"offset"`
+}
+
+// Schedule is a slot × channel-offset transmission matrix plus per-node
+// busy bitsets. Create one with New; the zero value is not usable.
+type Schedule struct {
+	numSlots   int
+	numOffsets int
+	numNodes   int
+	words      int // bitset words per node
+
+	// nodeBusy[node*words+w] holds slot-busy bits for the node.
+	nodeBusy []uint64
+	// cells[slot*numOffsets+offset] lists the transmissions sharing that
+	// slot and offset (channel reuse when len > 1).
+	cells [][]Tx
+	// txs records all placements in order.
+	txs []Tx
+}
+
+// New creates an empty schedule covering numSlots slots, numOffsets channel
+// offsets, and nodes 0..numNodes-1.
+func New(numSlots, numOffsets, numNodes int) (*Schedule, error) {
+	if numSlots <= 0 || numOffsets <= 0 || numNodes <= 0 {
+		return nil, fmt.Errorf("schedule dimensions must be positive: slots=%d offsets=%d nodes=%d",
+			numSlots, numOffsets, numNodes)
+	}
+	words := (numSlots + 63) / 64
+	return &Schedule{
+		numSlots:   numSlots,
+		numOffsets: numOffsets,
+		numNodes:   numNodes,
+		words:      words,
+		nodeBusy:   make([]uint64, numNodes*words),
+		cells:      make([][]Tx, numSlots*numOffsets),
+	}, nil
+}
+
+// NumSlots returns the schedule length in slots.
+func (s *Schedule) NumSlots() int { return s.numSlots }
+
+// NumOffsets returns the number of channel offsets.
+func (s *Schedule) NumOffsets() int { return s.numOffsets }
+
+// NumNodes returns the node-ID space size.
+func (s *Schedule) NumNodes() int { return s.numNodes }
+
+// Len returns the number of placed transmissions.
+func (s *Schedule) Len() int { return len(s.txs) }
+
+// Txs returns all placed transmissions in placement order. The slice is
+// owned by the schedule; callers must not modify it.
+func (s *Schedule) Txs() []Tx { return s.txs }
+
+// NodeBusy reports whether the node already sends or receives in the slot.
+func (s *Schedule) NodeBusy(node, slot int) bool {
+	if node < 0 || node >= s.numNodes || slot < 0 || slot >= s.numSlots {
+		return false
+	}
+	return s.nodeBusy[node*s.words+slot/64]&(1<<uint(slot%64)) != 0
+}
+
+func (s *Schedule) markBusy(node, slot int) {
+	s.nodeBusy[node*s.words+slot/64] |= 1 << uint(slot%64)
+}
+
+// Cell returns the transmissions already assigned to (slot, offset). The
+// slice is owned by the schedule; callers must not modify it.
+func (s *Schedule) Cell(slot, offset int) []Tx {
+	if slot < 0 || slot >= s.numSlots || offset < 0 || offset >= s.numOffsets {
+		return nil
+	}
+	return s.cells[slot*s.numOffsets+offset]
+}
+
+// Place adds a transmission after re-checking bounds and the transmission-
+// conflict constraint (both endpoints idle in the slot). Channel-constraint
+// compliance is the scheduler's responsibility — Place cannot know the ρ in
+// effect — but Validate can re-check it afterwards.
+func (s *Schedule) Place(tx Tx) error {
+	if tx.Slot < 0 || tx.Slot >= s.numSlots {
+		return fmt.Errorf("place tx flow %d: slot %d out of [0,%d)", tx.FlowID, tx.Slot, s.numSlots)
+	}
+	if tx.Offset < 0 || tx.Offset >= s.numOffsets {
+		return fmt.Errorf("place tx flow %d: offset %d out of [0,%d)", tx.FlowID, tx.Offset, s.numOffsets)
+	}
+	u, v := tx.Link.From, tx.Link.To
+	if u < 0 || u >= s.numNodes || v < 0 || v >= s.numNodes || u == v {
+		return fmt.Errorf("place tx flow %d: bad link %d→%d", tx.FlowID, u, v)
+	}
+	if s.NodeBusy(u, tx.Slot) || s.NodeBusy(v, tx.Slot) {
+		return fmt.Errorf("place tx flow %d: transmission conflict in slot %d for link %d→%d",
+			tx.FlowID, tx.Slot, u, v)
+	}
+	s.markBusy(u, tx.Slot)
+	s.markBusy(v, tx.Slot)
+	idx := tx.Slot*s.numOffsets + tx.Offset
+	s.cells[idx] = append(s.cells[idx], tx)
+	s.txs = append(s.txs, tx)
+	return nil
+}
+
+// Remove deletes a previously placed transmission, freeing its endpoints'
+// busy bits and its cell entry. The transmission must match an existing
+// placement exactly.
+func (s *Schedule) Remove(tx Tx) error {
+	idx := -1
+	for i, placed := range s.txs {
+		if placed == tx {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return fmt.Errorf("remove tx flow %d: not placed", tx.FlowID)
+	}
+	s.txs = append(s.txs[:idx], s.txs[idx+1:]...)
+	cellIdx := tx.Slot*s.numOffsets + tx.Offset
+	cell := s.cells[cellIdx]
+	for i, placed := range cell {
+		if placed == tx {
+			s.cells[cellIdx] = append(cell[:i], cell[i+1:]...)
+			break
+		}
+	}
+	s.clearBusy(tx.Link.From, tx.Slot)
+	s.clearBusy(tx.Link.To, tx.Slot)
+	return nil
+}
+
+func (s *Schedule) clearBusy(node, slot int) {
+	s.nodeBusy[node*s.words+slot/64] &^= 1 << uint(slot%64)
+}
+
+// BusyUnionCount returns the number of slots in the inclusive range
+// [from, to] in which node u or node v (or both) is busy — the q^t term of
+// the laxity equation for a link t = (u,v). Out-of-range bounds are clamped;
+// an empty range returns 0.
+func (s *Schedule) BusyUnionCount(u, v, from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to >= s.numSlots {
+		to = s.numSlots - 1
+	}
+	if from > to || u < 0 || u >= s.numNodes || v < 0 || v >= s.numNodes {
+		return 0
+	}
+	bu := s.nodeBusy[u*s.words : (u+1)*s.words]
+	bv := s.nodeBusy[v*s.words : (v+1)*s.words]
+	wFrom, wTo := from/64, to/64
+	count := 0
+	for w := wFrom; w <= wTo; w++ {
+		word := bu[w] | bv[w]
+		if w == wFrom {
+			word &= ^uint64(0) << uint(from%64)
+		}
+		if w == wTo {
+			shift := uint(63 - to%64)
+			word &= ^uint64(0) >> shift
+		}
+		count += bits.OnesCount64(word)
+	}
+	return count
+}
+
+// OffsetLoad returns how many transmissions are already assigned to
+// (slot, offset).
+func (s *Schedule) OffsetLoad(slot, offset int) int {
+	return len(s.Cell(slot, offset))
+}
+
+// Validate re-derives every invariant from the raw transmission list:
+// in-range assignments, no transmission conflicts within a slot, and the
+// channel constraint at threshold rhoT on the reuse-graph hop matrix. With
+// reuse disabled (rhoT ≤ 0 means "no reuse allowed"), every (slot, offset)
+// cell must hold at most one transmission.
+func (s *Schedule) Validate(hop *graph.HopMatrix, rhoT int) error {
+	perSlot := make(map[int][]Tx)
+	for _, tx := range s.txs {
+		if tx.Slot < 0 || tx.Slot >= s.numSlots || tx.Offset < 0 || tx.Offset >= s.numOffsets {
+			return fmt.Errorf("validate: tx %+v out of range", tx)
+		}
+		perSlot[tx.Slot] = append(perSlot[tx.Slot], tx)
+	}
+	for slot, txs := range perSlot {
+		for i := 0; i < len(txs); i++ {
+			for j := i + 1; j < len(txs); j++ {
+				a, b := txs[i], txs[j]
+				if a.Link.From == b.Link.From || a.Link.From == b.Link.To ||
+					a.Link.To == b.Link.From || a.Link.To == b.Link.To {
+					return fmt.Errorf("validate: transmission conflict in slot %d: %d→%d vs %d→%d",
+						slot, a.Link.From, a.Link.To, b.Link.From, b.Link.To)
+				}
+				if a.Offset != b.Offset {
+					continue
+				}
+				if rhoT <= 0 {
+					return fmt.Errorf("validate: channel reuse in slot %d offset %d but reuse disabled",
+						slot, a.Offset)
+				}
+				if hop == nil {
+					return fmt.Errorf("validate: reuse present but no hop matrix provided")
+				}
+				if int(hop.Dist(a.Link.From, b.Link.To)) < rhoT ||
+					int(hop.Dist(b.Link.From, a.Link.To)) < rhoT {
+					return fmt.Errorf("validate: reuse constraint violated in slot %d offset %d: %d→%d vs %d→%d (ρ_t=%d)",
+						slot, a.Offset, a.Link.From, a.Link.To, b.Link.From, b.Link.To, rhoT)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package scheduler
+
+import (
+	"fmt"
+
+	"wsan/internal/flow"
+	"wsan/internal/schedule"
+)
+
+// AddFlow admits one new flow into an existing schedule without touching the
+// already-scheduled transmissions — the incremental update a WirelessHART
+// network manager performs when a device or control loop joins a running
+// network. The new flow is treated as the lowest-priority flow (its ID must
+// be larger than every scheduled flow's), so existing guarantees are
+// preserved by construction.
+//
+// The new flow's period must divide the schedule length (harmonic with the
+// existing hyperperiod); otherwise the slotframe would have to grow, which
+// is a full reschedule, not an incremental add.
+//
+// On success the schedule is mutated and the result reports the placement;
+// on a deadline miss the schedule is left exactly as it was.
+func AddFlow(sched *schedule.Schedule, f *flow.Flow, cfg Config) (*Result, error) {
+	if sched == nil {
+		return nil, fmt.Errorf("scheduler: nil schedule")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	if len(f.Route) == 0 {
+		return nil, fmt.Errorf("scheduler: flow %d has no route", f.ID)
+	}
+	if cfg.NumChannels != sched.NumOffsets() {
+		return nil, fmt.Errorf("scheduler: config has %d channels but schedule has %d offsets",
+			cfg.NumChannels, sched.NumOffsets())
+	}
+	switch cfg.Algorithm {
+	case NR:
+	case RA, RC:
+		if cfg.HopGR == nil {
+			return nil, fmt.Errorf("scheduler: %v requires the G_R hop matrix", cfg.Algorithm)
+		}
+		if cfg.RhoT < 1 {
+			return nil, fmt.Errorf("scheduler: %v requires RhoT ≥ 1, have %d", cfg.Algorithm, cfg.RhoT)
+		}
+	default:
+		return nil, fmt.Errorf("scheduler: unknown algorithm %v", cfg.Algorithm)
+	}
+	hyper := sched.NumSlots()
+	if f.Period <= 0 || hyper%f.Period != 0 {
+		return nil, fmt.Errorf("scheduler: flow period %d does not divide the slotframe %d",
+			f.Period, hyper)
+	}
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == f.ID {
+			return nil, fmt.Errorf("scheduler: flow %d already scheduled", f.ID)
+		}
+		if tx.FlowID > f.ID {
+			return nil, fmt.Errorf("scheduler: flow %d must be lower priority than scheduled flow %d",
+				f.ID, tx.FlowID)
+		}
+	}
+	for _, l := range f.Route {
+		if l.From >= sched.NumNodes() || l.To >= sched.NumNodes() {
+			return nil, fmt.Errorf("scheduler: flow %d route node outside schedule's node space", f.ID)
+		}
+	}
+
+	res := &Result{Schedule: sched, FailedFlow: -1}
+	if cfg.Algorithm == RC {
+		res.LambdaR = cfg.HopGR.Diameter()
+	}
+	eng := engine{cfg: cfg, sched: sched, lambdaR: res.LambdaR}
+	// Remember everything we place so a failure can roll back.
+	placedBefore := sched.Len()
+	for inst := 0; inst < hyper/f.Period; inst++ {
+		if !eng.scheduleInstance(f, inst) {
+			// Roll back this flow's placements.
+			txs := append([]schedule.Tx(nil), sched.Txs()[placedBefore:]...)
+			for _, tx := range txs {
+				if err := sched.Remove(tx); err != nil {
+					return nil, fmt.Errorf("scheduler: rollback: %w", err)
+				}
+			}
+			res.Schedulable = false
+			res.FailedFlow = f.ID
+			return res, nil
+		}
+	}
+	res.Schedulable = true
+	return res, nil
+}

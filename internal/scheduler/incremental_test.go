@@ -1,0 +1,153 @@
+package scheduler
+
+import (
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/schedule"
+)
+
+func baseSchedule(t *testing.T) (*Result, []*flow.Flow, Config) {
+	t.Helper()
+	_, hop := threeIslands()
+	flows := []*flow.Flow{
+		{ID: 0, Src: 0, Dst: 2, Period: 50, Deadline: 50},
+		{ID: 1, Src: 3, Dst: 5, Period: 100, Deadline: 100},
+	}
+	routeThrough(flows[0], 0, 1, 2)
+	routeThrough(flows[1], 3, 4, 5)
+	cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop, Retransmit: true}
+	res, err := Run(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatal("base workload must be schedulable")
+	}
+	return res, flows, cfg
+}
+
+func TestAddFlowSuccess(t *testing.T) {
+	res, flows, cfg := baseSchedule(t)
+	before := res.Schedule.Len()
+	beforeTxs := append([]schedule.Tx(nil), res.Schedule.Txs()...)
+	newFlow := &flow.Flow{ID: 2, Src: 6, Dst: 8, Period: 100, Deadline: 100}
+	routeThrough(newFlow, 6, 7, 8)
+	add, err := AddFlow(res.Schedule, newFlow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !add.Schedulable {
+		t.Fatal("add should succeed")
+	}
+	// Existing transmissions are untouched, in place and order.
+	for i, tx := range beforeTxs {
+		if res.Schedule.Txs()[i] != tx {
+			t.Fatalf("existing tx %d changed: %+v vs %+v", i, res.Schedule.Txs()[i], tx)
+		}
+	}
+	// New flow fully scheduled: 2 hops × 2 attempts × 1 instance.
+	if got := res.Schedule.Len() - before; got != 4 {
+		t.Errorf("added %d transmissions, want 4", got)
+	}
+	checkTiming(t, append(flows, newFlow), &Result{Schedule: res.Schedule, Schedulable: true}, 2)
+	if err := res.Schedule.Validate(cfg.HopGR, cfg.RhoT); err != nil {
+		t.Errorf("schedule invalid after add: %v", err)
+	}
+}
+
+func TestAddFlowRollbackOnMiss(t *testing.T) {
+	res, _, cfg := baseSchedule(t)
+	before := res.Schedule.Len()
+	// Impossible deadline: 2 hops × 2 attempts = 4 slots needed, deadline 2.
+	newFlow := &flow.Flow{ID: 2, Src: 6, Dst: 8, Period: 50, Deadline: 2}
+	routeThrough(newFlow, 6, 7, 8)
+	add, err := AddFlow(res.Schedule, newFlow, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.Schedulable {
+		t.Fatal("add should miss its deadline")
+	}
+	if res.Schedule.Len() != before {
+		t.Errorf("rollback incomplete: %d transmissions, want %d", res.Schedule.Len(), before)
+	}
+	for _, tx := range res.Schedule.Txs() {
+		if tx.FlowID == 2 {
+			t.Errorf("rolled-back flow still present: %+v", tx)
+		}
+	}
+}
+
+func TestAddFlowValidation(t *testing.T) {
+	res, _, cfg := baseSchedule(t)
+	good := &flow.Flow{ID: 2, Src: 6, Dst: 8, Period: 50, Deadline: 50}
+	routeThrough(good, 6, 7, 8)
+
+	if _, err := AddFlow(nil, good, cfg); err == nil {
+		t.Error("nil schedule should fail")
+	}
+	badPeriod := *good
+	badPeriod.Period, badPeriod.Deadline = 30, 30 // does not divide 100
+	if _, err := AddFlow(res.Schedule, &badPeriod, cfg); err == nil {
+		t.Error("non-harmonic period should fail")
+	}
+	dup := *good
+	dup.ID = 0 // collides with an existing flow
+	if _, err := AddFlow(res.Schedule, &dup, cfg); err == nil {
+		t.Error("duplicate flow ID should fail")
+	}
+	higher := *good
+	higher.ID = 1 // not lower priority than flow 1... equal: collides
+	if _, err := AddFlow(res.Schedule, &higher, cfg); err == nil {
+		t.Error("non-lowest priority should fail")
+	}
+	noRoute := &flow.Flow{ID: 2, Src: 6, Dst: 8, Period: 50, Deadline: 50}
+	if _, err := AddFlow(res.Schedule, noRoute, cfg); err == nil {
+		t.Error("unrouted flow should fail")
+	}
+	badCh := cfg
+	badCh.NumChannels = 7
+	if _, err := AddFlow(res.Schedule, good, badCh); err == nil {
+		t.Error("channel mismatch should fail")
+	}
+	outOfSpace := &flow.Flow{ID: 2, Src: 6, Dst: 99, Period: 50, Deadline: 50,
+		Route: []flow.Link{{From: 6, To: 99}}}
+	if _, err := AddFlow(res.Schedule, outOfSpace, cfg); err == nil {
+		t.Error("route outside node space should fail")
+	}
+}
+
+func TestAddFlowMatchesFullReschedule(t *testing.T) {
+	// Adding flows one by one must produce the same schedule as running the
+	// full scheduler on the combined set (the engine is deterministic and
+	// processes flows in priority order either way).
+	_, hop := threeIslands()
+	mk := func(id, base int, period int) *flow.Flow {
+		f := &flow.Flow{ID: id, Src: base, Dst: base + 2, Period: period, Deadline: period}
+		routeThrough(f, base, base+1, base+2)
+		return f
+	}
+	all := []*flow.Flow{mk(0, 0, 50), mk(1, 3, 100), mk(2, 6, 100)}
+	cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop, Retransmit: true}
+	full, err := Run(cloneFlows(all), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, err := Run(cloneFlows(all[:2]), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := AddFlow(incr.Schedule, all[2], cfg); err != nil {
+		t.Fatal(err)
+	}
+	a, b := full.Schedule.Txs(), incr.Schedule.Txs()
+	if len(a) != len(b) {
+		t.Fatalf("tx counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("tx %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/routing"
+	"wsan/internal/topology"
+)
+
+// TestPaperShapeSchedulability is an end-to-end integration test over the
+// full pipeline (testbed → graphs → workload → routes → schedule) asserting
+// the paper's headline qualitative result on the Indriya topology: under a
+// heavy peer-to-peer workload with few channels, both reuse algorithms
+// dominate NR, and RC stays within the same band as RA.
+func TestPaperShapeSchedulability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration calibration skipped in -short mode")
+	}
+	tb, err := topology.Indriya(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		nch    = 5
+		nf     = 100
+		trials = 20
+	)
+	chs := topology.Channels(nch)
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := tb.ReuseGraph(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := gr.AllPairsHop()
+	aps := topology.AccessPoints(gc, 2)
+	ok := map[Algorithm]int{}
+	for trial := 0; trial < trials; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		fs, err := flow.Generate(rng, gc, flow.GenConfig{
+			NumFlows: nf, MinPeriodExp: 0, MaxPeriodExp: 2, Exclude: aps,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := routing.Assign(fs, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+			t.Fatal(err)
+		}
+		for _, alg := range []Algorithm{NR, RA, RC} {
+			res, err := Run(cloneFlows(fs), Config{
+				Algorithm: alg, NumChannels: nch, RhoT: 2, HopGR: hop, Retransmit: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Schedulable {
+				ok[alg]++
+				rhoT := 2
+				if alg == NR {
+					rhoT = 0
+				}
+				if err := res.Schedule.Validate(hop, rhoT); err != nil {
+					t.Fatalf("trial %d %v: invalid schedule: %v", trial, alg, err)
+				}
+			}
+		}
+	}
+	t.Logf("schedulable out of %d: NR=%d RA=%d RC=%d", trials, ok[NR], ok[RA], ok[RC])
+	if ok[RC] <= ok[NR] {
+		t.Errorf("RC (%d) must beat NR (%d) under heavy load", ok[RC], ok[NR])
+	}
+	if ok[RA] < ok[RC] {
+		t.Errorf("RA (%d) should schedule at least as many sets as RC (%d)", ok[RA], ok[RC])
+	}
+	if ok[RC]-ok[NR] < trials/4 {
+		t.Errorf("RC's gain over NR too small: %d vs %d", ok[RC], ok[NR])
+	}
+}
+
+// TestFixedRhoAblation verifies the value of RC's maximize-hop-distance
+// search: with the FixedRho ablation (reuse always at ρ_t), the reuse cells'
+// hop distances must be stochastically no larger than with the full
+// descending search.
+func TestFixedRhoAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration calibration skipped in -short mode")
+	}
+	tb, err := topology.WUSTL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := topology.Channels(4)
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := tb.ReuseGraph(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := gr.AllPairsHop()
+	meanHop := func(fixed bool) (float64, int) {
+		total, count := 0, 0
+		for trial := int64(0); trial < 10; trial++ {
+			rng := rand.New(rand.NewSource(trial))
+			fs, err := flow.Generate(rng, gc, flow.GenConfig{
+				NumFlows: 90, MinPeriodExp: 0, MaxPeriodExp: 1,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := routing.Assign(fs, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+				t.Fatal(err)
+			}
+			res, err := Run(fs, Config{
+				Algorithm: RC, NumChannels: 4, RhoT: 2, HopGR: hop,
+				Retransmit: true, FixedRho: fixed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for h, n := range res.Schedule.ReuseHopHist(hop) {
+				total += h * n
+				count += n
+			}
+		}
+		if count == 0 {
+			return 0, 0
+		}
+		return float64(total) / float64(count), count
+	}
+	descend, nd := meanHop(false)
+	fixed, nf := meanHop(true)
+	t.Logf("mean reuse hop: descend=%.2f (n=%d) fixed=%.2f (n=%d)", descend, nd, fixed, nf)
+	if nd == 0 || nf == 0 {
+		t.Skip("workload produced no reuse; cannot compare")
+	}
+	if descend < fixed {
+		t.Errorf("descending ρ search should reuse at larger hop distances: %.2f < %.2f",
+			descend, fixed)
+	}
+}
+
+// TestRCReuseOnlyUnderPressure verifies, on the real topology, the defining
+// property of conservative reuse: with the same flow set, RC introduces
+// strictly less channel sharing than RA.
+func TestRCReuseOnlyUnderPressure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration calibration skipped in -short mode")
+	}
+	tb, err := topology.WUSTL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chs := topology.Channels(4)
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := tb.ReuseGraph(chs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hop := gr.AllPairsHop()
+	rng := rand.New(rand.NewSource(7))
+	fs, err := flow.Generate(rng, gc, flow.GenConfig{
+		NumFlows: 50, MinPeriodExp: -1, MaxPeriodExp: 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.Assign(fs, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+		t.Fatal(err)
+	}
+	reusedCells := func(alg Algorithm) int {
+		res, err := Run(cloneFlows(fs), Config{
+			Algorithm: alg, NumChannels: 4, RhoT: 2, HopGR: hop, Retransmit: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := 0
+		for k, v := range res.Schedule.TxPerChannelHist() {
+			if k >= 2 {
+				total += v
+			}
+		}
+		return total
+	}
+	ra, rc := reusedCells(RA), reusedCells(RC)
+	t.Logf("reused cells: RA=%d RC=%d", ra, rc)
+	if rc > ra {
+		t.Errorf("RC (%d reused cells) must not exceed RA (%d)", rc, ra)
+	}
+}

@@ -1,0 +1,340 @@
+// Package scheduler implements the three fixed-priority TSCH scheduling
+// algorithms the paper evaluates (Sec. V and VII):
+//
+//   - NR — the standard WirelessHART policy: no channel reuse, each
+//     (slot, offset) cell holds at most one transmission.
+//   - RA — aggressive reuse (TASA-like): every transmission goes into the
+//     earliest feasible slot, sharing a channel whenever the reuse-hop
+//     constraint at ρ_t holds, preferring the most-loaded compatible offset.
+//   - RC — Reuse Conservatively (Algorithm 1): a transmission is first
+//     placed without reuse (ρ = ∞); only if the flow's laxity (Eq. 1) turns
+//     negative is reuse introduced, starting from the reuse-graph diameter
+//     λ_R and decreasing toward ρ_t until the laxity is non-negative.
+//
+// All three share one engine: flows are processed in priority order, every
+// release within the hyperperiod is scheduled, and each hop of a source
+// route occupies a primary plus (optionally) a retransmission slot, in
+// sequence.
+package scheduler
+
+import (
+	"fmt"
+	"time"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/schedule"
+)
+
+// Algorithm selects the scheduling policy.
+type Algorithm int
+
+const (
+	// NR is Deadline-Monotonic scheduling with no channel reuse.
+	NR Algorithm = iota + 1
+	// RA is Deadline-Monotonic scheduling with aggressive channel reuse.
+	RA
+	// RC is the paper's Reuse Conservatively algorithm.
+	RC
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case NR:
+		return "NR"
+	case RA:
+		return "RA"
+	case RC:
+		return "RC"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// rhoInf is the internal "no reuse" sentinel for the ρ search.
+const rhoInf = int(^uint(0) >> 1)
+
+// Config parameterizes a scheduling run.
+type Config struct {
+	// Algorithm is the policy to run. Required.
+	Algorithm Algorithm
+	// NumChannels is |M|, the number of channel offsets available.
+	NumChannels int
+	// RhoT is the minimum channel-reuse hop distance ρ_t (the paper uses 2).
+	// Ignored by NR.
+	RhoT int
+	// HopGR is the all-pairs hop matrix of the channel-reuse graph G_R.
+	// Required for RA and RC.
+	HopGR *graph.HopMatrix
+	// Retransmit reserves a second dedicated slot per hop (source routing,
+	// Sec. VII). The paper's experiments all enable it.
+	Retransmit bool
+	// FixedRho is an ablation switch for RC: when a transmission needs
+	// reuse, jump directly to ρ_t instead of searching downward from the
+	// reuse-graph diameter λ_R. It isolates the contribution of RC's
+	// maximize-hop-distance heuristic (Sec. V-C) to reuse safety. Ignored
+	// by NR and RA.
+	FixedRho bool
+}
+
+func (c Config) attempts() int {
+	if c.Retransmit {
+		return 2
+	}
+	return 1
+}
+
+// Result is the outcome of a scheduling run.
+type Result struct {
+	// Schedule holds all placed transmissions; partially filled if the flow
+	// set is unschedulable.
+	Schedule *schedule.Schedule
+	// Schedulable reports whether every transmission of every flow met its
+	// deadline.
+	Schedulable bool
+	// FailedFlow is the ID of the first flow that missed a deadline, or -1.
+	FailedFlow int
+	// Elapsed is the wall-clock scheduling time (the paper's Fig. 6 metric).
+	Elapsed time.Duration
+	// LambdaR is the reuse-graph diameter used as the initial ρ (RC only;
+	// zero otherwise).
+	LambdaR int
+}
+
+// Run schedules the flow set (which must already be in priority order with
+// routes assigned — see flow.AssignDM and routing.Assign) and returns the
+// resulting schedule. A workload that misses a deadline yields
+// Schedulable=false, not an error; errors indicate invalid input.
+func Run(flows []*flow.Flow, cfg Config) (*Result, error) {
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("scheduler: empty flow set")
+	}
+	if cfg.NumChannels <= 0 {
+		return nil, fmt.Errorf("scheduler: NumChannels %d must be positive", cfg.NumChannels)
+	}
+	switch cfg.Algorithm {
+	case NR:
+	case RA, RC:
+		if cfg.HopGR == nil {
+			return nil, fmt.Errorf("scheduler: %v requires the G_R hop matrix", cfg.Algorithm)
+		}
+		if cfg.RhoT < 1 {
+			return nil, fmt.Errorf("scheduler: %v requires RhoT ≥ 1, have %d", cfg.Algorithm, cfg.RhoT)
+		}
+	default:
+		return nil, fmt.Errorf("scheduler: unknown algorithm %v", cfg.Algorithm)
+	}
+	numNodes := 0
+	for _, f := range flows {
+		if err := f.Validate(); err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+		if len(f.Route) == 0 {
+			return nil, fmt.Errorf("scheduler: flow %d has no route", f.ID)
+		}
+		for _, l := range f.Route {
+			if l.From >= numNodes {
+				numNodes = l.From + 1
+			}
+			if l.To >= numNodes {
+				numNodes = l.To + 1
+			}
+		}
+	}
+	if cfg.HopGR != nil && cfg.HopGR.Len() > numNodes {
+		numNodes = cfg.HopGR.Len()
+	}
+	hyper, err := flow.Hyperperiod(flows)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	sched, err := schedule.New(hyper, cfg.NumChannels, numNodes)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler: %w", err)
+	}
+	res := &Result{Schedule: sched, FailedFlow: -1}
+	if cfg.Algorithm == RC {
+		res.LambdaR = cfg.HopGR.Diameter()
+	}
+
+	start := time.Now()
+	defer func() { res.Elapsed = time.Since(start) }()
+
+	eng := engine{cfg: cfg, sched: sched, lambdaR: res.LambdaR}
+	for _, f := range flows {
+		for inst := 0; inst < hyper/f.Period; inst++ {
+			if !eng.scheduleInstance(f, inst) {
+				res.Schedulable = false
+				res.FailedFlow = f.ID
+				return res, nil
+			}
+		}
+	}
+	res.Schedulable = true
+	return res, nil
+}
+
+// engine carries the mutable scheduling state.
+type engine struct {
+	cfg     Config
+	sched   *schedule.Schedule
+	lambdaR int
+}
+
+// scheduleInstance places every transmission of one release of flow f,
+// returning false on a deadline miss.
+func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
+	release := f.Release(inst)
+	deadline := release + f.Deadline - 1 // last usable slot index
+	prevSlot := release - 1
+	attempts := e.cfg.attempts()
+	total := len(f.Route) * attempts
+	seq := 0 // transmissions placed so far in this instance
+	for hop, link := range f.Route {
+		for attempt := 0; attempt < attempts; attempt++ {
+			tx := schedule.Tx{
+				FlowID:   f.ID,
+				Instance: inst,
+				Hop:      hop,
+				Attempt:  attempt,
+				Link:     link,
+			}
+			slot, offset, ok := e.placeOne(f, tx, prevSlot+1, deadline, total-seq-1)
+			if !ok {
+				return false
+			}
+			tx.Slot, tx.Offset = slot, offset
+			if err := e.sched.Place(tx); err != nil {
+				// The engine only proposes conflict-free placements; a
+				// failure here is a programming error surfaced as a miss.
+				return false
+			}
+			prevSlot = slot
+			seq++
+		}
+	}
+	return true
+}
+
+// placeOne chooses a (slot, offset) for tx within [earliest, deadline]
+// according to the configured algorithm. remaining is |T_post|, the number
+// of transmissions of this instance still to schedule after tx.
+func (e *engine) placeOne(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+	switch e.cfg.Algorithm {
+	case NR:
+		return e.findSlot(tx, earliest, deadline, rhoInf)
+	case RA:
+		return e.findSlot(tx, earliest, deadline, e.cfg.RhoT)
+	case RC:
+		return e.placeRC(f, tx, earliest, deadline, remaining)
+	default:
+		return 0, 0, false
+	}
+}
+
+// placeRC is the inner loop of Algorithm 1: try without reuse, then with
+// reuse at decreasing hop distances, accepting the first placement whose
+// flow laxity is non-negative; fall back to the last feasible placement.
+func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+	rho := rhoInf
+	lastSlot, lastOffset, lastOK := 0, 0, false
+	for {
+		slot, offset, ok := e.findSlot(tx, earliest, deadline, rho)
+		if ok {
+			lastSlot, lastOffset, lastOK = slot, offset, true
+			if e.laxity(f, tx, slot, deadline, remaining) >= 0 {
+				return slot, offset, true
+			}
+		}
+		if rho == rhoInf {
+			if e.lambdaR < e.cfg.RhoT {
+				break // reuse impossible on this G_R; keep the ρ=∞ result
+			}
+			if e.cfg.FixedRho {
+				rho = e.cfg.RhoT // ablation: no hop-distance maximization
+			} else {
+				rho = e.lambdaR
+			}
+		} else {
+			rho--
+			if rho < e.cfg.RhoT {
+				break
+			}
+		}
+	}
+	// Laxity never reached 0: schedule at the most permissive placement
+	// found (paper: "if s ≤ d_i then schedule"), else report a miss.
+	return lastSlot, lastOffset, lastOK
+}
+
+// laxity evaluates Eq. 1 for scheduling tx at slot s: the number of slots
+// left before the deadline, minus the slots already known to conflict with
+// each remaining transmission, minus the count of remaining transmissions.
+func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int) int {
+	lax := deadline - s - remaining
+	if lax < 0 {
+		return lax // cheap exit: conflict sum can only decrease it
+	}
+	attempts := e.cfg.attempts()
+	seq := tx.Hop*attempts + tx.Attempt // index of tx within the instance
+	conflictSum := 0
+	for next := seq + 1; next < len(f.Route)*attempts; next++ {
+		link := f.Route[next/attempts]
+		conflictSum += e.sched.BusyUnionCount(link.From, link.To, s+1, deadline)
+	}
+	return lax - conflictSum
+}
+
+// findSlot returns the earliest slot in [earliest, deadline] and a channel
+// offset satisfying the channel-reuse constraints at hop distance rho
+// (rhoInf = no reuse allowed). Offset tie-breaking encodes the policies:
+// least-loaded for NR/RC (reduce channel contention), most-loaded for RA
+// (aggressive packing).
+func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
+	if earliest < 0 {
+		earliest = 0
+	}
+	if deadline >= e.sched.NumSlots() {
+		deadline = e.sched.NumSlots() - 1
+	}
+	u, v := tx.Link.From, tx.Link.To
+	preferLoaded := e.cfg.Algorithm == RA
+	for s := earliest; s <= deadline; s++ {
+		if e.sched.NodeBusy(u, s) || e.sched.NodeBusy(v, s) {
+			continue
+		}
+		best, bestLoad := -1, 0
+		for c := 0; c < e.sched.NumOffsets(); c++ {
+			cell := e.sched.Cell(s, c)
+			if len(cell) > 0 {
+				if rho == rhoInf || !e.reuseCompatible(u, v, cell, rho) {
+					continue
+				}
+			}
+			load := len(cell)
+			if best < 0 ||
+				(preferLoaded && load > bestLoad) ||
+				(!preferLoaded && load < bestLoad) {
+				best, bestLoad = c, load
+			}
+		}
+		if best >= 0 {
+			return s, best, true
+		}
+	}
+	return 0, 0, false
+}
+
+// reuseCompatible applies channel constraint 2(b) of Sec. V-A: the new
+// sender u must be ≥ rho hops from every scheduled receiver y, and every
+// scheduled sender x must be ≥ rho hops from the new receiver v, on G_R.
+func (e *engine) reuseCompatible(u, v int, cell []schedule.Tx, rho int) bool {
+	for _, other := range cell {
+		if int(e.cfg.HopGR.Dist(u, other.Link.To)) < rho ||
+			int(e.cfg.HopGR.Dist(other.Link.From, v)) < rho {
+			return false
+		}
+	}
+	return true
+}

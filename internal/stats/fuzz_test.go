@@ -1,0 +1,81 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzKSTest asserts the K-S invariants for arbitrary inputs: D and P stay
+// in [0,1], the test is symmetric, and identical samples are never rejected.
+func FuzzKSTest(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{4, 5, 6})
+	f.Add([]byte{0}, []byte{0})
+	f.Add([]byte{255, 0, 128}, []byte{1})
+	f.Fuzz(func(t *testing.T, rawA, rawB []byte) {
+		a := bytesToFloats(rawA)
+		b := bytesToFloats(rawB)
+		res, err := KSTest(a, b)
+		if len(a) == 0 || len(b) == 0 {
+			if err == nil {
+				t.Fatal("empty sample accepted")
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if res.D < 0 || res.D > 1 || math.IsNaN(res.D) {
+			t.Fatalf("D out of range: %v", res.D)
+		}
+		if res.P < 0 || res.P > 1 || math.IsNaN(res.P) {
+			t.Fatalf("P out of range: %v", res.P)
+		}
+		rev, err := KSTest(b, a)
+		if err != nil {
+			t.Fatalf("reverse errored: %v", err)
+		}
+		if rev.D != res.D || rev.P != res.P {
+			t.Fatalf("asymmetric: (%v,%v) vs (%v,%v)", res.D, res.P, rev.D, rev.P)
+		}
+		same, err := KSTest(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if same.D != 0 || same.Reject(0.05) {
+			t.Fatalf("identical samples rejected: %+v", same)
+		}
+	})
+}
+
+// FuzzQuantile asserts quantile ordering and range membership.
+func FuzzQuantile(f *testing.F) {
+	f.Add([]byte{10, 20, 30})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		xs := bytesToFloats(raw)
+		q1 := Quantile(xs, 0.25)
+		q2 := Quantile(xs, 0.5)
+		q3 := Quantile(xs, 0.75)
+		if len(xs) == 0 {
+			if !math.IsNaN(q2) {
+				t.Fatal("empty input should be NaN")
+			}
+			return
+		}
+		if q1 > q2 || q2 > q3 {
+			t.Fatalf("quantiles out of order: %v %v %v", q1, q2, q3)
+		}
+		lo, hi := Quantile(xs, 0), Quantile(xs, 1)
+		if q2 < lo || q2 > hi {
+			t.Fatalf("median %v outside [%v, %v]", q2, lo, hi)
+		}
+	})
+}
+
+func bytesToFloats(raw []byte) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, b := range raw {
+		out = append(out, float64(b)/255)
+	}
+	return out
+}

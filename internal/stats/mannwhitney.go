@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MWUResult is the outcome of a two-sample Mann-Whitney U test (Wilcoxon
+// rank-sum), provided as an alternative to the paper's Kolmogorov-Smirnov
+// choice: MWU is sensitive to location shifts specifically, where K-S
+// responds to any distributional difference.
+type MWUResult struct {
+	// U is the Mann-Whitney statistic of the first sample.
+	U float64
+	// P is the two-sided p-value under the normal approximation with tie
+	// correction (adequate for n ≥ ~8 per sample; the detection policy's 18
+	// samples per epoch qualify).
+	P float64
+}
+
+// Reject reports whether the null hypothesis (same distribution) is
+// rejected at significance level alpha.
+func (r MWUResult) Reject(alpha float64) bool { return r.P < alpha }
+
+// MannWhitneyU runs the two-sample Mann-Whitney U test.
+func MannWhitneyU(a, b []float64) (MWUResult, error) {
+	if len(a) == 0 || len(b) == 0 {
+		return MWUResult{}, fmt.Errorf("mann-whitney: empty sample (|a|=%d, |b|=%d)", len(a), len(b))
+	}
+	type obs struct {
+		v     float64
+		fromA bool
+	}
+	all := make([]obs, 0, len(a)+len(b))
+	for _, v := range a {
+		all = append(all, obs{v, true})
+	}
+	for _, v := range b {
+		all = append(all, obs{v, false})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].v < all[j].v })
+
+	// Assign mid-ranks, accumulating the tie-correction term Σ(t³−t).
+	n := len(all)
+	ranks := make([]float64, n)
+	tieTerm := 0.0
+	for i := 0; i < n; {
+		j := i
+		for j < n && all[j].v == all[i].v {
+			j++
+		}
+		mid := float64(i+j+1) / 2 // average of 1-based ranks i+1..j
+		for k := i; k < j; k++ {
+			ranks[k] = mid
+		}
+		t := float64(j - i)
+		tieTerm += t*t*t - t
+		i = j
+	}
+	var rankSumA float64
+	for i, o := range all {
+		if o.fromA {
+			rankSumA += ranks[i]
+		}
+	}
+	na, nb := float64(len(a)), float64(len(b))
+	u := rankSumA - na*(na+1)/2
+	mean := na * nb / 2
+	nTot := na + nb
+	variance := na * nb / 12 * ((nTot + 1) - tieTerm/(nTot*(nTot-1)))
+	if variance <= 0 {
+		// All observations tied: no evidence of difference.
+		return MWUResult{U: u, P: 1}, nil
+	}
+	// Continuity-corrected z.
+	z := (math.Abs(u-mean) - 0.5) / math.Sqrt(variance)
+	if z < 0 {
+		z = 0
+	}
+	p := 2 * (1 - stdNormalCDF(z))
+	if p > 1 {
+		p = 1
+	}
+	return MWUResult{U: u, P: p}, nil
+}
+
+// stdNormalCDF is Φ(z) via the complementary error function.
+func stdNormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}

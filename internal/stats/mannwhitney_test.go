@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMannWhitneyIdentical(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	res, err := MannWhitneyU(a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reject(0.05) {
+		t.Errorf("identical samples rejected: %+v", res)
+	}
+}
+
+func TestMannWhitneyAllTied(t *testing.T) {
+	a := []float64{5, 5, 5, 5}
+	b := []float64{5, 5, 5}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.P != 1 {
+		t.Errorf("all-tied P = %v, want 1", res.P)
+	}
+}
+
+func TestMannWhitneyShifted(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	detected := 0
+	const trials = 100
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 18)
+		b := make([]float64, 18)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64() + 1.2
+		}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.05) {
+			detected++
+		}
+	}
+	if detected < trials*85/100 {
+		t.Errorf("1.2σ shift detected only %d/%d times", detected, trials)
+	}
+}
+
+func TestMannWhitneyFalsePositiveRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	rejects := 0
+	const trials = 400
+	for trial := 0; trial < trials; trial++ {
+		a := make([]float64, 18)
+		b := make([]float64, 18)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		res, err := MannWhitneyU(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reject(0.05) {
+			rejects++
+		}
+	}
+	if rejects > trials*8/100 {
+		t.Errorf("false positive rate %d/%d exceeds ~5%%", rejects, trials)
+	}
+}
+
+func TestMannWhitneyKnownValue(t *testing.T) {
+	// Classic small example: a = {1,2,3}, b = {4,5,6}: U_a = 0, perfectly
+	// separated.
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	res, err := MannWhitneyU(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.U != 0 {
+		t.Errorf("U = %v, want 0", res.U)
+	}
+	rev, err := MannWhitneyU(b, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rev.U != 9 {
+		t.Errorf("reversed U = %v, want n·m = 9", rev.U)
+	}
+	if math.Abs(res.P-rev.P) > 1e-12 {
+		t.Errorf("two-sided p must be symmetric: %v vs %v", res.P, rev.P)
+	}
+}
+
+func TestMannWhitneyErrors(t *testing.T) {
+	if _, err := MannWhitneyU(nil, []float64{1}); err == nil {
+		t.Error("empty first sample should fail")
+	}
+	if _, err := MannWhitneyU([]float64{1}, nil); err == nil {
+		t.Error("empty second sample should fail")
+	}
+}
+
+func TestStdNormalCDF(t *testing.T) {
+	cases := []struct{ z, want float64 }{
+		{0, 0.5},
+		{1.96, 0.975},
+		{-1.96, 0.025},
+	}
+	for _, tc := range cases {
+		if got := stdNormalCDF(tc.z); math.Abs(got-tc.want) > 0.001 {
+			t.Errorf("Φ(%v) = %v, want %v", tc.z, got, tc.want)
+		}
+	}
+}

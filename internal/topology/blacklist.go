@@ -1,0 +1,83 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ChannelQuality summarizes how usable one channel is across the whole
+// testbed, the input to TSCH channel blacklisting (Sec. III-A: "channels
+// with extreme noises can be blacklisted").
+type ChannelQuality struct {
+	// Channel is the channel index (0..15).
+	Channel int
+	// GoodLinks counts directed links with PRR ≥ the quality threshold on
+	// this channel.
+	GoodLinks int
+	// MeanPRR averages the PRR over all directed links that are non-zero on
+	// at least one channel (so dead air doesn't dilute the comparison).
+	MeanPRR float64
+}
+
+// RankChannels evaluates every channel's quality at the given PRR threshold,
+// ordered best first (by good-link count, then mean PRR, then index).
+func (tb *Testbed) RankChannels(prrT float64) []ChannelQuality {
+	n := len(tb.Nodes)
+	// Links that exist on any channel.
+	type pair struct{ u, v int }
+	var live []pair
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			for ch := 0; ch < NumChannels; ch++ {
+				if tb.PRR(u, v, ch) > 0 {
+					live = append(live, pair{u, v})
+					break
+				}
+			}
+		}
+	}
+	out := make([]ChannelQuality, NumChannels)
+	for ch := 0; ch < NumChannels; ch++ {
+		q := ChannelQuality{Channel: ch}
+		sum := 0.0
+		for _, p := range live {
+			prr := tb.PRR(p.u, p.v, ch)
+			sum += prr
+			if prr >= prrT {
+				q.GoodLinks++
+			}
+		}
+		if len(live) > 0 {
+			q.MeanPRR = sum / float64(len(live))
+		}
+		out[ch] = q
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].GoodLinks != out[j].GoodLinks {
+			return out[i].GoodLinks > out[j].GoodLinks
+		}
+		if out[i].MeanPRR != out[j].MeanPRR {
+			return out[i].MeanPRR > out[j].MeanPRR
+		}
+		return out[i].Channel < out[j].Channel
+	})
+	return out
+}
+
+// BestChannels returns the n highest-quality channel indices in ascending
+// index order — the blacklist-complement a network operator would configure.
+func (tb *Testbed) BestChannels(n int, prrT float64) ([]int, error) {
+	if n <= 0 || n > NumChannels {
+		return nil, fmt.Errorf("best channels: n %d out of (0,%d]", n, NumChannels)
+	}
+	ranked := tb.RankChannels(prrT)
+	chs := make([]int, n)
+	for i := 0; i < n; i++ {
+		chs[i] = ranked[i].Channel
+	}
+	sort.Ints(chs)
+	return chs, nil
+}

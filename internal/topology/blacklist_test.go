@@ -1,0 +1,115 @@
+package topology
+
+import (
+	"testing"
+)
+
+// jammedTestbed builds a custom testbed where channel 5 is unusable and
+// channel 2 is the best.
+func jammedTestbed(t *testing.T) *Testbed {
+	t.Helper()
+	nodes := make([]Node, 6)
+	for i := range nodes {
+		nodes[i] = Node{ID: i, X: float64(i) * 3}
+	}
+	gain := func(u, v, ch int) float64 {
+		base := -89.0 // marginal: only a boost clears PRR_t
+		switch ch {
+		case 5:
+			return -120 // jammed: dead on every link
+		case 2:
+			return base + 5 // best channel
+		default:
+			return base
+		}
+	}
+	tb, err := Custom("jammed", nodes, gain, DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb
+}
+
+func TestRankChannels(t *testing.T) {
+	tb := jammedTestbed(t)
+	ranked := tb.RankChannels(0.9)
+	if len(ranked) != NumChannels {
+		t.Fatalf("ranked %d channels", len(ranked))
+	}
+	if ranked[0].Channel != 2 {
+		t.Errorf("best channel = %d, want 2", ranked[0].Channel)
+	}
+	if worst := ranked[NumChannels-1]; worst.Channel != 5 || worst.GoodLinks != 0 {
+		t.Errorf("worst channel = %+v, want channel 5 with 0 good links", worst)
+	}
+	// Quality values are within range.
+	for _, q := range ranked {
+		if q.MeanPRR < 0 || q.MeanPRR > 1 {
+			t.Errorf("channel %d mean PRR %v out of range", q.Channel, q.MeanPRR)
+		}
+	}
+}
+
+func TestBestChannels(t *testing.T) {
+	tb := jammedTestbed(t)
+	chs, err := tb.BestChannels(4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(chs) != 4 {
+		t.Fatalf("got %d channels", len(chs))
+	}
+	for i := 1; i < len(chs); i++ {
+		if chs[i] <= chs[i-1] {
+			t.Error("channels must be in ascending order")
+		}
+	}
+	for _, ch := range chs {
+		if ch == 5 {
+			t.Error("jammed channel 5 must be blacklisted")
+		}
+	}
+	// The selection must be usable for graph construction.
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gc.NumEdges() == 0 {
+		t.Error("best channels yield no communication links")
+	}
+}
+
+func TestBestChannelsValidation(t *testing.T) {
+	tb := jammedTestbed(t)
+	if _, err := tb.BestChannels(0, 0.9); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := tb.BestChannels(17, 0.9); err == nil {
+		t.Error("n=17 should fail")
+	}
+}
+
+func TestBestChannelsOnGenerated(t *testing.T) {
+	tb := genWUSTL(t)
+	chs, err := tb.BestChannels(4, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The chosen channels must be at least as good (by good-link count) as
+	// the default first-4 selection.
+	count := func(sel []int) int {
+		total := 0
+		ranked := tb.RankChannels(0.9)
+		byCh := make(map[int]ChannelQuality, len(ranked))
+		for _, q := range ranked {
+			byCh[q.Channel] = q
+		}
+		for _, ch := range sel {
+			total += byCh[ch].GoodLinks
+		}
+		return total
+	}
+	if count(chs) < count(Channels(4)) {
+		t.Errorf("BestChannels(%v) worse than default %v", chs, Channels(4))
+	}
+}

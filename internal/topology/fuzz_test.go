@@ -1,0 +1,54 @@
+package topology
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzDecode hardens the testbed JSON decoder against malformed input: it
+// must either return an error or a testbed that round-trips.
+func FuzzDecode(f *testing.F) {
+	tb, err := Generate(tinyConfig(), 1)
+	if err != nil {
+		f.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tb.Encode(&buf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[]}`))
+	f.Add([]byte(`{"name":"x","nodes":[{"id":0},{"id":1}],"links":[{"from":0,"to":5}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Whatever decoded must be internally consistent.
+		n := got.NumNodes()
+		if n < 2 {
+			t.Fatalf("decoder accepted %d nodes", n)
+		}
+		for u := 0; u < n; u++ {
+			for ch := 0; ch < NumChannels; ch++ {
+				if p := got.PRR(u, u, ch); p != 0 {
+					t.Fatalf("self PRR %v", p)
+				}
+			}
+		}
+		var out bytes.Buffer
+		if err := got.Encode(&out); err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+	})
+}
+
+func tinyConfig() GenConfig {
+	cfg := DefaultGenConfig()
+	cfg.NumNodes = 4
+	cfg.Floors = 1
+	cfg.FloorWidthM = 10
+	cfg.FloorDepthM = 10
+	return cfg
+}

@@ -1,0 +1,217 @@
+package wsan
+
+import (
+	"fmt"
+	"math/rand"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/netsim"
+	"wsan/internal/routing"
+	"wsan/internal/scheduler"
+	"wsan/internal/topology"
+)
+
+// Network is the high-level entry point: a testbed operated on a fixed set
+// of channels, with the communication and channel-reuse graphs the network
+// manager derives from the link statistics. It is safe for concurrent reads
+// after construction.
+type Network struct {
+	tb       *topology.Testbed
+	channels []int
+	gc       *graph.Graph
+	gr       *graph.Graph
+	hop      *graph.HopMatrix
+	aps      []int
+	prrT     float64
+}
+
+// NetworkOption customizes NewNetwork.
+type NetworkOption func(*networkOptions)
+
+type networkOptions struct {
+	prrT   float64
+	numAPs int
+}
+
+// WithPRRThreshold overrides the link-selection threshold PRR_t
+// (default 0.9).
+func WithPRRThreshold(t float64) NetworkOption {
+	return func(o *networkOptions) { o.prrT = t }
+}
+
+// WithAccessPoints overrides how many access points are selected
+// (default 2).
+func WithAccessPoints(n int) NetworkOption {
+	return func(o *networkOptions) { o.numAPs = n }
+}
+
+// NewNetwork derives the operating graphs for a testbed on the first
+// numChannels channels (the paper's convention; use NewNetworkOnChannels for
+// an explicit channel list).
+func NewNetwork(tb *Testbed, numChannels int, opts ...NetworkOption) (*Network, error) {
+	return NewNetworkOnChannels(tb, topology.Channels(numChannels), opts...)
+}
+
+// NewNetworkOnChannels derives the operating graphs for a testbed on an
+// explicit list of channel indices (supporting blacklists: pass the
+// non-blacklisted channels).
+func NewNetworkOnChannels(tb *Testbed, channels []int, opts ...NetworkOption) (*Network, error) {
+	if tb == nil {
+		return nil, fmt.Errorf("wsan: nil testbed")
+	}
+	o := networkOptions{prrT: 0.9, numAPs: 2}
+	for _, opt := range opts {
+		opt(&o)
+	}
+	gc, err := tb.CommGraph(channels, o.prrT)
+	if err != nil {
+		return nil, fmt.Errorf("wsan: %w", err)
+	}
+	gr, err := tb.ReuseGraph(channels)
+	if err != nil {
+		return nil, fmt.Errorf("wsan: %w", err)
+	}
+	return &Network{
+		tb:       tb,
+		channels: append([]int(nil), channels...),
+		gc:       gc,
+		gr:       gr,
+		hop:      gr.AllPairsHop(),
+		aps:      topology.AccessPoints(gc, o.numAPs),
+		prrT:     o.prrT,
+	}, nil
+}
+
+// Testbed returns the underlying testbed.
+func (n *Network) Testbed() *Testbed { return n.tb }
+
+// Channels returns the channel indices in use (copy).
+func (n *Network) Channels() []int { return append([]int(nil), n.channels...) }
+
+// AccessPoints returns the selected access-point node IDs (copy).
+func (n *Network) AccessPoints() []int { return append([]int(nil), n.aps...) }
+
+// ReuseDiameter returns λ_R, the diameter of the channel-reuse graph.
+func (n *Network) ReuseDiameter() int { return n.hop.Diameter() }
+
+// CommEdges returns the number of communication-graph links.
+func (n *Network) CommEdges() int { return n.gc.NumEdges() }
+
+// CutVertices returns the communication graph's articulation points — relay
+// nodes whose failure would partition the network. Deployment reviews flag
+// these for redundancy (a second radio, a wired AP, or a repeater).
+func (n *Network) CutVertices() []int { return n.gc.ArticulationPoints() }
+
+// WorkloadConfig parameterizes GenerateWorkload.
+type WorkloadConfig struct {
+	// NumFlows is the number of flows.
+	NumFlows int
+	// MinPeriodExp and MaxPeriodExp bound the harmonic period range
+	// P = [2^min, 2^max] seconds.
+	MinPeriodExp int
+	MaxPeriodExp int
+	// Traffic selects centralized or peer-to-peer routing.
+	Traffic Traffic
+	// Seed drives the random draw.
+	Seed int64
+}
+
+// GenerateWorkload draws a random flow set (sources and destinations from
+// the largest communication-graph component, excluding access points),
+// assigns Deadline-Monotonic priorities, and routes every flow.
+func (n *Network) GenerateWorkload(cfg WorkloadConfig) ([]*Flow, error) {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	fs, err := flow.Generate(rng, n.gc, flow.GenConfig{
+		NumFlows:     cfg.NumFlows,
+		MinPeriodExp: cfg.MinPeriodExp,
+		MaxPeriodExp: cfg.MaxPeriodExp,
+		Exclude:      n.aps,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wsan: %w", err)
+	}
+	if err := n.Route(fs, cfg.Traffic); err != nil {
+		return nil, err
+	}
+	return fs, nil
+}
+
+// Route assigns source routes to user-constructed flows.
+func (n *Network) Route(flows []*Flow, traffic Traffic) error {
+	err := routing.Assign(flows, n.gc, routing.Config{Traffic: traffic, APs: n.aps})
+	if err != nil {
+		return fmt.Errorf("wsan: %w", err)
+	}
+	return nil
+}
+
+// ScheduleConfig tunes Schedule.
+type ScheduleConfig struct {
+	// RhoT is the minimum channel-reuse hop distance (default 2). Ignored
+	// by NR.
+	RhoT int
+	// Retransmit reserves a retransmission slot per hop (default true, the
+	// WirelessHART source-routing convention). Set DisableRetransmit to turn
+	// it off.
+	DisableRetransmit bool
+}
+
+// Schedule runs the selected algorithm over the flow set (which must be in
+// priority order, as produced by GenerateWorkload or flow.AssignDM).
+func (n *Network) Schedule(flows []*Flow, alg Algorithm, cfg ScheduleConfig) (*ScheduleResult, error) {
+	if cfg.RhoT == 0 {
+		cfg.RhoT = 2
+	}
+	res, err := scheduler.Run(flows, scheduler.Config{
+		Algorithm:   alg,
+		NumChannels: len(n.channels),
+		RhoT:        cfg.RhoT,
+		HopGR:       n.hop,
+		Retransmit:  !cfg.DisableRetransmit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wsan: %w", err)
+	}
+	return res, nil
+}
+
+// AddFlow admits one new flow into an existing schedule without disturbing
+// the scheduled transmissions (the incremental update a network manager
+// performs when a control loop joins a running network). The new flow must
+// be lowest-priority (highest ID) and its period must divide the slotframe.
+// On a deadline miss the schedule is left unchanged and Schedulable is
+// false.
+func (n *Network) AddFlow(res *ScheduleResult, f *Flow, alg Algorithm, cfg ScheduleConfig) (*ScheduleResult, error) {
+	if cfg.RhoT == 0 {
+		cfg.RhoT = 2
+	}
+	out, err := scheduler.AddFlow(res.Schedule, f, scheduler.Config{
+		Algorithm:   alg,
+		NumChannels: len(n.channels),
+		RhoT:        cfg.RhoT,
+		HopGR:       n.hop,
+		Retransmit:  !cfg.DisableRetransmit,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("wsan: %w", err)
+	}
+	return out, nil
+}
+
+// NewSimConfig pre-fills a simulator configuration for a scheduled
+// workload on this network; the caller can tweak fading, interferers, and
+// statistics collection before calling Simulate.
+func (n *Network) NewSimConfig(flows []*Flow, res *ScheduleResult, hyperperiods int, seed int64) SimConfig {
+	return netsim.Config{
+		Testbed:            n.tb,
+		Flows:              flows,
+		Schedule:           res.Schedule,
+		Channels:           n.Channels(),
+		Hyperperiods:       hyperperiods,
+		FadingSigmaDB:      2.5,
+		SurveyDriftSigmaDB: 2.5,
+		Retransmit:         true,
+		Seed:               seed,
+	}
+}

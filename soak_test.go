@@ -1,0 +1,102 @@
+package wsan_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsan"
+)
+
+// TestSoakPipeline is a long randomized consistency run over the whole
+// public API: random small testbeds, random workloads, all three
+// schedulers, simulation, detection, and repair. Each step asserts its
+// invariants. Skipped in -short mode.
+func TestSoakPipeline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak skipped in -short mode")
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := wsan.DefaultTestbedConfig()
+			cfg.NumNodes = 24 + rng.Intn(24)
+			cfg.Floors = 1 + rng.Intn(3)
+			cfg.FloorWidthM = 60 + rng.Float64()*60
+			cfg.FloorDepthM = 25 + rng.Float64()*25
+			tb, err := wsan.GenerateTestbed(cfg, seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			nch := 3 + rng.Intn(4)
+			net, err := wsan.NewNetwork(tb, nch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if net.CommEdges() < cfg.NumNodes/2 {
+				t.Skip("degenerate topology draw")
+			}
+			traffic := wsan.PeerToPeer
+			if rng.Intn(2) == 0 {
+				traffic = wsan.Centralized
+			}
+			flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+				NumFlows:     5 + rng.Intn(30),
+				MinPeriodExp: rng.Intn(2),
+				MaxPeriodExp: 2,
+				Traffic:      traffic,
+				Seed:         seed * 13,
+			})
+			if err != nil {
+				t.Skipf("workload generation failed on this draw: %v", err)
+			}
+			util, err := wsan.ComputeUtilization(flows, nch, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if util.Channel <= 0 {
+				t.Fatal("zero utilization for a non-empty workload")
+			}
+			for _, alg := range []wsan.Algorithm{wsan.NR, wsan.RA, wsan.RC} {
+				res, err := net.Schedule(cloneAll(flows), alg, wsan.ScheduleConfig{})
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				if !res.Schedulable {
+					continue
+				}
+				// Latency extraction must succeed on any schedulable result
+				// and respect deadlines.
+				lats, err := wsan.ScheduleLatencies(flows, res)
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				for _, l := range lats {
+					if l.Slack() < 0 {
+						t.Fatalf("%v: flow %d has negative slack %d", alg, l.FlowID, l.Slack())
+					}
+				}
+				// A short simulation must run and deliver sanely.
+				sim, err := wsan.Simulate(net.NewSimConfig(flows, res, 10, seed))
+				if err != nil {
+					t.Fatalf("%v: %v", alg, err)
+				}
+				for _, p := range sim.PDRs() {
+					if p < 0 || p > 1 {
+						t.Fatalf("%v: PDR %v out of range", alg, p)
+					}
+				}
+			}
+		})
+	}
+}
+
+func cloneAll(flows []*wsan.Flow) []*wsan.Flow {
+	out := make([]*wsan.Flow, len(flows))
+	for i, f := range flows {
+		cp := *f
+		cp.Route = append([]wsan.Link(nil), f.Route...)
+		out[i] = &cp
+	}
+	return out
+}

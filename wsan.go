@@ -1,0 +1,263 @@
+// Package wsan is a library for real-time industrial wireless
+// sensor-actuator networks (WirelessHART / IEEE 802.15.4e TSCH) implementing
+// the conservative channel-reuse scheduling system of Gunatilaka & Lu,
+// "Conservative Channel Reuse in Real-Time Industrial Wireless
+// Sensor-Actuator Networks" (ICDCS 2018).
+//
+// The library covers the full pipeline a WirelessHART network manager runs:
+//
+//   - testbed/topology modeling with per-channel PRR link statistics
+//     (synthetic Indriya- and WUSTL-like generators plus custom builders),
+//   - communication-graph and channel-reuse-graph construction,
+//   - periodic real-time flow workloads with Deadline-Monotonic priorities,
+//   - centralized (through-gateway) and peer-to-peer source routing,
+//   - three fixed-priority TSCH schedulers: NR (no channel reuse — the
+//     WirelessHART standard), RA (aggressive reuse), and RC (the paper's
+//     Reuse Conservatively algorithm driven by flow laxity),
+//   - a slot-accurate TSCH network simulator with SINR-based reception,
+//     channel hopping, retransmissions, capture effect, and WiFi-style
+//     external interference, and
+//   - the Kolmogorov-Smirnov-based classifier that attributes link
+//     reliability degradation to channel reuse versus external causes.
+//
+// The Network type wires the pipeline together; see examples/ for complete
+// programs and internal/experiment for the reproduction of every figure in
+// the paper's evaluation.
+package wsan
+
+import (
+	"io"
+
+	"wsan/internal/analysis"
+	"wsan/internal/detect"
+	"wsan/internal/flow"
+	"wsan/internal/manage"
+	"wsan/internal/netsim"
+	"wsan/internal/repair"
+	"wsan/internal/routing"
+	"wsan/internal/schedule"
+	"wsan/internal/scheduler"
+	"wsan/internal/stats"
+	"wsan/internal/topology"
+)
+
+// Re-exported data types. These are aliases, so values flow freely between
+// the public API and the subsystem packages.
+type (
+	// Testbed is a deployment: nodes plus per-channel link PRRs and gains.
+	Testbed = topology.Testbed
+	// Node is one field device.
+	Node = topology.Node
+	// TestbedConfig parameterizes synthetic testbed generation.
+	TestbedConfig = topology.GenConfig
+	// Flow is one periodic end-to-end real-time flow.
+	Flow = flow.Flow
+	// Link is a directed hop.
+	Link = flow.Link
+	// Algorithm selects a scheduling policy (NR, RA, RC).
+	Algorithm = scheduler.Algorithm
+	// ScheduleResult is the outcome of a scheduling run.
+	ScheduleResult = scheduler.Result
+	// Traffic selects the routing pattern (Centralized, PeerToPeer).
+	Traffic = routing.Traffic
+	// SimConfig parameterizes the TSCH network simulator.
+	SimConfig = netsim.Config
+	// SimResult holds per-flow delivery and per-link statistics.
+	SimResult = netsim.Result
+	// Interferer is an external interference source.
+	Interferer = netsim.Interferer
+	// DetectionReport classifies one link-epoch.
+	DetectionReport = detect.Report
+	// DetectionConfig parameterizes the detection policy.
+	DetectionConfig = detect.Config
+	// Verdict is the detection outcome for a link-epoch.
+	Verdict = detect.Verdict
+	// FiveNum is a box-plot five-number summary.
+	FiveNum = stats.FiveNum
+	// KSResult is a two-sample Kolmogorov-Smirnov test outcome.
+	KSResult = stats.KSResult
+)
+
+// Scheduling algorithms.
+const (
+	// NR is the standard WirelessHART policy: no channel reuse.
+	NR = scheduler.NR
+	// RA reuses channels aggressively whenever the hop constraint allows.
+	RA = scheduler.RA
+	// RC is the paper's conservative reuse algorithm.
+	RC = scheduler.RC
+)
+
+// Traffic patterns.
+const (
+	// Centralized routes flows through access points and the wired gateway.
+	Centralized = routing.Centralized
+	// PeerToPeer routes flows directly between field devices.
+	PeerToPeer = routing.PeerToPeer
+)
+
+// Detection verdicts.
+const (
+	// VerdictMeets: the link meets the reliability requirement.
+	VerdictMeets = detect.Meets
+	// VerdictReuseDegraded: channel reuse degrades the link.
+	VerdictReuseDegraded = detect.ReuseDegraded
+	// VerdictOtherCause: degradation stems from external causes.
+	VerdictOtherCause = detect.OtherCause
+	// VerdictInconclusive: not enough samples to decide.
+	VerdictInconclusive = detect.Inconclusive
+)
+
+// NumChannels is the number of IEEE 802.15.4 channels (16, numbered 11–26
+// and indexed 0–15 here).
+const NumChannels = topology.NumChannels
+
+// GenerateIndriya synthesizes the 80-node Indriya-like testbed.
+func GenerateIndriya(seed int64) (*Testbed, error) { return topology.Indriya(seed) }
+
+// GenerateWUSTL synthesizes the 60-node WUSTL-like testbed.
+func GenerateWUSTL(seed int64) (*Testbed, error) { return topology.WUSTL(seed) }
+
+// GenerateTestbed synthesizes a testbed from an arbitrary configuration.
+func GenerateTestbed(cfg TestbedConfig, seed int64) (*Testbed, error) {
+	return topology.Generate(cfg, seed)
+}
+
+// DefaultTestbedConfig returns a mid-size three-floor deployment
+// configuration to customize.
+func DefaultTestbedConfig() TestbedConfig { return topology.DefaultGenConfig() }
+
+// CustomTestbed builds a testbed from explicit link gains.
+func CustomTestbed(name string, nodes []Node, gain func(u, v, ch int) float64) (*Testbed, error) {
+	return topology.Custom(name, nodes, gain, topology.DefaultGenConfig())
+}
+
+// SaveTestbed writes a testbed as JSON.
+func SaveTestbed(tb *Testbed, w io.Writer) error { return tb.Encode(w) }
+
+// LoadTestbed reads a testbed written by SaveTestbed.
+func LoadTestbed(r io.Reader) (*Testbed, error) { return topology.Decode(r) }
+
+// Simulate executes a schedule on the TSCH network simulator.
+func Simulate(cfg SimConfig) (*SimResult, error) { return netsim.Run(cfg) }
+
+// ConvergeOpts controls SimulateConverged's sequential stopping rule.
+type ConvergeOpts = netsim.ConvergeOpts
+
+// ConvergeResult is the aggregated outcome with its achieved precision.
+type ConvergeResult = netsim.ConvergeResult
+
+// SimulateConverged runs independent simulation chunks until every flow's
+// PDR estimate reaches the requested confidence half-width — a statistically
+// principled alternative to a fixed execution count.
+func SimulateConverged(cfg SimConfig, opts ConvergeOpts) (*ConvergeResult, error) {
+	return netsim.Converge(cfg, opts)
+}
+
+// DetectDegradation classifies every reuse-associated link from simulator
+// link statistics.
+func DetectDegradation(res *SimResult, cfg DetectionConfig) []DetectionReport {
+	return detect.Classify(res.LinkEpochs, cfg)
+}
+
+// DefaultDetectionConfig returns the paper's detection parameters
+// (PRR_t = 0.9, α = 0.05).
+func DefaultDetectionConfig() DetectionConfig { return detect.DefaultConfig() }
+
+// KSTest runs a two-sample Kolmogorov-Smirnov test.
+func KSTest(a, b []float64) (KSResult, error) { return stats.KSTest(a, b) }
+
+// Summary computes a box-plot five-number summary.
+func Summary(xs []float64) (FiveNum, error) { return stats.Summary(xs) }
+
+// EnergyModel assigns per-slot radio costs for battery-life estimation.
+type EnergyModel = netsim.EnergyModel
+
+// DefaultEnergyModel returns CC2420-class per-slot costs.
+func DefaultEnergyModel() EnergyModel { return netsim.DefaultEnergyModel() }
+
+// LifetimeYears estimates battery life from per-slotframe energy.
+func LifetimeYears(energyMJPerFrame float64, slotframeSlots int, batteryJ float64) float64 {
+	return netsim.LifetimeYears(energyMJPerFrame, slotframeSlots, batteryJ)
+}
+
+// ManageConfig parameterizes the closed management loop.
+type ManageConfig = manage.Config
+
+// ManageIteration reports one observe→classify→repair cycle.
+type ManageIteration = manage.Iteration
+
+// Manage runs the closed loop — execute, detect reuse degradation, repair,
+// repeat — until the network is clean, repair stalls, or the iteration
+// budget is spent. The schedule in cfg is mutated by the applied repairs.
+func Manage(cfg ManageConfig) ([]ManageIteration, error) { return manage.Loop(cfg) }
+
+// RepairResult reports what a schedule-repair pass did.
+type RepairResult = repair.Result
+
+// Repair reassigns the transmissions of reuse-degraded links (per the
+// detection reports) to contention-free cells, mutating the schedule in
+// place — the remediation Sec. VI of the paper motivates.
+func Repair(res *ScheduleResult, flows []*Flow, reports []DetectionReport) (*RepairResult, error) {
+	return repair.RescheduleFromReports(res.Schedule, flows, reports)
+}
+
+// Compact shifts transmissions toward earlier slots after repairs or
+// incremental admissions, recovering latency without violating any
+// scheduling constraint. Moves target exclusive cells only, so compaction
+// never introduces channel sharing a conservative schedule avoided. It
+// returns how many transmissions moved; a fresh earliest-slot schedule is a
+// fixed point.
+func (n *Network) Compact(res *ScheduleResult, flows []*Flow) (int, error) {
+	return repair.Compact(res.Schedule, flows, nil, 0)
+}
+
+// ScheduleDelta is one dissemination delta entry (add or remove).
+type ScheduleDelta = schedule.Change
+
+// DiffSchedules computes the dissemination delta between two schedule
+// states (e.g. before and after a repair): removals first, then additions.
+func DiffSchedules(old, new *ScheduleResult) ([]ScheduleDelta, error) {
+	return schedule.Diff(old.Schedule, new.Schedule)
+}
+
+// CloneSchedule snapshots a schedule state for later diffing.
+func CloneSchedule(res *ScheduleResult) *ScheduleResult {
+	cp := *res
+	cp.Schedule = res.Schedule.Clone()
+	return &cp
+}
+
+// Analysis re-exports.
+type (
+	// FlowLatency summarizes one flow's end-to-end schedule latency.
+	FlowLatency = analysis.FlowLatency
+	// DelayBound is a worst-case response-time bound for one flow.
+	DelayBound = analysis.DelayBound
+	// NetworkUtilization accounts a workload's demand.
+	NetworkUtilization = analysis.Utilization
+)
+
+// ScheduleLatencies extracts per-flow end-to-end latencies from a schedule.
+func ScheduleLatencies(flows []*Flow, res *ScheduleResult) ([]FlowLatency, error) {
+	return analysis.Latencies(flows, res.Schedule)
+}
+
+// DelayAnalysis runs the fixed-priority worst-case delay bound (a sufficient
+// schedulability test for NR) on a routed flow set.
+func DelayAnalysis(flows []*Flow, numChannels int, retransmit bool) ([]DelayBound, error) {
+	attempts := 1
+	if retransmit {
+		attempts = 2
+	}
+	return analysis.DelayAnalysis(flows, numChannels, attempts)
+}
+
+// ComputeUtilization accounts channel and bottleneck-node demand.
+func ComputeUtilization(flows []*Flow, numChannels int, retransmit bool) (NetworkUtilization, error) {
+	attempts := 1
+	if retransmit {
+		attempts = 2
+	}
+	return analysis.ComputeUtilization(flows, numChannels, attempts)
+}

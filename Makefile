@@ -1,0 +1,20 @@
+GO ?= go
+
+.PHONY: build test bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# ci is the tier-1+ gate: formatting, vet, and the short test set under the
+# race detector. Run it before sending changes.
+ci:
+	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
+		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) test -race -short ./...

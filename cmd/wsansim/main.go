@@ -18,17 +18,27 @@
 //	-toposeed N  testbed generation seed (default 1)
 //	-testbed S   for topo: which testbed to inspect (indriya|wustl)
 //	-json        for topo: dump the full testbed (nodes, PRRs, gains) as JSON
+//	-metrics     print a JSON metrics dump (scheduler, simulator, and
+//	             management counters) after the command finishes
+//	-pprof ADDR  serve net/http/pprof and expvar on ADDR for the duration
+//	             of the run (e.g. localhost:6060); the live metrics
+//	             snapshot is published as the "wsan_metrics" expvar
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"wsan/internal/experiment"
+	"wsan/internal/obs"
+	"wsan/internal/scheduler"
 	"wsan/internal/topology"
 )
 
@@ -48,6 +58,8 @@ func run(args []string) error {
 	asJSON := fs.Bool("json", false, "topo: dump the full testbed as JSON")
 	workers := fs.Int("workers", 0, "parallel trials per data point (0 = all CPUs; timing figures always run serially)")
 	format := fs.String("format", "table", "output format: table, csv, or chart:N (bar chart of column N)")
+	metrics := fs.Bool("metrics", false, "print a JSON metrics dump after the command")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address during the run")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
 			"usage: wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho | ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate>")
@@ -61,25 +73,88 @@ func run(args []string) error {
 		return fmt.Errorf("a command is required")
 	}
 	cmd := fs.Arg(0)
-	if fs.NArg() > 1 && cmd != "gen-schedule" && cmd != "simulate" && cmd != "describe" && cmd != "analyze-trace" && cmd != "manage" && cmd != "validate" {
-		fs.Usage()
-		return fmt.Errorf("command %q takes no arguments", cmd)
+	hasOwnFlags := cmd == "gen-schedule" || cmd == "simulate" || cmd == "describe" ||
+		cmd == "analyze-trace" || cmd == "manage" || cmd == "validate"
+	if fs.NArg() > 1 && !hasOwnFlags {
+		// Accept global flags after the command too (wsansim fig3 -trials 2):
+		// re-parse the remainder into the same flag set.
+		if err := fs.Parse(fs.Args()[1:]); err != nil {
+			return err
+		}
+		if fs.NArg() > 0 {
+			fs.Usage()
+			return fmt.Errorf("command %q takes no arguments", cmd)
+		}
 	}
 	opt := experiment.Options{Trials: *trials, Seed: *seed, TopoSeed: *topoSeed, Workers: *workers}
 
+	// One registry serves both observability surfaces: the -metrics dump at
+	// exit and the live expvar snapshot under -pprof. mets stays nil when
+	// neither flag is given, keeping every instrumented loop on its no-op
+	// fast path.
+	var reg *obs.Registry
+	var mets obs.Sink
+	if *metrics || *pprofAddr != "" {
+		reg = obs.NewRegistry()
+		mets = reg
+		preregister(reg)
+	}
+	if *pprofAddr != "" {
+		expvar.Publish("wsan_metrics", expvar.Func(func() any { return reg.Snapshot() }))
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "wsansim: pprof server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof and expvar serving on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+	err := dispatch(cmd, fs, opt, mets, *testbed, *topoSeed, *asJSON, *format)
+	if reg != nil && *metrics {
+		fmt.Println("== metrics ==")
+		if werr := reg.WriteJSON(os.Stdout); werr != nil && err == nil {
+			err = werr
+		}
+		fmt.Println()
+	}
+	return err
+}
+
+// preregister pins the headline counter names into the registry so a
+// metrics dump always carries the full schema — a figure that never
+// simulates still reports netsim.collisions as an explicit 0 rather than
+// omitting the key.
+func preregister(reg *obs.Registry) {
+	for _, alg := range []scheduler.Algorithm{scheduler.NR, scheduler.RA, scheduler.RC} {
+		prefix := "scheduler." + strings.ToLower(alg.String()) + "."
+		for _, name := range []string{"runs", "placements", "reuse_placements", "slots_examined"} {
+			reg.Count(prefix+name, 0)
+		}
+	}
+	for _, name := range []string{
+		"netsim.runs", "netsim.tx.fired", "netsim.tx.failed", "netsim.collisions",
+		"netsim.capture_wins", "netsim.interference_hits", "netsim.retransmissions",
+		"manage.iterations", "repair.runs",
+	} {
+		reg.Count(name, 0)
+	}
+}
+
+// dispatch runs one CLI command with the shared metrics sink attached to
+// every environment it builds.
+func dispatch(cmd string, fs *flag.FlagSet, opt experiment.Options, mets obs.Sink, testbed string, topoSeed int64, asJSON bool, format string) error {
 	switch cmd {
 	case "topo":
-		return runTopo(*testbed, *topoSeed, *asJSON, opt)
+		return runTopo(testbed, topoSeed, asJSON, opt, mets)
 	case "gen-schedule":
-		return runGenSchedule(fs.Args()[1:])
+		return runGenSchedule(fs.Args()[1:], mets)
 	case "simulate":
-		return runSimulate(fs.Args()[1:])
+		return runSimulate(fs.Args()[1:], mets)
 	case "describe":
 		return runDescribe(fs.Args()[1:])
 	case "analyze-trace":
 		return runAnalyzeTrace(fs.Args()[1:])
 	case "manage":
-		return runManage(fs.Args()[1:])
+		return runManage(fs.Args()[1:], mets)
 	case "validate":
 		return runValidate(fs.Args()[1:])
 	}
@@ -122,13 +197,14 @@ func run(args []string) error {
 		var env *experiment.Env
 		var err error
 		if name == "indriya" {
-			env, err = experiment.NewIndriyaEnv(*topoSeed)
+			env, err = experiment.NewIndriyaEnv(topoSeed)
 		} else {
-			env, err = experiment.NewWUSTLEnv(*topoSeed)
+			env, err = experiment.NewWUSTLEnv(topoSeed)
 		}
 		if err != nil {
 			return nil, err
 		}
+		env.Metrics = mets
 		envs[name] = env
 		return env, nil
 	}
@@ -160,7 +236,7 @@ func run(args []string) error {
 			return fmt.Errorf("%s: %w", f.name, err)
 		}
 		for _, t := range tables {
-			if err := render(t, *format); err != nil {
+			if err := render(t, format); err != nil {
 				return err
 			}
 		}
@@ -195,7 +271,7 @@ func render(t *experiment.Table, format string) error {
 	return nil
 }
 
-func runTopo(name string, seed int64, asJSON bool, opt experiment.Options) error {
+func runTopo(name string, seed int64, asJSON bool, opt experiment.Options, mets obs.Sink) error {
 	var tb *topology.Testbed
 	var err error
 	switch name {
@@ -212,7 +288,9 @@ func runTopo(name string, seed int64, asJSON bool, opt experiment.Options) error
 	if asJSON {
 		return tb.Encode(os.Stdout)
 	}
-	tables, err := experiment.Fig7(experiment.NewEnv(tb), opt)
+	env := experiment.NewEnv(tb)
+	env.Metrics = mets
+	tables, err := experiment.Fig7(env, opt)
 	if err != nil {
 		return err
 	}

@@ -13,6 +13,7 @@ import (
 	"wsan/internal/flow"
 	"wsan/internal/manage"
 	"wsan/internal/netsim"
+	"wsan/internal/obs"
 	"wsan/internal/routing"
 	"wsan/internal/schedule"
 	"wsan/internal/stats"
@@ -29,7 +30,7 @@ import (
 // simulate loads them back and executes the schedule.
 
 // runGenSchedule implements the gen-schedule subcommand.
-func runGenSchedule(args []string) error {
+func runGenSchedule(args []string, mets obs.Sink) error {
 	fs := flag.NewFlagSet("gen-schedule", flag.ContinueOnError)
 	testbed := fs.String("testbed", "wustl", "testbed to generate (indriya|wustl)")
 	topoSeed := fs.Int64("toposeed", 1, "testbed generation seed")
@@ -70,7 +71,7 @@ func runGenSchedule(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := net.Schedule(flows, algorithm, wsan.ScheduleConfig{})
+	res, err := net.Schedule(flows, algorithm, wsan.ScheduleConfig{Metrics: mets})
 	if err != nil {
 		return err
 	}
@@ -97,7 +98,7 @@ func runGenSchedule(args []string) error {
 }
 
 // runSimulate implements the simulate subcommand.
-func runSimulate(args []string) error {
+func runSimulate(args []string, mets obs.Sink) error {
 	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
 	dir := fs.String("dir", ".", "directory holding the gen-schedule artifacts")
 	reps := fs.Int("reps", 100, "hyperperiod executions")
@@ -130,6 +131,7 @@ func runSimulate(args []string) error {
 		FadingSigmaDB:      *fading,
 		SurveyDriftSigmaDB: *drift,
 		Retransmit:         true,
+		Metrics:            mets,
 		Seed:               *seed,
 	}
 	if *tracePath != "" {
@@ -326,7 +328,7 @@ func runAnalyzeTrace(args []string) error {
 // runManage implements the manage subcommand: it loads gen-schedule
 // artifacts and runs the closed observe→classify→repair loop, printing one
 // line per iteration and writing the updated schedule back.
-func runManage(args []string) error {
+func runManage(args []string, mets obs.Sink) error {
 	fs := flag.NewFlagSet("manage", flag.ContinueOnError)
 	dir := fs.String("dir", ".", "directory holding the gen-schedule artifacts")
 	channels := fs.Int("channels", 4, "number of channels the schedule uses")
@@ -360,6 +362,7 @@ func runManage(args []string) error {
 		SurveyDriftSigmaDB: 2.5,
 		MaxIterations:      *iterations,
 		CompactAfterRepair: true,
+		Metrics:            mets,
 		Seed:               *seed,
 	})
 	if err != nil {

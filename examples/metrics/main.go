@@ -1,0 +1,79 @@
+// Metrics: attach the observability sink to every stage of the pipeline —
+// scheduling, simulation, and the closed management loop — then print the
+// aggregated counters, gauges, and histograms as JSON. This is the same
+// stream `wsansim -metrics <command>` dumps and `-pprof addr` serves live
+// as the "wsan_metrics" expvar.
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+
+	"wsan"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "metrics:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	tb, err := wsan.GenerateWUSTL(1)
+	if err != nil {
+		return err
+	}
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		return err
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows: 30, MinPeriodExp: 0, MaxPeriodExp: 1,
+		Traffic: wsan.PeerToPeer, Seed: 7,
+	})
+	if err != nil {
+		return err
+	}
+
+	// One registry aggregates every stage. Any wsan.MetricsSink works here —
+	// wrap your own telemetry client, or fan out with wsan.MultiMetricsSink.
+	reg := wsan.NewMetricsRegistry()
+
+	// Scheduling flushes "scheduler.rc.*": placements, reuse decisions,
+	// laxity passes/fails, ρ-search steps, slots examined.
+	res, err := net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{Metrics: reg})
+	if err != nil {
+		return err
+	}
+	if !res.Schedulable {
+		return fmt.Errorf("workload not schedulable (flow %d missed its deadline)", res.FailedFlow)
+	}
+
+	// Simulation flushes "netsim.*": transmissions, SINR failures, capture
+	// wins, co-channel collisions, per-channel retransmissions. The context
+	// variant cancels between slotframe executions.
+	simCfg := net.NewSimConfig(flows, res, 50, 42).WithMetricsSink(reg)
+	if _, err := wsan.SimulateCtx(context.Background(), simCfg); err != nil {
+		return err
+	}
+
+	// The management loop flushes "manage.*" verdict counts and repair moves
+	// per iteration, plus one "manage.iteration" event per cycle.
+	if _, err := wsan.ManageCtx(context.Background(), wsan.ManageConfig{
+		Testbed:           net.Testbed(),
+		Flows:             flows,
+		Schedule:          res.Schedule,
+		Channels:          net.Channels(),
+		EpochSlots:        10_000,
+		SampleWindowSlots: 1_000,
+		MaxIterations:     2,
+		FadingSigmaDB:     2.5,
+		Seed:              3,
+	}.WithMetricsSink(reg)); err != nil {
+		return err
+	}
+
+	return reg.WriteJSON(os.Stdout)
+}

@@ -55,6 +55,7 @@ func ExtBalance(env *Env, opt Options) ([]*Table, error) {
 						RhoT:        RhoT,
 						HopGR:       ce.Hop,
 						Retransmit:  true,
+						Metrics:     env.Metrics,
 					})
 					if err != nil {
 						return nil, err

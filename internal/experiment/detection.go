@@ -145,6 +145,7 @@ func RunDetection(env *Env, alg scheduler.Algorithm, p DetectionParams, opt Opti
 			SampleWindowSlots:  p.WindowSlots,
 			ProbeEverySlots:    p.ProbeEverySlots,
 			Retransmit:         true,
+			Metrics:            env.Metrics,
 			Seed:               fs.seed,
 		})
 		if err != nil {

@@ -20,6 +20,7 @@ import (
 
 	"wsan/internal/flow"
 	"wsan/internal/graph"
+	"wsan/internal/obs"
 	"wsan/internal/routing"
 	"wsan/internal/scheduler"
 	"wsan/internal/topology"
@@ -108,6 +109,12 @@ func forEachTrial(opt Options, fn func(trial int) error) error {
 // for concurrent use by parallel trials.
 type Env struct {
 	TB *topology.Testbed
+
+	// Metrics, when non-nil, is attached to every scheduler, simulator, and
+	// management run the experiments perform. Set it before running figures;
+	// the sink must be safe for concurrent use (parallel trials flush into
+	// it), which the obs.Registry is.
+	Metrics obs.Sink
 
 	mu   sync.Mutex
 	byCh map[int]*ChanEnv
@@ -220,6 +227,7 @@ func (e *Env) RunTrial(spec TrialSpec, algs []scheduler.Algorithm) (map[schedule
 			RhoT:        RhoT,
 			HopGR:       ce.Hop,
 			Retransmit:  true,
+			Metrics:     e.Metrics,
 		})
 		if err != nil {
 			return nil, nil, fmt.Errorf("%v: %w", alg, err)

@@ -100,6 +100,7 @@ func ExtRhoSweep(env *Env, opt Options) ([]*Table, error) {
 					RhoT:        rhoT,
 					HopGR:       ce.Hop,
 					Retransmit:  true,
+					Metrics:     env.Metrics,
 				})
 				if err != nil {
 					return nil, err
@@ -168,6 +169,7 @@ func ExtPriority(env *Env, opt Options) ([]*Table, error) {
 					RhoT:        RhoT,
 					HopGR:       ce.Hop,
 					Retransmit:  true,
+					Metrics:     env.Metrics,
 				})
 				if err != nil {
 					return nil, err
@@ -217,6 +219,7 @@ func ExtFixedRho(env *Env, opt Options) ([]*Table, error) {
 				HopGR:       ce.Hop,
 				Retransmit:  true,
 				FixedRho:    fixed,
+				Metrics:     env.Metrics,
 			})
 			if err != nil {
 				return nil, err

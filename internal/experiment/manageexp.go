@@ -56,6 +56,7 @@ func ExtManage(env *Env, opt Options) ([]*Table, error) {
 		SurveyDriftSigmaDB: p.SurveyDriftSigmaDB,
 		MaxIterations:      5,
 		CompactAfterRepair: true,
+		Metrics:            env.Metrics,
 		Seed:               fs.seed,
 	})
 	if err != nil {

@@ -52,6 +52,7 @@ func ExtPhases(env *Env, opt Options) ([]*Table, error) {
 					RhoT:        RhoT,
 					HopGR:       ce.Hop,
 					Retransmit:  true,
+					Metrics:     env.Metrics,
 				})
 				if err != nil {
 					return nil, err

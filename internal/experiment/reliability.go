@@ -100,6 +100,7 @@ func (e *Env) simulate(fs flowSet, alg scheduler.Algorithm, p ReliabilityParams,
 		FadingCorrelation:  p.FadingCorrelation,
 		SurveyDriftSigmaDB: p.SurveyDriftSigmaDB,
 		Retransmit:         true,
+		Metrics:            e.Metrics,
 		Seed:               simSeed,
 	})
 	if err != nil {

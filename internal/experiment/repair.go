@@ -66,6 +66,7 @@ func extRepairWithParams(env *Env, opt Options, p DetectionParams) ([]*Table, er
 			FadingSigmaDB:      p.FadingSigmaDB,
 			SurveyDriftSigmaDB: p.SurveyDriftSigmaDB,
 			Retransmit:         true,
+			Metrics:            env.Metrics,
 			Seed:               fs.seed,
 		}
 		if stats {

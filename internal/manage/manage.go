@@ -7,11 +7,14 @@
 package manage
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"wsan/internal/detect"
 	"wsan/internal/flow"
 	"wsan/internal/netsim"
+	"wsan/internal/obs"
 	"wsan/internal/repair"
 	"wsan/internal/schedule"
 	"wsan/internal/topology"
@@ -41,9 +44,38 @@ type Config struct {
 	// CompactAfterRepair pulls transmissions earlier (exclusive cells only)
 	// after each repair, recovering the latency repairs fragment.
 	CompactAfterRepair bool
+	// Metrics, when non-nil, receives per-iteration verdict counts, repair
+	// moves, and PDR gauges under the "manage." prefix, one "manage.iteration"
+	// event per cycle, and the counters of the simulator and repairer it
+	// drives. Nil disables observability at near-zero cost.
+	Metrics obs.Sink
 	// Seed drives the simulations; each iteration advances it so repaired
 	// schedules face fresh noise.
 	Seed int64
+}
+
+// WithMetricsSink returns a copy of the config with the observability sink
+// attached (see Config.Metrics). Because the public wsan.ManageConfig is an
+// alias of this type, the method is the option surface of the public API.
+func (c Config) WithMetricsSink(m obs.Sink) Config {
+	c.Metrics = m
+	return c
+}
+
+// verdictSlug maps a detection verdict to its stable metric-name suffix.
+func verdictSlug(v detect.Verdict) string {
+	switch v {
+	case detect.Meets:
+		return "meets"
+	case detect.ReuseDegraded:
+		return "reuse_degraded"
+	case detect.OtherCause:
+		return "other_cause"
+	case detect.Inconclusive:
+		return "inconclusive"
+	default:
+		return "unknown"
+	}
 }
 
 // Iteration reports one observe→classify→repair cycle.
@@ -69,6 +101,15 @@ type Iteration struct {
 // Iteration per cycle, in order; the schedule in cfg reflects all applied
 // repairs.
 func Loop(cfg Config) ([]Iteration, error) {
+	return LoopCtx(context.Background(), cfg)
+}
+
+// LoopCtx is Loop with cancellation: ctx is checked before every iteration
+// (and between the slotframe executions of the observation simulation
+// inside it), so a cancelled context stops the cycle promptly with
+// ctx.Err() (wrapped). Iterations completed before the cancellation are
+// returned alongside the error; the schedule keeps their repairs.
+func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 	if cfg.Testbed == nil || cfg.Schedule == nil || len(cfg.Flows) == 0 {
 		return nil, fmt.Errorf("manage: testbed, schedule, and flows are required")
 	}
@@ -85,7 +126,11 @@ func Loop(cfg Config) ([]Iteration, error) {
 	reps := (cfg.EpochSlots + hyper - 1) / hyper
 	var out []Iteration
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
-		res, err := netsim.Run(netsim.Config{
+		if err := ctx.Err(); err != nil {
+			return out, fmt.Errorf("manage: %w", err)
+		}
+		iterStart := time.Now()
+		res, err := netsim.RunCtx(ctx, netsim.Config{
 			Testbed:            cfg.Testbed,
 			Flows:              cfg.Flows,
 			Schedule:           cfg.Schedule,
@@ -98,6 +143,7 @@ func Loop(cfg Config) ([]Iteration, error) {
 			SampleWindowSlots:  cfg.SampleWindowSlots,
 			ProbeEverySlots:    cfg.ProbeEverySlots,
 			Retransmit:         true,
+			Metrics:            cfg.Metrics,
 			Seed:               cfg.Seed + int64(iter),
 			DriftSeed:          cfg.Seed, // same radio environment every iteration
 		})
@@ -119,11 +165,12 @@ func Loop(cfg Config) ([]Iteration, error) {
 		degraded := detect.Links(reports, detect.ReuseDegraded)
 		it.Degraded = len(degraded)
 		if len(degraded) == 0 {
+			observeIteration(cfg.Metrics, it, reports, time.Since(iterStart))
 			out = append(out, it)
 			return out, nil
 		}
 		before := cfg.Schedule.Clone()
-		rep, err := repair.Reschedule(cfg.Schedule, cfg.Flows, degraded)
+		rep, err := repair.RescheduleObserved(cfg.Schedule, cfg.Flows, degraded, cfg.Metrics)
 		if err != nil {
 			return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
 		}
@@ -140,6 +187,7 @@ func Loop(cfg Config) ([]Iteration, error) {
 		}
 		it.DeltaChanges = len(delta)
 		it.AffectedDevices = len(schedule.AffectedDevices(delta))
+		observeIteration(cfg.Metrics, it, reports, time.Since(iterStart))
 		out = append(out, it)
 		if rep.Moved == 0 {
 			// Nothing left to try; further iterations would spin.
@@ -147,4 +195,35 @@ func Loop(cfg Config) ([]Iteration, error) {
 		}
 	}
 	return out, nil
+}
+
+// observeIteration flushes one completed cycle's signals to the sink: the
+// verdict census of the classification pass, the repair outcome, delivery
+// gauges, the cycle's wall-clock histogram sample, and one
+// "manage.iteration" event carrying the same numbers for stream consumers.
+func observeIteration(m obs.Sink, it Iteration, reports []detect.Report, elapsed time.Duration) {
+	if m == nil {
+		return
+	}
+	m.Count("manage.iterations", 1)
+	for _, r := range reports {
+		m.Count("manage.verdict."+verdictSlug(r.Verdict), 1)
+	}
+	m.Count("manage.degraded_links", int64(it.Degraded))
+	m.Count("manage.repair.moved", int64(it.Moved))
+	m.Count("manage.repair.unmovable", int64(it.Unmovable))
+	m.Count("manage.delta_changes", int64(it.DeltaChanges))
+	m.Gauge("manage.min_pdr", it.MinPDR)
+	m.Gauge("manage.mean_pdr", it.MeanPDR)
+	m.Observe("manage.iteration_seconds", elapsed.Seconds())
+	m.Event("manage.iteration", map[string]float64{
+		"iteration":        float64(it.Index),
+		"degraded":         float64(it.Degraded),
+		"moved":            float64(it.Moved),
+		"unmovable":        float64(it.Unmovable),
+		"delta_changes":    float64(it.DeltaChanges),
+		"affected_devices": float64(it.AffectedDevices),
+		"min_pdr":          it.MinPDR,
+		"mean_pdr":         it.MeanPDR,
+	})
 }

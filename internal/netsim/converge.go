@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 )
@@ -37,6 +38,14 @@ type ConvergeResult struct {
 // collection (epochs, traces, latency) is disabled inside chunks; use Run
 // directly when you need those.
 func Converge(cfg Config, opts ConvergeOpts) (*ConvergeResult, error) {
+	return ConvergeCtx(context.Background(), cfg, opts)
+}
+
+// ConvergeCtx is Converge with cancellation: ctx is checked before every
+// chunk (and between the slotframe executions inside each chunk), so a
+// cancelled context stops the sequential procedure promptly with ctx.Err()
+// (wrapped). The partial aggregate is discarded.
+func ConvergeCtx(ctx context.Context, cfg Config, opts ConvergeOpts) (*ConvergeResult, error) {
 	if opts.ChunkHyperperiods <= 0 {
 		opts.ChunkHyperperiods = 20
 	}
@@ -59,8 +68,11 @@ func Converge(cfg Config, opts ConvergeOpts) (*ConvergeResult, error) {
 	}}
 	baseSeed := cfg.Seed
 	for chunk := 0; chunk < opts.MaxChunks; chunk++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netsim: converge: %w", err)
+		}
 		cfg.Seed = baseSeed + int64(chunk)*1_000_003
-		res, err := Run(cfg)
+		res, err := RunCtx(ctx, cfg)
 		if err != nil {
 			return nil, fmt.Errorf("converge: chunk %d: %w", chunk, err)
 		}
@@ -89,8 +101,16 @@ func Converge(cfg Config, opts ConvergeOpts) (*ConvergeResult, error) {
 		agg.WorstHalfWidth = worst
 		if worst <= opts.HalfWidth {
 			agg.Converged = true
-			return agg, nil
+			break
 		}
+	}
+	if m := cfg.Metrics; m != nil {
+		m.Count("netsim.converge.runs", 1)
+		m.Count("netsim.converge.chunks", int64(agg.Chunks))
+		if !agg.Converged {
+			m.Count("netsim.converge.budget_exhausted", 1)
+		}
+		m.Gauge("netsim.converge.worst_half_width", agg.WorstHalfWidth)
 	}
 	return agg, nil
 }

@@ -22,12 +22,14 @@
 package netsim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
 	"sort"
 
 	"wsan/internal/flow"
+	"wsan/internal/obs"
 	"wsan/internal/radio"
 	"wsan/internal/schedule"
 	"wsan/internal/topology"
@@ -112,6 +114,11 @@ type Config struct {
 	// Energy, when non-nil, accounts per-node radio energy in
 	// Result.EnergyMJ.
 	Energy *EnergyModel
+	// Metrics, when non-nil, receives the simulator's counters
+	// (transmissions, co-channel collisions, capture wins, interference
+	// hits, per-channel retransmissions, …) under the "netsim." prefix,
+	// flushed once per run. Nil disables observability at near-zero cost.
+	Metrics obs.Sink
 	// Seed drives all randomness (fading, reception, interferer bursts).
 	Seed int64
 	// DriftSeed, when non-zero, pins the survey-drift realization
@@ -187,8 +194,26 @@ func (r *Result) PDRs() []float64 {
 	return out
 }
 
+// WithMetricsSink returns a copy of the config with the observability sink
+// attached (see Config.Metrics). Because the public wsan.SimConfig is an
+// alias of this type, the method is the option surface of the public API:
+//
+//	cfg = cfg.WithMetricsSink(registry)
+func (c Config) WithMetricsSink(m obs.Sink) Config {
+	c.Metrics = m
+	return c
+}
+
 // Run executes the schedule. It is deterministic for a fixed Config.
 func Run(cfg Config) (*Result, error) {
+	return RunCtx(context.Background(), cfg)
+}
+
+// RunCtx is Run with cancellation: ctx is checked between slotframe
+// executions, so a cancelled context stops a long simulation within one
+// hyperperiod and returns ctx.Err() (wrapped). The partial result is
+// discarded.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.Testbed == nil || cfg.Schedule == nil || len(cfg.Flows) == 0 {
 		return nil, fmt.Errorf("netsim: testbed, schedule, and flows are required")
 	}
@@ -242,12 +267,19 @@ func Run(cfg Config) (*Result, error) {
 	}
 	sim.trace = newTracer(cfg.Trace)
 	sim.energy = cfg.Energy
+	sim.collect = cfg.Metrics != nil
 	sim.buildSlotIndex()
 	sim.initInterferers()
+	stop := obs.Timed(cfg.Metrics, "netsim.run_seconds")
 	for rep := 0; rep < cfg.Hyperperiods; rep++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("netsim: %w", err)
+		}
 		sim.runHyperperiod(rep)
 	}
 	sim.finishStats()
+	sim.flushMetrics()
+	stop()
 	if err := sim.trace.flushErr(); err != nil {
 		return nil, err
 	}

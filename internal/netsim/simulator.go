@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -8,6 +9,7 @@ import (
 	"wsan/internal/flow"
 	"wsan/internal/radio"
 	"wsan/internal/schedule"
+	"wsan/internal/topology"
 )
 
 // txRef is one schedule entry with its precomputed reuse condition.
@@ -59,6 +61,67 @@ type simulator struct {
 
 	trace  *tracer
 	energy *EnergyModel
+
+	// collect gates the observability accumulation; mets holds the run's
+	// local counters until flushMetrics pushes them to cfg.Metrics.
+	collect bool
+	mets    simCounters
+}
+
+// simCounters accumulates one run's observability counters. All increments
+// are plain integer operations guarded by simulator.collect, so a run
+// without a metrics sink pays only predictable branches.
+type simCounters struct {
+	fired       int64 // DATA frames put on the air
+	dataFailed  int64 // DATA frames the receiver could not decode
+	cochannel   int64 // DATA frames facing ≥1 concurrent same-channel DATA
+	collisions  int64 // co-channel DATA frames lost (reuse-induced collisions)
+	captureWins int64 // co-channel DATA frames decoded anyway (capture effect)
+	interfHits  int64 // DATA frames fired while an external interferer was
+	// active on their channel at the receiver
+	retx    int64 // scheduled retransmissions (attempt > 0) that fired
+	dupRetx int64 // duplicate retries caused by lost ACKs
+	ackFail int64 // decoded DATA frames whose ACK was lost
+	probes  int64 // neighbor-discovery probe exchanges
+
+	retxByCh [topology.NumChannels]int64 // retransmissions per physical channel
+}
+
+// flushMetrics pushes the accumulated counters to the configured sink under
+// the "netsim." prefix. Per-channel retransmission counters use the IEEE
+// channel number ("netsim.retransmissions.ch11" … "ch26").
+func (s *simulator) flushMetrics() {
+	m := s.cfg.Metrics
+	if m == nil {
+		return
+	}
+	c := &s.mets
+	m.Count("netsim.runs", 1)
+	m.Count("netsim.tx.fired", c.fired)
+	m.Count("netsim.tx.failed", c.dataFailed)
+	m.Count("netsim.tx.cochannel", c.cochannel)
+	m.Count("netsim.collisions", c.collisions)
+	m.Count("netsim.capture_wins", c.captureWins)
+	m.Count("netsim.interference_hits", c.interfHits)
+	m.Count("netsim.retransmissions", c.retx)
+	m.Count("netsim.dup_retransmissions", c.dupRetx)
+	m.Count("netsim.ack_failed", c.ackFail)
+	m.Count("netsim.probes", c.probes)
+	for ch, n := range c.retxByCh {
+		if n > 0 {
+			m.Count(fmt.Sprintf("netsim.retransmissions.ch%d", topology.IEEEChannel(ch)), n)
+		}
+	}
+	var released, delivered int64
+	for _, n := range s.res.Released {
+		released += int64(n)
+	}
+	for _, n := range s.res.Delivered {
+		delivered += int64(n)
+	}
+	m.Count("netsim.packets.released", released)
+	m.Count("netsim.packets.delivered", delivered)
+	m.Count("netsim.packets.lost", released-delivered)
 }
 
 // buildSlotIndex flattens the schedule into a per-slot transmission list and
@@ -169,6 +232,56 @@ func (s *simulator) externalInterference() radio.InterferenceFunc {
 	}
 }
 
+// firing is one transmission that actually goes on the air in a slot.
+type firing struct {
+	ref txRef
+	st  *packetState
+	dup bool // duplicate retry caused by a lost ACK
+}
+
+// account attributes one slot's outcomes to the observability counters:
+// co-channel exposure (and its split into collisions versus capture wins),
+// external-interference exposure, retransmissions per channel, and ACK
+// losses. Called only when a metrics sink is configured.
+func (s *simulator) account(fires []firing, data []radio.Transmission, dataOK, ackOK []bool, extra radio.InterferenceFunc) {
+	c := &s.mets
+	for i, f := range fires {
+		c.fired++
+		if f.dup {
+			c.dupRetx++
+		}
+		if f.ref.tx.Attempt > 0 {
+			c.retx++
+			if ch := data[i].Channel; ch >= 0 && ch < len(c.retxByCh) {
+				c.retxByCh[ch]++
+			}
+		}
+		cochannel := false
+		for j := range data {
+			if j != i && data[j].Channel == data[i].Channel {
+				cochannel = true
+				break
+			}
+		}
+		if cochannel {
+			c.cochannel++
+			if dataOK[i] {
+				c.captureWins++
+			} else {
+				c.collisions++
+			}
+		}
+		if extra != nil && extra(data[i].Receiver, data[i].Channel) > 0 {
+			c.interfHits++
+		}
+		if !dataOK[i] {
+			c.dataFailed++
+		} else if !ackOK[i] {
+			c.ackFail++
+		}
+	}
+}
+
 // runHyperperiod executes one pass over the slotframe.
 func (s *simulator) runHyperperiod(rep int) {
 	hyper := s.cfg.Schedule.NumSlots()
@@ -196,11 +309,6 @@ func (s *simulator) runHyperperiod(rep int) {
 			continue
 		}
 		// Decide which transmissions fire.
-		type firing struct {
-			ref txRef
-			st  *packetState
-			dup bool // duplicate retry caused by a lost ACK
-		}
 		var fires []firing
 		for _, ref := range refs {
 			st := s.packets[[2]int{ref.tx.FlowID, ref.tx.Instance}]
@@ -255,6 +363,9 @@ func (s *simulator) runHyperperiod(rep int) {
 			for k, i := range ackIdx {
 				ackOK[i] = res[k]
 			}
+		}
+		if s.collect {
+			s.account(fires, data, dataOK, ackOK, extra)
 		}
 		// Record statistics and update packet states.
 		for i, f := range fires {
@@ -318,6 +429,9 @@ func (s *simulator) runProbes(asn int, extra radio.InterferenceFunc) {
 			Bits:     radio.DefaultPacketBits,
 		}}
 		ok := s.env.Evaluate(s.rng, tx, extra)
+		if s.collect {
+			s.mets.probes++
+		}
 		s.record(asn, txRef{tx: schedule.Tx{Link: link}, reuse: false}, ok[0])
 	}
 }

@@ -19,6 +19,7 @@ import (
 
 	"wsan/internal/detect"
 	"wsan/internal/flow"
+	"wsan/internal/obs"
 	"wsan/internal/schedule"
 )
 
@@ -37,6 +38,13 @@ type Result struct {
 // shared cells, mutating sched in place. flows must be the scheduled flow
 // set (for release/deadline windows and route ordering).
 func Reschedule(sched *schedule.Schedule, flows []*flow.Flow, degraded []flow.Link) (*Result, error) {
+	return RescheduleObserved(sched, flows, degraded, nil)
+}
+
+// RescheduleObserved is Reschedule with an observability sink: repair
+// counters (victims, moves, failures, slots scanned) are flushed under the
+// "repair." prefix. A nil sink makes it identical to Reschedule.
+func RescheduleObserved(sched *schedule.Schedule, flows []*flow.Flow, degraded []flow.Link, m obs.Sink) (*Result, error) {
 	if sched == nil {
 		return nil, fmt.Errorf("repair: nil schedule")
 	}
@@ -72,6 +80,7 @@ func Reschedule(sched *schedule.Schedule, flows []*flow.Flow, degraded []flow.Li
 		return a.Attempt < b.Attempt
 	})
 
+	var slotsScanned int64
 	for _, tx := range victims {
 		f := byID[tx.FlowID]
 		if f == nil {
@@ -85,7 +94,7 @@ func Reschedule(sched *schedule.Schedule, flows []*flow.Flow, degraded []flow.Li
 			return nil, fmt.Errorf("repair: %w", err)
 		}
 		moved := tx
-		if slot, offset, ok := findExclusive(sched, tx.Link, lo, hi); ok {
+		if slot, offset, ok := findExclusive(sched, tx.Link, lo, hi, &slotsScanned); ok {
 			moved.Slot, moved.Offset = slot, offset
 			if err := sched.Place(moved); err != nil {
 				return nil, fmt.Errorf("repair: %w", err)
@@ -98,6 +107,14 @@ func Reschedule(sched *schedule.Schedule, flows []*flow.Flow, degraded []flow.Li
 			return nil, fmt.Errorf("repair: restore: %w", err)
 		}
 		res.Failed = append(res.Failed, tx)
+	}
+	if m != nil {
+		m.Count("repair.runs", 1)
+		m.Count("repair.degraded_links", int64(res.DegradedLinks))
+		m.Count("repair.victims", int64(len(victims)))
+		m.Count("repair.moved", int64(res.Moved))
+		m.Count("repair.unmovable", int64(len(res.Failed)))
+		m.Count("repair.slots_scanned", slotsScanned)
 	}
 	return res, nil
 }
@@ -140,8 +157,9 @@ func window(sched *schedule.Schedule, f *flow.Flow, tx schedule.Tx) (int, int, e
 }
 
 // findExclusive scans [lo, hi] for the earliest slot where the link's
-// endpoints are idle and some channel offset is completely unused.
-func findExclusive(sched *schedule.Schedule, l flow.Link, lo, hi int) (int, int, bool) {
+// endpoints are idle and some channel offset is completely unused. The scan
+// length is accumulated into *scanned for observability.
+func findExclusive(sched *schedule.Schedule, l flow.Link, lo, hi int, scanned *int64) (int, int, bool) {
 	if lo < 0 {
 		lo = 0
 	}
@@ -149,6 +167,7 @@ func findExclusive(sched *schedule.Schedule, l flow.Link, lo, hi int) (int, int,
 		hi = sched.NumSlots() - 1
 	}
 	for s := lo; s <= hi; s++ {
+		*scanned++
 		if sched.NodeBusy(l.From, s) || sched.NodeBusy(l.To, s) {
 			continue
 		}

@@ -2,6 +2,7 @@ package scheduler
 
 import (
 	"fmt"
+	"time"
 
 	"wsan/internal/flow"
 	"wsan/internal/schedule"
@@ -71,6 +72,8 @@ func AddFlow(sched *schedule.Schedule, f *flow.Flow, cfg Config) (*Result, error
 		res.LambdaR = cfg.HopGR.Diameter()
 	}
 	eng := engine{cfg: cfg, sched: sched, lambdaR: res.LambdaR}
+	start := time.Now()
+	defer func() { eng.flushMetrics(time.Since(start)) }()
 	// Remember everything we place so a failure can roll back.
 	placedBefore := sched.Len()
 	for inst := 0; inst < hyper/f.Period; inst++ {

@@ -19,10 +19,12 @@ package scheduler
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"wsan/internal/flow"
 	"wsan/internal/graph"
+	"wsan/internal/obs"
 	"wsan/internal/schedule"
 )
 
@@ -76,6 +78,11 @@ type Config struct {
 	// maximize-hop-distance heuristic (Sec. V-C) to reuse safety. Ignored
 	// by NR and RA.
 	FixedRho bool
+	// Metrics, when non-nil, receives scheduling counters (slots examined,
+	// laxity-test outcomes, reuse decisions, ρ-search steps) under the
+	// "scheduler.<alg>." prefix, flushed once per run. Nil disables
+	// observability at near-zero cost.
+	Metrics obs.Sink
 }
 
 func (c Config) attempts() int {
@@ -162,6 +169,9 @@ func Run(flows []*flow.Flow, cfg Config) (*Result, error) {
 	defer func() { res.Elapsed = time.Since(start) }()
 
 	eng := engine{cfg: cfg, sched: sched, lambdaR: res.LambdaR}
+	// Deferred after the Elapsed assignment above so it runs first (LIFO);
+	// measure independently so the flushed histogram sample is non-zero.
+	defer func() { eng.flushMetrics(time.Since(start)) }()
 	for _, f := range flows {
 		for inst := 0; inst < hyper/f.Period; inst++ {
 			if !eng.scheduleInstance(f, inst) {
@@ -180,6 +190,41 @@ type engine struct {
 	cfg     Config
 	sched   *schedule.Schedule
 	lambdaR int
+	mets    schedCounters
+}
+
+// schedCounters accumulates one run's observability counters locally (plain
+// increments on the hot path); flushMetrics pushes the totals to the sink.
+type schedCounters struct {
+	placements      int64 // transmissions placed
+	reusePlacements int64 // placements that landed in an already-occupied cell
+	slotsExamined   int64 // candidate slots scanned by findSlot
+	laxityPass      int64 // RC laxity tests with non-negative slack (Eq. 1)
+	laxityFail      int64 // RC laxity tests that forced the ρ search onward
+	rhoSteps        int64 // RC ρ-search iterations past the ρ=∞ attempt
+	laxityFallbacks int64 // RC placements accepted with negative laxity
+	deadlineMisses  int64 // flow instances that missed their deadline
+}
+
+// flushMetrics pushes the accumulated counters to the configured sink under
+// the per-algorithm prefix ("scheduler.rc.", …). No-op without a sink.
+func (e *engine) flushMetrics(elapsed time.Duration) {
+	m := e.cfg.Metrics
+	if m == nil {
+		return
+	}
+	p := "scheduler." + strings.ToLower(e.cfg.Algorithm.String()) + "."
+	c := &e.mets
+	m.Count(p+"runs", 1)
+	m.Count(p+"placements", c.placements)
+	m.Count(p+"reuse_placements", c.reusePlacements)
+	m.Count(p+"slots_examined", c.slotsExamined)
+	m.Count(p+"laxity_pass", c.laxityPass)
+	m.Count(p+"laxity_fail", c.laxityFail)
+	m.Count(p+"rho_steps", c.rhoSteps)
+	m.Count(p+"laxity_fallbacks", c.laxityFallbacks)
+	m.Count(p+"deadline_misses", c.deadlineMisses)
+	m.Observe(p+"elapsed_seconds", elapsed.Seconds())
 }
 
 // scheduleInstance places every transmission of one release of flow f,
@@ -202,13 +247,20 @@ func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
 			}
 			slot, offset, ok := e.placeOne(f, tx, prevSlot+1, deadline, total-seq-1)
 			if !ok {
+				e.mets.deadlineMisses++
 				return false
 			}
+			shared := len(e.sched.Cell(slot, offset)) > 0
 			tx.Slot, tx.Offset = slot, offset
 			if err := e.sched.Place(tx); err != nil {
 				// The engine only proposes conflict-free placements; a
 				// failure here is a programming error surfaced as a miss.
+				e.mets.deadlineMisses++
 				return false
+			}
+			e.mets.placements++
+			if shared {
+				e.mets.reusePlacements++
 			}
 			prevSlot = slot
 			seq++
@@ -244,8 +296,10 @@ func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remai
 		if ok {
 			lastSlot, lastOffset, lastOK = slot, offset, true
 			if e.laxity(f, tx, slot, deadline, remaining) >= 0 {
+				e.mets.laxityPass++
 				return slot, offset, true
 			}
+			e.mets.laxityFail++
 		}
 		if rho == rhoInf {
 			if e.lambdaR < e.cfg.RhoT {
@@ -262,9 +316,13 @@ func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remai
 				break
 			}
 		}
+		e.mets.rhoSteps++
 	}
 	// Laxity never reached 0: schedule at the most permissive placement
 	// found (paper: "if s ≤ d_i then schedule"), else report a miss.
+	if lastOK {
+		e.mets.laxityFallbacks++
+	}
 	return lastSlot, lastOffset, lastOK
 }
 
@@ -301,6 +359,7 @@ func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int,
 	u, v := tx.Link.From, tx.Link.To
 	preferLoaded := e.cfg.Algorithm == RA
 	for s := earliest; s <= deadline; s++ {
+		e.mets.slotsExamined++
 		if e.sched.NodeBusy(u, s) || e.sched.NodeBusy(v, s) {
 			continue
 		}

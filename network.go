@@ -66,11 +66,11 @@ func NewNetworkOnChannels(tb *Testbed, channels []int, opts ...NetworkOption) (*
 	}
 	gc, err := tb.CommGraph(channels, o.prrT)
 	if err != nil {
-		return nil, fmt.Errorf("wsan: %w", err)
+		return nil, wrapErr(err)
 	}
 	gr, err := tb.ReuseGraph(channels)
 	if err != nil {
-		return nil, fmt.Errorf("wsan: %w", err)
+		return nil, wrapErr(err)
 	}
 	return &Network{
 		tb:       tb,
@@ -129,7 +129,7 @@ func (n *Network) GenerateWorkload(cfg WorkloadConfig) ([]*Flow, error) {
 		Exclude:      n.aps,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("wsan: %w", err)
+		return nil, wrapErr(err)
 	}
 	if err := n.Route(fs, cfg.Traffic); err != nil {
 		return nil, err
@@ -141,7 +141,7 @@ func (n *Network) GenerateWorkload(cfg WorkloadConfig) ([]*Flow, error) {
 func (n *Network) Route(flows []*Flow, traffic Traffic) error {
 	err := routing.Assign(flows, n.gc, routing.Config{Traffic: traffic, APs: n.aps})
 	if err != nil {
-		return fmt.Errorf("wsan: %w", err)
+		return wrapErr(err)
 	}
 	return nil
 }
@@ -155,6 +155,9 @@ type ScheduleConfig struct {
 	// WirelessHART source-routing convention). Set DisableRetransmit to turn
 	// it off.
 	DisableRetransmit bool
+	// Metrics, when non-nil, receives the scheduler's "scheduler.<alg>.*"
+	// counters when the run completes. Nil disables collection.
+	Metrics MetricsSink
 }
 
 // Schedule runs the selected algorithm over the flow set (which must be in
@@ -169,9 +172,10 @@ func (n *Network) Schedule(flows []*Flow, alg Algorithm, cfg ScheduleConfig) (*S
 		RhoT:        cfg.RhoT,
 		HopGR:       n.hop,
 		Retransmit:  !cfg.DisableRetransmit,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("wsan: %w", err)
+		return nil, wrapErr(err)
 	}
 	return res, nil
 }
@@ -192,9 +196,10 @@ func (n *Network) AddFlow(res *ScheduleResult, f *Flow, alg Algorithm, cfg Sched
 		RhoT:        cfg.RhoT,
 		HopGR:       n.hop,
 		Retransmit:  !cfg.DisableRetransmit,
+		Metrics:     cfg.Metrics,
 	})
 	if err != nil {
-		return nil, fmt.Errorf("wsan: %w", err)
+		return nil, wrapErr(err)
 	}
 	return out, nil
 }

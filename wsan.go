@@ -26,13 +26,17 @@
 package wsan
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"strings"
 
 	"wsan/internal/analysis"
 	"wsan/internal/detect"
 	"wsan/internal/flow"
 	"wsan/internal/manage"
 	"wsan/internal/netsim"
+	"wsan/internal/obs"
 	"wsan/internal/repair"
 	"wsan/internal/routing"
 	"wsan/internal/schedule"
@@ -40,6 +44,21 @@ import (
 	"wsan/internal/stats"
 	"wsan/internal/topology"
 )
+
+// wrapErr guarantees the package's error contract: every error escaping the
+// public API carries the "wsan:" prefix exactly once. Errors already
+// prefixed (e.g. produced by another public entry point on the same path)
+// pass through unchanged, and the underlying error remains available to
+// errors.Is/As via %w.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if strings.HasPrefix(err.Error(), "wsan: ") {
+		return err
+	}
+	return fmt.Errorf("wsan: %w", err)
+}
 
 // Re-exported data types. These are aliases, so values flow freely between
 // the public API and the subsystem packages.
@@ -113,14 +132,21 @@ const (
 const NumChannels = topology.NumChannels
 
 // GenerateIndriya synthesizes the 80-node Indriya-like testbed.
-func GenerateIndriya(seed int64) (*Testbed, error) { return topology.Indriya(seed) }
+func GenerateIndriya(seed int64) (*Testbed, error) {
+	tb, err := topology.Indriya(seed)
+	return tb, wrapErr(err)
+}
 
 // GenerateWUSTL synthesizes the 60-node WUSTL-like testbed.
-func GenerateWUSTL(seed int64) (*Testbed, error) { return topology.WUSTL(seed) }
+func GenerateWUSTL(seed int64) (*Testbed, error) {
+	tb, err := topology.WUSTL(seed)
+	return tb, wrapErr(err)
+}
 
 // GenerateTestbed synthesizes a testbed from an arbitrary configuration.
 func GenerateTestbed(cfg TestbedConfig, seed int64) (*Testbed, error) {
-	return topology.Generate(cfg, seed)
+	tb, err := topology.Generate(cfg, seed)
+	return tb, wrapErr(err)
 }
 
 // DefaultTestbedConfig returns a mid-size three-floor deployment
@@ -129,17 +155,55 @@ func DefaultTestbedConfig() TestbedConfig { return topology.DefaultGenConfig() }
 
 // CustomTestbed builds a testbed from explicit link gains.
 func CustomTestbed(name string, nodes []Node, gain func(u, v, ch int) float64) (*Testbed, error) {
-	return topology.Custom(name, nodes, gain, topology.DefaultGenConfig())
+	tb, err := topology.Custom(name, nodes, gain, topology.DefaultGenConfig())
+	return tb, wrapErr(err)
 }
 
 // SaveTestbed writes a testbed as JSON.
-func SaveTestbed(tb *Testbed, w io.Writer) error { return tb.Encode(w) }
+func SaveTestbed(tb *Testbed, w io.Writer) error { return wrapErr(tb.Encode(w)) }
 
 // LoadTestbed reads a testbed written by SaveTestbed.
-func LoadTestbed(r io.Reader) (*Testbed, error) { return topology.Decode(r) }
+func LoadTestbed(r io.Reader) (*Testbed, error) {
+	tb, err := topology.Decode(r)
+	return tb, wrapErr(err)
+}
+
+// Observability re-exports: the wsan pipeline reports counters, gauges,
+// histograms, and events through a MetricsSink (see internal/obs). Attach
+// one with SimConfig.WithMetricsSink / ManageConfig.WithMetricsSink or the
+// Metrics field of the configuration structs; a nil sink (the default)
+// disables observability at near-zero cost.
+type (
+	// MetricsSink receives the observability stream. Implement it to feed
+	// your own telemetry system, or use a MetricsRegistry.
+	MetricsSink = obs.Sink
+	// MetricsRegistry is the built-in aggregating sink with a JSON snapshot.
+	MetricsRegistry = obs.Registry
+	// MetricsSnapshot is a point-in-time copy of a registry's state.
+	MetricsSnapshot = obs.Snapshot
+	// NopMetricsSink discards the stream (useful to pin the overhead of an
+	// always-on call site).
+	NopMetricsSink = obs.NopSink
+)
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// MultiMetricsSink fans the observability stream out to several sinks.
+func MultiMetricsSink(sinks ...MetricsSink) MetricsSink { return obs.MultiSink(sinks...) }
 
 // Simulate executes a schedule on the TSCH network simulator.
-func Simulate(cfg SimConfig) (*SimResult, error) { return netsim.Run(cfg) }
+func Simulate(cfg SimConfig) (*SimResult, error) {
+	return SimulateCtx(context.Background(), cfg)
+}
+
+// SimulateCtx is Simulate with cancellation: ctx is checked between
+// slotframe executions, so a cancelled context stops a long simulation
+// within one hyperperiod and the error satisfies errors.Is(err, ctx.Err()).
+func SimulateCtx(ctx context.Context, cfg SimConfig) (*SimResult, error) {
+	res, err := netsim.RunCtx(ctx, cfg)
+	return res, wrapErr(err)
+}
 
 // ConvergeOpts controls SimulateConverged's sequential stopping rule.
 type ConvergeOpts = netsim.ConvergeOpts
@@ -151,7 +215,16 @@ type ConvergeResult = netsim.ConvergeResult
 // PDR estimate reaches the requested confidence half-width — a statistically
 // principled alternative to a fixed execution count.
 func SimulateConverged(cfg SimConfig, opts ConvergeOpts) (*ConvergeResult, error) {
-	return netsim.Converge(cfg, opts)
+	return SimulateConvergedCtx(context.Background(), cfg, opts)
+}
+
+// SimulateConvergedCtx is SimulateConverged with cancellation: ctx is
+// checked before every chunk and between the slotframe executions inside
+// each chunk, so a cancelled context stops the sequential procedure
+// promptly with an error satisfying errors.Is(err, ctx.Err()).
+func SimulateConvergedCtx(ctx context.Context, cfg SimConfig, opts ConvergeOpts) (*ConvergeResult, error) {
+	res, err := netsim.ConvergeCtx(ctx, cfg, opts)
+	return res, wrapErr(err)
 }
 
 // DetectDegradation classifies every reuse-associated link from simulator
@@ -165,10 +238,16 @@ func DetectDegradation(res *SimResult, cfg DetectionConfig) []DetectionReport {
 func DefaultDetectionConfig() DetectionConfig { return detect.DefaultConfig() }
 
 // KSTest runs a two-sample Kolmogorov-Smirnov test.
-func KSTest(a, b []float64) (KSResult, error) { return stats.KSTest(a, b) }
+func KSTest(a, b []float64) (KSResult, error) {
+	res, err := stats.KSTest(a, b)
+	return res, wrapErr(err)
+}
 
 // Summary computes a box-plot five-number summary.
-func Summary(xs []float64) (FiveNum, error) { return stats.Summary(xs) }
+func Summary(xs []float64) (FiveNum, error) {
+	fn, err := stats.Summary(xs)
+	return fn, wrapErr(err)
+}
 
 // EnergyModel assigns per-slot radio costs for battery-life estimation.
 type EnergyModel = netsim.EnergyModel
@@ -190,7 +269,19 @@ type ManageIteration = manage.Iteration
 // Manage runs the closed loop — execute, detect reuse degradation, repair,
 // repeat — until the network is clean, repair stalls, or the iteration
 // budget is spent. The schedule in cfg is mutated by the applied repairs.
-func Manage(cfg ManageConfig) ([]ManageIteration, error) { return manage.Loop(cfg) }
+func Manage(cfg ManageConfig) ([]ManageIteration, error) {
+	return ManageCtx(context.Background(), cfg)
+}
+
+// ManageCtx is Manage with cancellation: ctx is checked before every
+// observe→classify→repair cycle and inside the observation simulation, so a
+// cancelled context stops the loop promptly with an error satisfying
+// errors.Is(err, ctx.Err()). Iterations completed before the cancellation
+// are returned alongside the error; the schedule keeps their repairs.
+func ManageCtx(ctx context.Context, cfg ManageConfig) ([]ManageIteration, error) {
+	iters, err := manage.LoopCtx(ctx, cfg)
+	return iters, wrapErr(err)
+}
 
 // RepairResult reports what a schedule-repair pass did.
 type RepairResult = repair.Result
@@ -199,7 +290,8 @@ type RepairResult = repair.Result
 // detection reports) to contention-free cells, mutating the schedule in
 // place — the remediation Sec. VI of the paper motivates.
 func Repair(res *ScheduleResult, flows []*Flow, reports []DetectionReport) (*RepairResult, error) {
-	return repair.RescheduleFromReports(res.Schedule, flows, reports)
+	out, err := repair.RescheduleFromReports(res.Schedule, flows, reports)
+	return out, wrapErr(err)
 }
 
 // Compact shifts transmissions toward earlier slots after repairs or
@@ -209,7 +301,8 @@ func Repair(res *ScheduleResult, flows []*Flow, reports []DetectionReport) (*Rep
 // returns how many transmissions moved; a fresh earliest-slot schedule is a
 // fixed point.
 func (n *Network) Compact(res *ScheduleResult, flows []*Flow) (int, error) {
-	return repair.Compact(res.Schedule, flows, nil, 0)
+	moved, err := repair.Compact(res.Schedule, flows, nil, 0)
+	return moved, wrapErr(err)
 }
 
 // ScheduleDelta is one dissemination delta entry (add or remove).
@@ -218,7 +311,8 @@ type ScheduleDelta = schedule.Change
 // DiffSchedules computes the dissemination delta between two schedule
 // states (e.g. before and after a repair): removals first, then additions.
 func DiffSchedules(old, new *ScheduleResult) ([]ScheduleDelta, error) {
-	return schedule.Diff(old.Schedule, new.Schedule)
+	delta, err := schedule.Diff(old.Schedule, new.Schedule)
+	return delta, wrapErr(err)
 }
 
 // CloneSchedule snapshots a schedule state for later diffing.
@@ -240,24 +334,55 @@ type (
 
 // ScheduleLatencies extracts per-flow end-to-end latencies from a schedule.
 func ScheduleLatencies(flows []*Flow, res *ScheduleResult) ([]FlowLatency, error) {
-	return analysis.Latencies(flows, res.Schedule)
+	lats, err := analysis.Latencies(flows, res.Schedule)
+	return lats, wrapErr(err)
 }
 
-// DelayAnalysis runs the fixed-priority worst-case delay bound (a sufficient
-// schedulability test for NR) on a routed flow set.
+// DelayBounds runs the fixed-priority worst-case delay bound (a sufficient
+// schedulability test for NR) on a routed flow set. attempts is the number
+// of dedicated slots per hop; 0 selects the WirelessHART source-routing
+// default of 2 (one primary transmission plus one retry).
+func DelayBounds(flows []*Flow, numChannels, attempts int) ([]DelayBound, error) {
+	if attempts == 0 {
+		attempts = 2
+	}
+	bounds, err := analysis.DelayAnalysis(flows, numChannels, attempts)
+	return bounds, wrapErr(err)
+}
+
+// AnalyzeUtilization accounts channel and bottleneck-node demand. attempts
+// is the number of dedicated slots per hop; 0 selects the WirelessHART
+// source-routing default of 2 (one primary transmission plus one retry).
+func AnalyzeUtilization(flows []*Flow, numChannels, attempts int) (NetworkUtilization, error) {
+	if attempts == 0 {
+		attempts = 2
+	}
+	u, err := analysis.ComputeUtilization(flows, numChannels, attempts)
+	return u, wrapErr(err)
+}
+
+// DelayAnalysis runs the worst-case delay bound with the retransmission
+// setting expressed as a boolean.
+//
+// Deprecated: the boolean trap obscures call sites ("true" means two
+// attempts per hop). Use DelayBounds with an explicit attempt count.
 func DelayAnalysis(flows []*Flow, numChannels int, retransmit bool) ([]DelayBound, error) {
-	attempts := 1
-	if retransmit {
-		attempts = 2
-	}
-	return analysis.DelayAnalysis(flows, numChannels, attempts)
+	return DelayBounds(flows, numChannels, boolAttempts(retransmit))
 }
 
-// ComputeUtilization accounts channel and bottleneck-node demand.
+// ComputeUtilization accounts demand with the retransmission setting
+// expressed as a boolean.
+//
+// Deprecated: the boolean trap obscures call sites ("true" means two
+// attempts per hop). Use AnalyzeUtilization with an explicit attempt count.
 func ComputeUtilization(flows []*Flow, numChannels int, retransmit bool) (NetworkUtilization, error) {
-	attempts := 1
+	return AnalyzeUtilization(flows, numChannels, boolAttempts(retransmit))
+}
+
+// boolAttempts maps the deprecated retransmit flag to an attempt count.
+func boolAttempts(retransmit bool) int {
 	if retransmit {
-		attempts = 2
+		return 2
 	}
-	return analysis.ComputeUtilization(flows, numChannels, attempts)
+	return 1
 }

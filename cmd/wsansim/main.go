@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho |
-//	                 ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate>
+//	                 ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate | serve>
 //
 // "all" regenerates every paper figure; "ext" runs the extension
 // experiments (latency, ρ_t sensitivity, DM-vs-RM, ρ-search ablation).
@@ -20,6 +20,9 @@
 //	-json        for topo: dump the full testbed (nodes, PRRs, gains) as JSON
 //	-metrics     print a JSON metrics dump (scheduler, simulator, and
 //	             management counters) after the command finishes
+//	-metrics-out FILE
+//	             write the JSON metrics snapshot to FILE instead of mixing
+//	             it with the command output on stdout
 //	-pprof ADDR  serve net/http/pprof and expvar on ADDR for the duration
 //	             of the run (e.g. localhost:6060); the live metrics
 //	             snapshot is published as the "wsan_metrics" expvar
@@ -59,10 +62,11 @@ func run(args []string) error {
 	workers := fs.Int("workers", 0, "parallel trials per data point (0 = all CPUs; timing figures always run serially)")
 	format := fs.String("format", "table", "output format: table, csv, or chart:N (bar chart of column N)")
 	metrics := fs.Bool("metrics", false, "print a JSON metrics dump after the command")
+	metricsOut := fs.String("metrics-out", "", "write the JSON metrics snapshot to this file after the command")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address during the run")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho | ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate>")
+			"usage: wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho | ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | validate | serve>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -74,7 +78,7 @@ func run(args []string) error {
 	}
 	cmd := fs.Arg(0)
 	hasOwnFlags := cmd == "gen-schedule" || cmd == "simulate" || cmd == "describe" ||
-		cmd == "analyze-trace" || cmd == "manage" || cmd == "validate"
+		cmd == "analyze-trace" || cmd == "manage" || cmd == "validate" || cmd == "serve"
 	if fs.NArg() > 1 && !hasOwnFlags {
 		// Accept global flags after the command too (wsansim fig3 -trials 2):
 		// re-parse the remainder into the same flag set.
@@ -94,7 +98,7 @@ func run(args []string) error {
 	// fast path.
 	var reg *obs.Registry
 	var mets obs.Sink
-	if *metrics || *pprofAddr != "" {
+	if *metrics || *metricsOut != "" || *pprofAddr != "" {
 		reg = obs.NewRegistry()
 		mets = reg
 		preregister(reg)
@@ -116,7 +120,26 @@ func run(args []string) error {
 		}
 		fmt.Println()
 	}
+	if reg != nil && *metricsOut != "" {
+		if werr := writeMetricsFile(reg, *metricsOut); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	return err
+}
+
+// writeMetricsFile dumps the registry snapshot to a file, keeping the
+// command's stdout clean for its own output.
+func writeMetricsFile(reg *obs.Registry, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	if err := reg.WriteJSON(f); err != nil {
+		f.Close()
+		return fmt.Errorf("metrics-out: %w", err)
+	}
+	return f.Close()
 }
 
 // preregister pins the headline counter names into the registry so a
@@ -157,6 +180,8 @@ func dispatch(cmd string, fs *flag.FlagSet, opt experiment.Options, mets obs.Sin
 		return runManage(fs.Args()[1:], mets)
 	case "validate":
 		return runValidate(fs.Args()[1:])
+	case "serve":
+		return runServe(fs.Args()[1:], mets)
 	}
 
 	type figure struct {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -155,6 +156,30 @@ func TestManageSubcommand(t *testing.T) {
 	}
 	if err := run([]string{"manage", "-dir", t.TempDir()}); err == nil {
 		t.Error("manage without artifacts should fail")
+	}
+}
+
+func TestMetricsOutFlag(t *testing.T) {
+	path := t.TempDir() + "/metrics.json"
+	if err := run([]string{"-metrics-out", path, "topo"}); err != nil {
+		t.Fatalf("topo -metrics-out: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("metrics file not written: %v", err)
+	}
+	var snap struct {
+		Counters map[string]int64 `json:"counters"`
+	}
+	if err := json.Unmarshal(data, &snap); err != nil {
+		t.Fatalf("metrics file is not valid JSON: %v", err)
+	}
+	if len(snap.Counters) == 0 {
+		t.Error("metrics snapshot has no counters")
+	}
+	// An unwritable path surfaces as a command error.
+	if err := run([]string{"-metrics-out", t.TempDir() + "/no/such/dir/m.json", "topo"}); err == nil {
+		t.Error("unwritable -metrics-out path should fail")
 	}
 }
 

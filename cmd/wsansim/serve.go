@@ -1,0 +1,75 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wsan/internal/obs"
+	"wsan/internal/server"
+)
+
+// runServe implements the serve subcommand: it starts the network-manager
+// daemon and blocks until SIGINT/SIGTERM, then drains gracefully — running
+// jobs get -drain-timeout to finish while new submissions are rejected.
+func runServe(args []string, mets obs.Sink) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
+	queueCap := fs.Int("queue", 64, "job queue capacity (full queue ⇒ 429)")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	// The daemon needs a snapshot-capable registry for /metrics. Reuse the
+	// CLI-level registry when -metrics/-metrics-out/-pprof created one, so
+	// the exit dump and the live endpoint agree; otherwise make our own.
+	reg, _ := mets.(*obs.Registry)
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	srv := server.New(server.Config{
+		Workers:     *workers,
+		QueueCap:    *queueCap,
+		Metrics:     reg,
+		EnablePprof: true,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+	fmt.Fprintf(os.Stderr, "wsansim serve: listening on %s (workers=%d queue=%d)\n",
+		*addr, *workers, *queueCap)
+
+	select {
+	case err := <-errc:
+		// The listener failed before any signal (e.g. port in use).
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "wsansim serve: shutting down (draining jobs)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "wsansim serve: http shutdown:", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintln(os.Stderr, "wsansim serve: job drain:", err)
+	}
+	return <-errc
+}

@@ -1,0 +1,106 @@
+package wsan_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"wsan"
+)
+
+// TestConcurrentPipelines is the concurrency audit for the network-manager
+// daemon's access pattern: several goroutines each run the full
+// workload→schedule→simulate pipeline on independent wsan.Network
+// instances derived from one shared Testbed. Run with -race (the Makefile
+// ci target does) to catch unsynchronized state in the shared layers.
+func TestConcurrentPipelines(t *testing.T) {
+	cfg := wsan.DefaultTestbedConfig()
+	cfg.NumNodes = 16
+	tb, err := wsan.GenerateTestbed(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 4
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			net, err := wsan.NewNetwork(tb, 4)
+			if err != nil {
+				errs <- err
+				return
+			}
+			flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+				NumFlows: 5, MaxPeriodExp: 1, Traffic: wsan.PeerToPeer, Seed: seed,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			simCfg := net.NewSimConfig(flows, res, 3, seed)
+			if _, err := wsan.SimulateCtx(context.Background(), simCfg); err != nil {
+				errs <- err
+			}
+		}(int64(w + 1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestConcurrentSharedNetwork exercises the stronger documented guarantee:
+// one Network instance shared across goroutines, each running its own
+// schedule and simulation (private flows, private schedule state).
+func TestConcurrentSharedNetwork(t *testing.T) {
+	cfg := wsan.DefaultTestbedConfig()
+	cfg.NumNodes = 16
+	tb, err := wsan.GenerateTestbed(cfg, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []wsan.Algorithm{wsan.NR, wsan.RA, wsan.RC}
+	var wg sync.WaitGroup
+	errs := make(chan error, 2*len(algs))
+	for i, alg := range algs {
+		wg.Add(1)
+		go func(alg wsan.Algorithm, seed int64) {
+			defer wg.Done()
+			flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+				NumFlows: 4, MaxPeriodExp: 1, Traffic: wsan.PeerToPeer, Seed: seed,
+			})
+			if err != nil {
+				errs <- err
+				return
+			}
+			res, err := net.Schedule(flows, alg, wsan.ScheduleConfig{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if res.Schedulable {
+				simCfg := net.NewSimConfig(flows, res, 2, seed)
+				if _, err := wsan.SimulateCtx(context.Background(), simCfg); err != nil {
+					errs <- err
+				}
+			}
+		}(alg, int64(i+1))
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}

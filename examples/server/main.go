@@ -1,0 +1,164 @@
+// Server: embed the network-manager daemon in-process, then drive it the
+// way a remote operator would — over HTTP. The client registers a testbed,
+// submits an RC scheduling job, polls it to completion, chains a simulation
+// job against the produced artifact, and resubmits the schedule request to
+// show the content-addressed cache answering instantly. The same protocol
+// works against a standalone daemon started with `wsansim serve`.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"wsan/internal/obs"
+	"wsan/internal/server"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "server example:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Start the daemon on a loopback listener, exactly as `wsansim serve`
+	// does (minus the signal handling).
+	mets := obs.NewRegistry()
+	srv := server.New(server.Config{Workers: 2, QueueCap: 16, Metrics: mets})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	go func() { _ = httpSrv.Serve(ln) }()
+	base := "http://" + ln.Addr().String()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		_ = srv.Shutdown(ctx)
+	}()
+
+	// 1. Register a network: the WUSTL testbed preset on 4 channels.
+	var netView struct {
+		Name     string `json:"name"`
+		Hash     string `json:"hash"`
+		Nodes    int    `json:"nodes"`
+		Channels []int  `json:"channels"`
+	}
+	err = call(base, "POST", "/networks", map[string]any{
+		"name": "plant-a", "preset": "wustl", "channels": 4,
+	}, &netView)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("registered %s: %d nodes on channels %v (hash %.12s…)\n",
+		netView.Name, netView.Nodes, netView.Channels, netView.Hash)
+
+	// 2. Submit an RC scheduling job and poll it to completion.
+	schedJob, err := submitAndWait(base, "plant-a", "schedule", map[string]any{
+		"flows": 20, "alg": "rc", "seed": 7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("schedule job %s: %s, artifact %.12s…\n",
+		schedJob.ID, schedJob.State, schedJob.Artifact)
+
+	// 3. Chain a simulation job against the schedule artifact.
+	simJob, err := submitAndWait(base, "plant-a", "simulate", map[string]any{
+		"artifact": schedJob.Artifact, "hyperperiods": 50, "seed": 7,
+	})
+	if err != nil {
+		return err
+	}
+	var report struct {
+		Flows      int `json:"flows"`
+		PDRSummary struct {
+			Min    float64
+			Median float64
+			Max    float64
+		} `json:"pdrSummary"`
+	}
+	err = call(base, "GET", "/artifacts/"+simJob.Artifact+"/report.json", nil, &report)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulation: %d flows, PDR min/median/max %.4f/%.4f/%.4f\n",
+		report.Flows, report.PDRSummary.Min, report.PDRSummary.Median, report.PDRSummary.Max)
+
+	// 4. Resubmit the identical schedule request: the content-addressed
+	// store answers without queueing a job.
+	again, err := submitAndWait(base, "plant-a", "schedule", map[string]any{
+		"flows": 20, "alg": "rc", "seed": 7,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("resubmitted schedule job %s: cached=%v, same artifact: %v\n",
+		again.ID, again.Cached, again.Artifact == schedJob.Artifact)
+	return nil
+}
+
+// submitAndWait posts one job and polls until it leaves the queue/running
+// states.
+func submitAndWait(base, network, kind string, params map[string]any) (*server.JobView, error) {
+	var job server.JobView
+	err := call(base, "POST", "/networks/"+network+"/jobs", map[string]any{
+		"kind": kind, "params": params,
+	}, &job)
+	if err != nil {
+		return nil, err
+	}
+	for job.State == server.StateQueued || job.State == server.StateRunning {
+		time.Sleep(20 * time.Millisecond)
+		if err := call(base, "GET", "/jobs/"+job.ID, nil, &job); err != nil {
+			return nil, err
+		}
+	}
+	if job.State != server.StateDone {
+		return nil, fmt.Errorf("job %s (%s) finished %s: %s", job.ID, kind, job.State, job.Error)
+	}
+	return &job, nil
+}
+
+// call performs one JSON request/response round trip.
+func call(base, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	req, err := http.NewRequest(method, base+path, bytes.NewReader(payload))
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return fmt.Errorf("%s %s: %s (%s)", method, path, resp.Status, e.Error)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

@@ -1,0 +1,195 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+)
+
+// handleHealthz reports liveness.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	status := http.StatusOK
+	state := "ok"
+	if draining {
+		status = http.StatusServiceUnavailable
+		state = "draining"
+	}
+	writeJSON(w, status, map[string]any{
+		"status":   state,
+		"networks": s.nets.size(),
+		"jobs":     len(s.JobViews()),
+	})
+}
+
+// handleMetrics serves the live registry snapshot — the same JSON document
+// `wsansim -metrics` prints.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.mets.WriteJSON(w)
+}
+
+// handleCreateNetwork registers a network from a preset or an uploaded
+// topology document.
+func (s *Server) handleCreateNetwork(w http.ResponseWriter, r *http.Request) {
+	var req CreateNetworkRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	e, err := s.nets.create(req)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, errExists) {
+			status = http.StatusConflict
+		}
+		writeErr(w, status, "%v", err)
+		return
+	}
+	s.mets.Gauge("server.networks", float64(s.nets.size()))
+	writeJSON(w, http.StatusCreated, e.view())
+}
+
+// handleListNetworks lists the hosted networks.
+func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"networks": s.nets.list()})
+}
+
+// handleGetNetwork describes one network.
+func (s *Server) handleGetNetwork(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.nets.get(r.PathValue("name"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "network %q not found", r.PathValue("name"))
+		return
+	}
+	writeJSON(w, http.StatusOK, e.view())
+}
+
+// handleDeleteNetwork deregisters a network. Running jobs keep their
+// references; artifacts stay addressable.
+func (s *Server) handleDeleteNetwork(w http.ResponseWriter, r *http.Request) {
+	if !s.nets.remove(r.PathValue("name")) {
+		writeErr(w, http.StatusNotFound, "network %q not found", r.PathValue("name"))
+		return
+	}
+	s.mets.Gauge("server.networks", float64(s.nets.size()))
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// submitRequest is the POST /networks/{name}/jobs body.
+type submitRequest struct {
+	Kind   string          `json:"kind"`
+	Params json.RawMessage `json:"params,omitempty"`
+}
+
+// handleSubmitJob accepts one asynchronous job. Responses: 202 with the job
+// view (or 200 on a cache hit), 400 on bad parameters, 404 for an unknown
+// network, 429 when the queue is full, 503 while draining.
+func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, ok := s.nets.get(name); !ok {
+		writeErr(w, http.StatusNotFound, "network %q not found", name)
+		return
+	}
+	var req submitRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		return
+	}
+	j, err := s.SubmitJob(name, req.Kind, req.Params)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		return
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v := j.View()
+	status := http.StatusAccepted
+	if v.Cached {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+// handleListJobs lists every job in submission order.
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.JobViews()})
+}
+
+// handleGetJob serves one job's state — the polling endpoint.
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleCancelJob cancels a queued or running job. 200 with the job view
+// when the cancellation was delivered, 409 when the job had already
+// finished.
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		return
+	}
+	if !j.Cancel() {
+		writeErr(w, http.StatusConflict, "job %q already finished (%v)", j.ID, j.State())
+		return
+	}
+	writeJSON(w, http.StatusOK, j.View())
+}
+
+// handleListArtifacts lists the stored artifacts.
+func (s *Server) handleListArtifacts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"artifacts": s.ArtifactViews()})
+}
+
+// handleGetArtifact serves one artifact with every part embedded — parts
+// are raw JSON documents, so the bundle is itself one JSON document.
+func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "artifact %q not found", r.PathValue("id"))
+		return
+	}
+	parts := make(map[string]json.RawMessage, len(a.PartNames()))
+	for _, name := range a.PartNames() {
+		parts[name] = json.RawMessage(a.Part(name))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"id": a.ID, "kind": a.Kind, "created": a.Created, "parts": parts,
+	})
+}
+
+// handleGetArtifactPart serves one part's exact bytes — byte-identical to
+// the file the wsansim CLI would have written.
+func (s *Server) handleGetArtifactPart(w http.ResponseWriter, r *http.Request) {
+	a, ok := s.store.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "artifact %q not found", r.PathValue("id"))
+		return
+	}
+	part := a.Part(r.PathValue("part"))
+	if part == nil {
+		writeErr(w, http.StatusNotFound, "artifact %q has no part %q",
+			r.PathValue("id"), r.PathValue("part"))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_, _ = w.Write(part)
+}

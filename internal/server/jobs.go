@@ -1,0 +1,517 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"wsan"
+)
+
+// Job kinds. Each kind maps to one expensive pipeline operation; the
+// parameter documents below are their canonical encodings (and hence the
+// cache-key material).
+const (
+	// KindSchedule generates a workload and schedules it (NR/RA/RC) — the
+	// async equivalent of `wsansim gen-schedule`.
+	KindSchedule = "schedule"
+	// KindSimulate executes a schedule artifact on the TSCH simulator — the
+	// async equivalent of `wsansim simulate`.
+	KindSimulate = "simulate"
+	// KindConverge runs the sequential-stopping simulation until every
+	// flow's PDR estimate reaches the target precision.
+	KindConverge = "converge"
+	// KindManage runs observe→classify→repair management iterations over a
+	// schedule artifact — the async equivalent of `wsansim manage`.
+	KindManage = "manage"
+)
+
+// scheduleParams is the canonical KindSchedule parameter document.
+type scheduleParams struct {
+	Flows             int    `json:"flows"`
+	MinPeriodExp      int    `json:"minPeriodExp"`
+	MaxPeriodExp      int    `json:"maxPeriodExp"`
+	Traffic           string `json:"traffic"`
+	Alg               string `json:"alg"`
+	Seed              int64  `json:"seed"`
+	RhoT              int    `json:"rhoT"`
+	DisableRetransmit bool   `json:"disableRetransmit,omitempty"`
+}
+
+// simulateParams is the canonical KindSimulate parameter document.
+// Artifact references the schedule bundle to execute.
+type simulateParams struct {
+	Artifact     string   `json:"artifact"`
+	Hyperperiods int      `json:"hyperperiods"`
+	Seed         int64    `json:"seed"`
+	Fading       *float64 `json:"fading,omitempty"`
+	Drift        *float64 `json:"drift,omitempty"`
+}
+
+// convergeParams is the canonical KindConverge parameter document.
+type convergeParams struct {
+	Artifact          string   `json:"artifact"`
+	Seed              int64    `json:"seed"`
+	Fading            *float64 `json:"fading,omitempty"`
+	Drift             *float64 `json:"drift,omitempty"`
+	ChunkHyperperiods int      `json:"chunkHyperperiods"`
+	MaxChunks         int      `json:"maxChunks"`
+	HalfWidth         float64  `json:"halfWidth"`
+}
+
+// manageParams is the canonical KindManage parameter document.
+type manageParams struct {
+	Artifact      string `json:"artifact"`
+	MaxIterations int    `json:"maxIterations"`
+	EpochSlots    int    `json:"epochSlots"`
+	Seed          int64  `json:"seed"`
+}
+
+// defaultSigma is the CLI's fading / survey-drift default (dB).
+const defaultSigma = 2.5
+
+// sigma resolves an optional σ parameter against the CLI default.
+func sigma(p *float64) float64 {
+	if p == nil {
+		return defaultSigma
+	}
+	return *p
+}
+
+// canonicalParams validates and canonicalizes a raw parameter document for
+// one job kind: defaults are applied and the document re-marshalled with a
+// fixed field order, so two equivalent requests produce identical bytes —
+// and therefore the same artifact key. Validation errors map to HTTP 400.
+func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage) ([]byte, error) {
+	if len(raw) == 0 {
+		raw = json.RawMessage("{}")
+	}
+	dec := func(v any) error {
+		d := json.NewDecoder(bytes.NewReader(raw))
+		d.DisallowUnknownFields()
+		return d.Decode(v)
+	}
+	switch kind {
+	case KindSchedule:
+		var p scheduleParams
+		if err := dec(&p); err != nil {
+			return nil, err
+		}
+		if p.Flows == 0 {
+			p.Flows = 30
+		}
+		if p.Flows < 1 {
+			return nil, fmt.Errorf("flows must be positive")
+		}
+		if p.MaxPeriodExp == 0 && p.MinPeriodExp == 0 {
+			p.MaxPeriodExp = 2
+		}
+		if p.MaxPeriodExp < p.MinPeriodExp {
+			return nil, fmt.Errorf("maxPeriodExp %d < minPeriodExp %d", p.MaxPeriodExp, p.MinPeriodExp)
+		}
+		if p.Traffic == "" {
+			p.Traffic = "p2p"
+		}
+		if _, err := parseTraffic(p.Traffic); err != nil {
+			return nil, err
+		}
+		if p.Alg == "" {
+			p.Alg = "rc"
+		}
+		if _, err := parseAlgorithm(p.Alg); err != nil {
+			return nil, err
+		}
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		if p.RhoT == 0 {
+			p.RhoT = 2
+		}
+		return json.Marshal(p)
+	case KindSimulate:
+		var p simulateParams
+		if err := dec(&p); err != nil {
+			return nil, err
+		}
+		if err := s.checkScheduleArtifact(p.Artifact); err != nil {
+			return nil, err
+		}
+		if p.Hyperperiods == 0 {
+			p.Hyperperiods = 100
+		}
+		if p.Hyperperiods < 1 {
+			return nil, fmt.Errorf("hyperperiods must be positive")
+		}
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		return json.Marshal(p)
+	case KindConverge:
+		var p convergeParams
+		if err := dec(&p); err != nil {
+			return nil, err
+		}
+		if err := s.checkScheduleArtifact(p.Artifact); err != nil {
+			return nil, err
+		}
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		if p.ChunkHyperperiods == 0 {
+			p.ChunkHyperperiods = 20
+		}
+		if p.MaxChunks == 0 {
+			p.MaxChunks = 50
+		}
+		if p.HalfWidth == 0 {
+			p.HalfWidth = 0.01
+		}
+		return json.Marshal(p)
+	case KindManage:
+		var p manageParams
+		if err := dec(&p); err != nil {
+			return nil, err
+		}
+		if err := s.checkScheduleArtifact(p.Artifact); err != nil {
+			return nil, err
+		}
+		if p.MaxIterations == 0 {
+			p.MaxIterations = 3
+		}
+		if p.EpochSlots == 0 {
+			p.EpochSlots = 90_000
+		}
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		return json.Marshal(p)
+	default:
+		return nil, fmt.Errorf("unknown job kind %q (want %s, %s, %s, or %s)",
+			kind, KindSchedule, KindSimulate, KindConverge, KindManage)
+	}
+}
+
+// checkScheduleArtifact verifies that a referenced artifact exists and
+// carries the parts a downstream job consumes.
+func (s *Server) checkScheduleArtifact(id string) error {
+	if id == "" {
+		return fmt.Errorf("artifact is required")
+	}
+	a, ok := s.store.Get(id)
+	if !ok {
+		return fmt.Errorf("artifact %q not found", id)
+	}
+	for _, part := range []string{"survey.json", "workload.json", "schedule.json"} {
+		if a.Part(part) == nil {
+			return fmt.Errorf("artifact %q has no %s part", id, part)
+		}
+	}
+	return nil
+}
+
+// runJob executes one dequeued job and stores its artifact under the job's
+// content address. The worker pool calls it with the job's context; every
+// long-running wsan operation underneath checks that context.
+func (s *Server) runJob(ctx context.Context, j *Job) (string, error) {
+	nw, ok := s.nets.get(j.Network)
+	if !ok {
+		return "", fmt.Errorf("network %q was removed", j.Network)
+	}
+	var parts map[string][]byte
+	var err error
+	switch j.Kind {
+	case KindSchedule:
+		parts, err = s.runSchedule(ctx, nw, j.Params)
+	case KindSimulate:
+		parts, err = s.runSimulate(ctx, nw, j.Params)
+	case KindConverge:
+		parts, err = s.runConverge(ctx, nw, j.Params)
+	case KindManage:
+		parts, err = s.runManage(ctx, nw, j.Params)
+	default:
+		err = fmt.Errorf("unknown job kind %q", j.Kind)
+	}
+	if err != nil {
+		return "", err
+	}
+	s.store.Put(j.Key, j.Kind, parts)
+	return j.Key, nil
+}
+
+// runSchedule generates and schedules a workload, producing the same three
+// JSON documents `wsansim gen-schedule` writes plus a summary.
+func (s *Server) runSchedule(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+	var p scheduleParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	traffic, err := parseTraffic(p.Traffic)
+	if err != nil {
+		return nil, err
+	}
+	alg, err := parseAlgorithm(p.Alg)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	flows, err := nw.Net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows:     p.Flows,
+		MinPeriodExp: p.MinPeriodExp,
+		MaxPeriodExp: p.MaxPeriodExp,
+		Traffic:      traffic,
+		Seed:         p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res, err := nw.Net.Schedule(flows, alg, wsan.ScheduleConfig{
+		RhoT:              p.RhoT,
+		DisableRetransmit: p.DisableRetransmit,
+		Metrics:           s.mets,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !res.Schedulable {
+		return nil, fmt.Errorf("workload not schedulable under %v (flow %d missed its deadline)",
+			alg, res.FailedFlow)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var workload, sched bytes.Buffer
+	if err := wsan.SaveWorkload(flows, &workload); err != nil {
+		return nil, err
+	}
+	if err := wsan.SaveSchedule(res, &sched); err != nil {
+		return nil, err
+	}
+	summary, err := json.Marshal(map[string]any{
+		"algorithm":     p.Alg,
+		"flows":         len(flows),
+		"transmissions": res.Schedule.Len(),
+		"slots":         res.Schedule.NumSlots(),
+		"channels":      len(nw.Channels),
+		"lambdaR":       res.LambdaR,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{
+		"survey.json":   nw.Survey,
+		"workload.json": workload.Bytes(),
+		"schedule.json": sched.Bytes(),
+		"summary.json":  summary,
+	}, nil
+}
+
+// loadBundle decodes the testbed, workload, and schedule of a schedule
+// bundle artifact into fresh instances — each job works on its own copies,
+// so concurrent jobs over one artifact never share mutable state.
+func (s *Server) loadBundle(id string) (*wsan.Testbed, []*wsan.Flow, *wsan.ScheduleResult, error) {
+	a, ok := s.store.Get(id)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("artifact %q not found", id)
+	}
+	tb, err := wsan.LoadTestbed(bytes.NewReader(a.Part("survey.json")))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("artifact %q: %w", id, err)
+	}
+	flows, err := wsan.LoadWorkload(bytes.NewReader(a.Part("workload.json")))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("artifact %q: %w", id, err)
+	}
+	sched, err := wsan.LoadSchedule(bytes.NewReader(a.Part("schedule.json")))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("artifact %q: %w", id, err)
+	}
+	return tb, flows, sched, nil
+}
+
+// flowReport is the per-flow entry of a simulation report.
+type flowReport struct {
+	Flow      int     `json:"flow"`
+	Released  int     `json:"released"`
+	Delivered int     `json:"delivered"`
+	PDR       float64 `json:"pdr"`
+}
+
+// simReport summarizes one simulation run — the JSON form of the CLI
+// simulate command's output.
+type simReport struct {
+	Flows        int          `json:"flows"`
+	Hyperperiods int          `json:"hyperperiods"`
+	PDRSummary   wsan.FiveNum `json:"pdrSummary"`
+	PerFlow      []flowReport `json:"perFlow"`
+	Converged    *bool        `json:"converged,omitempty"`
+	Chunks       int          `json:"chunks,omitempty"`
+	HalfWidth    float64      `json:"halfWidth,omitempty"`
+}
+
+// buildReport assembles the report from a simulation result.
+func buildReport(res *wsan.SimResult, flows []*wsan.Flow, hyperperiods int) (*simReport, error) {
+	fn, err := wsan.Summary(res.PDRs())
+	if err != nil {
+		return nil, err
+	}
+	rep := &simReport{Flows: len(flows), Hyperperiods: hyperperiods, PDRSummary: fn}
+	for _, f := range flows {
+		rep.PerFlow = append(rep.PerFlow, flowReport{
+			Flow:      f.ID,
+			Released:  res.Released[f.ID],
+			Delivered: res.Delivered[f.ID],
+			PDR:       res.PDR(f.ID),
+		})
+	}
+	return rep, nil
+}
+
+// runSimulate executes a schedule bundle on the TSCH simulator.
+func (s *Server) runSimulate(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+	var p simulateParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	tb, flows, sched, err := s.loadBundle(p.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	res, err := wsan.SimulateCtx(ctx, wsan.SimConfig{
+		Testbed:            tb,
+		Flows:              flows,
+		Schedule:           sched.Schedule,
+		Channels:           nw.Channels,
+		Hyperperiods:       p.Hyperperiods,
+		FadingSigmaDB:      sigma(p.Fading),
+		SurveyDriftSigmaDB: sigma(p.Drift),
+		Retransmit:         true,
+		Metrics:            s.mets,
+		Seed:               p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := buildReport(res, flows, p.Hyperperiods)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{"report.json": out}, nil
+}
+
+// runConverge runs the sequential-stopping simulation over a bundle.
+func (s *Server) runConverge(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+	var p convergeParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	tb, flows, sched, err := s.loadBundle(p.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	cres, err := wsan.SimulateConvergedCtx(ctx, wsan.SimConfig{
+		Testbed:            tb,
+		Flows:              flows,
+		Schedule:           sched.Schedule,
+		Channels:           nw.Channels,
+		FadingSigmaDB:      sigma(p.Fading),
+		SurveyDriftSigmaDB: sigma(p.Drift),
+		Retransmit:         true,
+		Metrics:            s.mets,
+		Seed:               p.Seed,
+	}, wsan.ConvergeOpts{
+		ChunkHyperperiods: p.ChunkHyperperiods,
+		MaxChunks:         p.MaxChunks,
+		HalfWidth:         p.HalfWidth,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := buildReport(cres.Result, flows, cres.Chunks*p.ChunkHyperperiods)
+	if err != nil {
+		return nil, err
+	}
+	rep.Converged = &cres.Converged
+	rep.Chunks = cres.Chunks
+	rep.HalfWidth = cres.WorstHalfWidth
+	out, err := json.Marshal(rep)
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{"report.json": out}, nil
+}
+
+// runManage runs management iterations over a bundle, producing the
+// iteration log and the repaired schedule.
+func (s *Server) runManage(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+	var p manageParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	tb, flows, sched, err := s.loadBundle(p.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	iters, err := wsan.ManageCtx(ctx, wsan.ManageConfig{
+		Testbed:            tb,
+		Flows:              flows,
+		Schedule:           sched.Schedule,
+		Channels:           nw.Channels,
+		EpochSlots:         p.EpochSlots,
+		SampleWindowSlots:  p.EpochSlots / 18,
+		ProbeEverySlots:    250,
+		FadingSigmaDB:      defaultSigma,
+		SurveyDriftSigmaDB: defaultSigma,
+		MaxIterations:      p.MaxIterations,
+		CompactAfterRepair: true,
+		Metrics:            s.mets,
+		Seed:               p.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	iterJSON, err := json.Marshal(iters)
+	if err != nil {
+		return nil, err
+	}
+	var repaired bytes.Buffer
+	if err := wsan.SaveSchedule(sched, &repaired); err != nil {
+		return nil, err
+	}
+	return map[string][]byte{
+		"iterations.json": iterJSON,
+		"schedule.json":   repaired.Bytes(),
+	}, nil
+}
+
+// parseTraffic maps the wire traffic name to the routing pattern.
+func parseTraffic(s string) (wsan.Traffic, error) {
+	switch s {
+	case "p2p":
+		return wsan.PeerToPeer, nil
+	case "centralized":
+		return wsan.Centralized, nil
+	default:
+		return 0, fmt.Errorf("unknown traffic %q (want p2p or centralized)", s)
+	}
+}
+
+// parseAlgorithm maps the wire algorithm name to the scheduler selection.
+func parseAlgorithm(s string) (wsan.Algorithm, error) {
+	switch s {
+	case "nr":
+		return wsan.NR, nil
+	case "ra":
+		return wsan.RA, nil
+	case "rc":
+		return wsan.RC, nil
+	default:
+		return 0, fmt.Errorf("unknown algorithm %q (want nr, ra, or rc)", s)
+	}
+}

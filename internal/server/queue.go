@@ -1,0 +1,310 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"wsan/internal/obs"
+)
+
+// JobState is one point of the job lifecycle.
+type JobState int
+
+const (
+	// StateQueued: accepted, waiting for a worker.
+	StateQueued JobState = iota + 1
+	// StateRunning: a worker is executing the job.
+	StateRunning
+	// StateDone: finished successfully; the artifact is in the store.
+	StateDone
+	// StateFailed: finished with an error.
+	StateFailed
+	// StateCancelled: cancelled while queued, or while running via its
+	// context.
+	StateCancelled
+)
+
+// String implements fmt.Stringer; the values are the wire states of the
+// jobs API.
+func (s JobState) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	default:
+		return fmt.Sprintf("JobState(%d)", int(s))
+	}
+}
+
+// MarshalJSON serializes the state as its wire string.
+func (s JobState) MarshalJSON() ([]byte, error) { return json.Marshal(s.String()) }
+
+// UnmarshalJSON parses the wire string back into a state (clients decode
+// job views with the same type).
+func (s *JobState) UnmarshalJSON(data []byte) error {
+	var name string
+	if err := json.Unmarshal(data, &name); err != nil {
+		return err
+	}
+	for _, st := range []JobState{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled} {
+		if st.String() == name {
+			*s = st
+			return nil
+		}
+	}
+	return fmt.Errorf("unknown job state %q", name)
+}
+
+// Job is one asynchronous operation on a hosted network.
+type Job struct {
+	// ID is the job handle ("j1", "j2", ...). Immutable.
+	ID string
+	// Network and Kind identify what runs. Immutable.
+	Network string
+	Kind    string
+	// Key is the artifact content address this job produces. Immutable.
+	Key string
+	// Params is the canonical (defaults-applied) parameter document.
+	Params json.RawMessage
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu         sync.Mutex
+	state      JobState
+	err        string
+	artifactID string
+	cached     bool
+	created    time.Time
+	started    time.Time
+	finished   time.Time
+}
+
+// JobView is the lock-free snapshot of a job the HTTP API serves.
+type JobView struct {
+	ID       string     `json:"id"`
+	Network  string     `json:"network"`
+	Kind     string     `json:"kind"`
+	State    JobState   `json:"state"`
+	Cached   bool       `json:"cached"`
+	Artifact string     `json:"artifact,omitempty"`
+	Error    string     `json:"error,omitempty"`
+	Created  time.Time  `json:"created"`
+	Started  *time.Time `json:"started,omitempty"`
+	Finished *time.Time `json:"finished,omitempty"`
+}
+
+// View snapshots the job under its lock.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:       j.ID,
+		Network:  j.Network,
+		Kind:     j.Kind,
+		State:    j.state,
+		Cached:   j.cached,
+		Artifact: j.artifactID,
+		Error:    j.err,
+		Created:  j.created,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	return v
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// markRunning moves queued → running; it reports false when the job was
+// cancelled while waiting (the worker then skips it).
+func (j *Job) markRunning() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != StateQueued {
+		return false
+	}
+	j.state = StateRunning
+	j.started = time.Now()
+	return true
+}
+
+// finish records the execution outcome. A run aborted by the job's own
+// context reports cancelled, not failed.
+func (j *Job) finish(artifactID string, err error) JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now()
+	switch {
+	case err == nil:
+		j.state = StateDone
+		j.artifactID = artifactID
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = StateCancelled
+		j.err = err.Error()
+	default:
+		j.state = StateFailed
+		j.err = err.Error()
+	}
+	return j.state
+}
+
+// Cancel requests cancellation. A queued job transitions immediately; a
+// running job has its context cancelled and transitions when the worker
+// returns. Cancel reports false if the job had already finished.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	switch j.state {
+	case StateQueued:
+		j.state = StateCancelled
+		j.err = context.Canceled.Error()
+		j.finished = time.Now()
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	case StateRunning:
+		j.mu.Unlock()
+		j.cancel()
+		return true
+	default:
+		j.mu.Unlock()
+		return false
+	}
+}
+
+// Queue admission errors.
+var (
+	// ErrQueueFull: the bounded queue is at capacity (HTTP 429).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining: the pool is shutting down and rejects new jobs (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+)
+
+// Pool is the bounded FIFO job queue plus its worker goroutines.
+type Pool struct {
+	queue chan *Job
+	run   func(ctx context.Context, j *Job) (artifactID string, err error)
+	mets  obs.Sink
+	wg    sync.WaitGroup
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts workers goroutines draining a FIFO queue of capacity
+// queueCap. run executes one job and returns the stored artifact ID.
+func NewPool(workers, queueCap int, mets obs.Sink, run func(context.Context, *Job) (string, error)) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	if queueCap < 1 {
+		queueCap = 1
+	}
+	p := &Pool{queue: make(chan *Job, queueCap), run: run, mets: mets}
+	p.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Submit enqueues a queued job, failing fast with ErrQueueFull when the
+// queue is at capacity and ErrDraining after Close.
+func (p *Pool) Submit(j *Job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return ErrDraining
+	}
+	select {
+	case p.queue <- j:
+		if p.mets != nil {
+			p.mets.Count("server.jobs.submitted", 1)
+			p.mets.Gauge("server.queue.depth", float64(len(p.queue)))
+		}
+		return nil
+	default:
+		if p.mets != nil {
+			p.mets.Count("server.jobs.rejected", 1)
+		}
+		return ErrQueueFull
+	}
+}
+
+// worker drains the queue until Close.
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.queue {
+		if p.mets != nil {
+			p.mets.Gauge("server.queue.depth", float64(len(p.queue)))
+		}
+		if !j.markRunning() {
+			// Cancelled while queued.
+			continue
+		}
+		if p.mets != nil {
+			p.mets.Observe("server.jobs.queue_seconds", time.Since(j.View().Created).Seconds())
+		}
+		start := time.Now()
+		art, err := p.run(j.ctx, j)
+		state := j.finish(art, err)
+		if p.mets != nil {
+			p.mets.Observe("server.jobs.run_seconds", time.Since(start).Seconds())
+			switch state {
+			case StateDone:
+				p.mets.Count("server.jobs.completed", 1)
+			case StateFailed:
+				p.mets.Count("server.jobs.failed", 1)
+			case StateCancelled:
+				p.mets.Count("server.jobs.cancelled", 1)
+			}
+		}
+	}
+}
+
+// Close stops intake and waits for the workers to drain the queue — the
+// graceful half of shutdown. It returns ctx.Err() if the drain outlives the
+// context (the caller then cancels the jobs' contexts and re-waits).
+func (p *Pool) Close(ctx context.Context) error {
+	p.mu.Lock()
+	if !p.closed {
+		p.closed = true
+		close(p.queue)
+	}
+	p.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		p.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Wait blocks until every worker has exited (used after a forced cancel).
+func (p *Pool) Wait() { p.wg.Wait() }

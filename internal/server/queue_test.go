@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"wsan/internal/obs"
+)
+
+// newTestJob builds a bare job wired to a cancellable context.
+func newTestJob(id string) *Job {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Job{ID: id, Kind: "test", Key: "key-" + id, ctx: ctx, cancel: cancel,
+		state: StateQueued, created: time.Now()}
+}
+
+func TestPoolRunsJobs(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	ran := make(map[string]bool)
+	p := NewPool(2, 4, reg, func(ctx context.Context, j *Job) (string, error) {
+		mu.Lock()
+		ran[j.ID] = true
+		mu.Unlock()
+		return "art-" + j.ID, nil
+	})
+	jobs := []*Job{newTestJob("a"), newTestJob("b"), newTestJob("c")}
+	for _, j := range jobs {
+		if err := p.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if !ran[j.ID] {
+			t.Errorf("job %s never ran", j.ID)
+		}
+		v := j.View()
+		if v.State != StateDone || v.Artifact != "art-"+j.ID {
+			t.Errorf("job %s: %+v", j.ID, v)
+		}
+	}
+	if got := reg.CounterValue("server.jobs.completed"); got != 3 {
+		t.Errorf("completed = %d, want 3", got)
+	}
+}
+
+func TestPoolBackpressure(t *testing.T) {
+	block := make(chan struct{})
+	p := NewPool(1, 1, nil, func(ctx context.Context, j *Job) (string, error) {
+		<-block
+		return "", nil
+	})
+	defer close(block)
+	// First job occupies the worker; the exact moment it is dequeued is
+	// asynchronous, so allow the queue slot to free up before filling it.
+	if err := p.Submit(newTestJob("running")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if err := p.Submit(newTestJob("queued")); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("queue never freed a slot for the second job")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if err := p.Submit(newTestJob("rejected")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPoolRejectsAfterClose(t *testing.T) {
+	p := NewPool(1, 1, nil, func(ctx context.Context, j *Job) (string, error) { return "", nil })
+	ctx, cancel := contextWithTimeout(time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(newTestJob("late")); !errors.Is(err, ErrDraining) {
+		t.Fatalf("submit after close: %v, want ErrDraining", err)
+	}
+}
+
+func TestCancelQueuedJobNeverRuns(t *testing.T) {
+	block := make(chan struct{})
+	var mu sync.Mutex
+	ran := make(map[string]bool)
+	p := NewPool(1, 2, nil, func(ctx context.Context, j *Job) (string, error) {
+		mu.Lock()
+		ran[j.ID] = true
+		mu.Unlock()
+		<-block
+		return "", nil
+	})
+	first := newTestJob("first")
+	if err := p.Submit(first); err != nil {
+		t.Fatal(err)
+	}
+	victim := newTestJob("victim")
+	if err := p.Submit(victim); err != nil {
+		t.Fatal(err)
+	}
+	if !victim.Cancel() {
+		t.Fatal("cancel of a queued job should succeed")
+	}
+	if st := victim.State(); st != StateCancelled {
+		t.Fatalf("victim state = %v, want cancelled", st)
+	}
+	close(block)
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if ran["victim"] {
+		t.Fatal("cancelled queued job must be skipped by the worker")
+	}
+	if !ran["first"] {
+		t.Fatal("first job should have run")
+	}
+}
+
+func TestRunningJobCancelReportsCancelled(t *testing.T) {
+	started := make(chan struct{})
+	p := NewPool(1, 1, nil, func(ctx context.Context, j *Job) (string, error) {
+		close(started)
+		<-ctx.Done()
+		return "", ctx.Err()
+	})
+	j := newTestJob("j")
+	if err := p.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if !j.Cancel() {
+		t.Fatal("cancel of a running job should succeed")
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if st := j.State(); st != StateCancelled {
+		t.Fatalf("state = %v, want cancelled", st)
+	}
+}
+
+func TestJobStateStrings(t *testing.T) {
+	want := map[JobState]string{
+		StateQueued:    "queued",
+		StateRunning:   "running",
+		StateDone:      "done",
+		StateFailed:    "failed",
+		StateCancelled: "cancelled",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(st), st.String(), s)
+		}
+	}
+	if JobState(99).String() == "" {
+		t.Error("unknown state should still stringify")
+	}
+}

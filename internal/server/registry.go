@@ -1,0 +1,215 @@
+// Package server is the network-manager daemon: a multi-tenant HTTP
+// service hosting named wsan networks and running the expensive pipeline
+// operations — schedule generation, simulation, convergence runs, and
+// management-loop iterations — as asynchronous jobs on a bounded worker
+// pool. Completed outputs land in a content-addressed artifact store keyed
+// by the producing request, so identical submissions are cache hits.
+//
+// The package sits entirely on the public wsan facade (plus the obs layer
+// it shares with the rest of the pipeline); it is the service skin of the
+// library, not a second implementation.
+package server
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"wsan"
+)
+
+// netEntry is one hosted network: the immutable wsan.Network plus the
+// exact survey JSON its artifacts embed.
+type netEntry struct {
+	// Name is the tenant-chosen handle.
+	Name string
+	// Hash identifies the network content (survey bytes + channel count +
+	// options) for artifact addressing.
+	Hash string
+	// Net is the derived operating network. wsan.Network is immutable after
+	// construction and safe for concurrent use, so every job on this entry
+	// shares it without locking.
+	Net *wsan.Network
+	// Survey is the canonical testbed JSON (what gen-schedule writes as
+	// survey.json).
+	Survey []byte
+	// Channels is the physical channel list the network operates on.
+	Channels []int
+	// Created is the registration time.
+	Created time.Time
+}
+
+// CreateNetworkRequest is the POST /networks body. Exactly one of Preset
+// and Testbed selects the topology source.
+type CreateNetworkRequest struct {
+	// Name is the handle jobs are submitted under. Required.
+	Name string `json:"name"`
+	// Preset generates a synthetic testbed ("indriya" or "wustl").
+	Preset string `json:"preset,omitempty"`
+	// TopoSeed drives preset generation (default 1).
+	TopoSeed int64 `json:"toposeed,omitempty"`
+	// Testbed is an uploaded topology JSON document (the wsan survey.json
+	// format), used instead of a preset.
+	Testbed json.RawMessage `json:"testbed,omitempty"`
+	// Channels is the number of channels to operate on (default 4).
+	Channels int `json:"channels,omitempty"`
+	// PRRThreshold overrides the link-selection threshold PRR_t (default 0.9).
+	PRRThreshold float64 `json:"prrThreshold,omitempty"`
+	// AccessPoints overrides how many access points are selected (default 2).
+	AccessPoints int `json:"accessPoints,omitempty"`
+}
+
+// NetworkView is the network description the HTTP API serves.
+type NetworkView struct {
+	Name          string    `json:"name"`
+	Hash          string    `json:"hash"`
+	Nodes         int       `json:"nodes"`
+	Channels      []int     `json:"channels"`
+	AccessPoints  []int     `json:"accessPoints"`
+	CommEdges     int       `json:"commEdges"`
+	ReuseDiameter int       `json:"reuseDiameter"`
+	Created       time.Time `json:"created"`
+}
+
+// view builds the API description of an entry.
+func (e *netEntry) view() NetworkView {
+	return NetworkView{
+		Name:          e.Name,
+		Hash:          e.Hash,
+		Nodes:         len(e.Net.Testbed().Nodes),
+		Channels:      e.Net.Channels(),
+		AccessPoints:  e.Net.AccessPoints(),
+		CommEdges:     e.Net.CommEdges(),
+		ReuseDiameter: e.Net.ReuseDiameter(),
+		Created:       e.Created,
+	}
+}
+
+// errExists marks a name collision on network creation (HTTP 409).
+var errExists = errors.New("already exists")
+
+// registry holds the hosted networks. Safe for concurrent use.
+type registry struct {
+	mu   sync.RWMutex
+	nets map[string]*netEntry
+}
+
+func newRegistry() *registry { return &registry{nets: make(map[string]*netEntry)} }
+
+// create builds a network from the request and registers it under its name.
+func (r *registry) create(req CreateNetworkRequest) (*netEntry, error) {
+	if req.Name == "" {
+		return nil, fmt.Errorf("network name is required")
+	}
+	if req.Channels == 0 {
+		req.Channels = 4
+	}
+	if req.Channels < 1 || req.Channels > wsan.NumChannels {
+		return nil, fmt.Errorf("channels must be in [1, %d]", wsan.NumChannels)
+	}
+	var tb *wsan.Testbed
+	var err error
+	switch {
+	case req.Preset != "" && len(req.Testbed) > 0:
+		return nil, fmt.Errorf("preset and testbed are mutually exclusive")
+	case req.Preset != "":
+		seed := req.TopoSeed
+		if seed == 0 {
+			seed = 1
+		}
+		switch req.Preset {
+		case "indriya":
+			tb, err = wsan.GenerateIndriya(seed)
+		case "wustl":
+			tb, err = wsan.GenerateWUSTL(seed)
+		default:
+			return nil, fmt.Errorf("unknown preset %q (want indriya or wustl)", req.Preset)
+		}
+	case len(req.Testbed) > 0:
+		tb, err = wsan.LoadTestbed(bytes.NewReader(req.Testbed))
+	default:
+		return nil, fmt.Errorf("either preset or testbed is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	var opts []wsan.NetworkOption
+	if req.PRRThreshold != 0 {
+		opts = append(opts, wsan.WithPRRThreshold(req.PRRThreshold))
+	}
+	if req.AccessPoints != 0 {
+		opts = append(opts, wsan.WithAccessPoints(req.AccessPoints))
+	}
+	net, err := wsan.NewNetwork(tb, req.Channels, opts...)
+	if err != nil {
+		return nil, err
+	}
+	// Canonical survey bytes: re-encode the testbed so uploaded and
+	// generated topologies address artifacts identically.
+	var survey bytes.Buffer
+	if err := wsan.SaveTestbed(tb, &survey); err != nil {
+		return nil, err
+	}
+	h := sha256.New()
+	h.Write(survey.Bytes())
+	fmt.Fprintf(h, "|ch=%d|prrt=%g|aps=%d", req.Channels, req.PRRThreshold, req.AccessPoints)
+	e := &netEntry{
+		Name:     req.Name,
+		Hash:     hex.EncodeToString(h.Sum(nil)),
+		Net:      net,
+		Survey:   survey.Bytes(),
+		Channels: net.Channels(),
+		Created:  time.Now(),
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nets[e.Name]; ok {
+		return nil, fmt.Errorf("network %q %w", e.Name, errExists)
+	}
+	r.nets[e.Name] = e
+	return e, nil
+}
+
+// get looks a network up by name.
+func (r *registry) get(name string) (*netEntry, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	e, ok := r.nets[name]
+	return e, ok
+}
+
+// remove deregisters a network; jobs already running keep their references.
+func (r *registry) remove(name string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.nets[name]; !ok {
+		return false
+	}
+	delete(r.nets, name)
+	return true
+}
+
+// list returns every hosted network's view, sorted by name.
+func (r *registry) list() []NetworkView {
+	r.mu.RLock()
+	views := make([]NetworkView, 0, len(r.nets))
+	for _, e := range r.nets {
+		views = append(views, e.view())
+	}
+	r.mu.RUnlock()
+	sort.Slice(views, func(i, j int) bool { return views[i].Name < views[j].Name })
+	return views
+}
+
+// size returns the number of hosted networks.
+func (r *registry) size() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.nets)
+}

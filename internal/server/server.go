@@ -1,0 +1,266 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"wsan/internal/obs"
+)
+
+// Config parameterizes the daemon.
+type Config struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueCap bounds the FIFO job queue; a full queue rejects submissions
+	// with 429 (default 64).
+	QueueCap int
+	// Metrics receives every server and pipeline signal and backs the
+	// /metrics endpoint. Nil creates a fresh registry.
+	Metrics *obs.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server
+	// mux (the wsansim serve command turns this on).
+	EnablePprof bool
+}
+
+// Server is the network-manager daemon: hosted networks, the artifact
+// store, the job queue, and the HTTP surface over them.
+type Server struct {
+	nets  *registry
+	store *Store
+	pool  *Pool
+	mets  *obs.Registry
+	mux   *http.ServeMux
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*Job
+	jobOrder []string
+	jobSeq   int
+	draining bool
+}
+
+// New builds a ready-to-serve daemon. Call Shutdown to drain it.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 64
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		nets:       newRegistry(),
+		store:      NewStore(cfg.Metrics),
+		mets:       cfg.Metrics,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+	}
+	s.pool = NewPool(cfg.Workers, cfg.QueueCap, cfg.Metrics, s.runJob)
+	s.mux = s.buildMux(cfg.EnablePprof)
+	// Pre-declare the headline counters so a fresh /metrics snapshot
+	// carries the full schema as explicit zeros.
+	for _, name := range []string{
+		"server.jobs.submitted", "server.jobs.completed", "server.jobs.failed",
+		"server.jobs.cancelled", "server.jobs.rejected",
+		"server.cache.hits", "server.cache.misses", "server.cache.stored",
+	} {
+		s.mets.Count(name, 0)
+	}
+	s.mets.Gauge("server.queue.depth", 0)
+	return s
+}
+
+// Handler returns the daemon's HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the registry backing /metrics.
+func (s *Server) Metrics() *obs.Registry { return s.mets }
+
+// Shutdown drains the daemon: new jobs are rejected immediately, running
+// and queued jobs get until ctx expires to finish, then their contexts are
+// cancelled and the workers are awaited unconditionally.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.draining = true
+	s.mu.Unlock()
+	err := s.pool.Close(ctx)
+	if err != nil {
+		// Out of patience: abort every in-flight job and wait for the
+		// workers to observe the cancellation.
+		s.baseCancel()
+		s.pool.Wait()
+		return err
+	}
+	s.baseCancel()
+	return nil
+}
+
+// SubmitJob canonicalizes the request, probes the artifact cache, and
+// either completes the job instantly (cache hit) or enqueues it. The
+// returned error is ErrQueueFull, ErrDraining, or a validation error.
+func (s *Server) SubmitJob(network, kind string, params json.RawMessage) (*Job, error) {
+	nw, ok := s.nets.get(network)
+	if !ok {
+		return nil, fmt.Errorf("network %q not found", network)
+	}
+	canon, err := s.canonicalParams(nw, kind, params)
+	if err != nil {
+		return nil, fmt.Errorf("invalid %s parameters: %w", kind, err)
+	}
+	key := ArtifactKey(nw.Hash, kind, canon)
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	s.jobSeq++
+	id := fmt.Sprintf("j%d", s.jobSeq)
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j := &Job{
+		ID:      id,
+		Network: network,
+		Kind:    kind,
+		Key:     key,
+		Params:  canon,
+		ctx:     ctx,
+		cancel:  cancel,
+		state:   StateQueued,
+		created: time.Now(),
+	}
+	if art, ok := s.store.Lookup(key); ok {
+		// Cache hit: the artifact for this exact request already exists;
+		// the job completes without touching the queue.
+		j.mu.Lock()
+		j.state = StateDone
+		j.cached = true
+		j.artifactID = art.ID
+		j.started = j.created
+		j.finished = time.Now()
+		j.mu.Unlock()
+		cancel()
+		s.rememberJob(j)
+		return j, nil
+	}
+	if err := s.pool.Submit(j); err != nil {
+		cancel()
+		return nil, err
+	}
+	s.rememberJob(j)
+	return j, nil
+}
+
+// rememberJob indexes a job for the /jobs endpoints.
+func (s *Server) rememberJob(j *Job) {
+	s.mu.Lock()
+	s.jobs[j.ID] = j
+	s.jobOrder = append(s.jobOrder, j.ID)
+	s.mu.Unlock()
+}
+
+// Job looks a job up by ID.
+func (s *Server) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// JobViews snapshots every job in submission order.
+func (s *Server) JobViews() []JobView {
+	s.mu.Lock()
+	order := append([]string(nil), s.jobOrder...)
+	jobs := make([]*Job, 0, len(order))
+	for _, id := range order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]JobView, 0, len(jobs))
+	for _, j := range jobs {
+		views = append(views, j.View())
+	}
+	return views
+}
+
+// ArtifactViews lists the stored artifacts (ID, kind, parts), sorted by ID.
+func (s *Server) ArtifactViews() []map[string]any {
+	s.store.mu.RLock()
+	arts := make([]*Artifact, 0, len(s.store.arts))
+	for _, a := range s.store.arts {
+		arts = append(arts, a)
+	}
+	s.store.mu.RUnlock()
+	sort.Slice(arts, func(i, j int) bool { return arts[i].ID < arts[j].ID })
+	out := make([]map[string]any, 0, len(arts))
+	for _, a := range arts {
+		out = append(out, map[string]any{
+			"id": a.ID, "kind": a.Kind, "created": a.Created, "parts": a.PartNames(),
+		})
+	}
+	return out
+}
+
+// buildMux assembles the HTTP surface.
+func (s *Server) buildMux(enablePprof bool) *http.ServeMux {
+	mux := http.NewServeMux()
+	s.handle(mux, "GET /healthz", "healthz", s.handleHealthz)
+	s.handle(mux, "GET /metrics", "metrics", s.handleMetrics)
+	s.handle(mux, "POST /networks", "networks_create", s.handleCreateNetwork)
+	s.handle(mux, "GET /networks", "networks_list", s.handleListNetworks)
+	s.handle(mux, "GET /networks/{name}", "networks_get", s.handleGetNetwork)
+	s.handle(mux, "DELETE /networks/{name}", "networks_delete", s.handleDeleteNetwork)
+	s.handle(mux, "POST /networks/{name}/jobs", "jobs_submit", s.handleSubmitJob)
+	s.handle(mux, "GET /jobs", "jobs_list", s.handleListJobs)
+	s.handle(mux, "GET /jobs/{id}", "jobs_get", s.handleGetJob)
+	s.handle(mux, "DELETE /jobs/{id}", "jobs_cancel", s.handleCancelJob)
+	s.handle(mux, "GET /artifacts", "artifacts_list", s.handleListArtifacts)
+	s.handle(mux, "GET /artifacts/{id}", "artifacts_get", s.handleGetArtifact)
+	s.handle(mux, "GET /artifacts/{id}/{part}", "artifacts_part", s.handleGetArtifactPart)
+	if enablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// handle registers a route with per-endpoint request counting and latency
+// histograms ("server.http.<name>.requests" / "server.http.<name>_seconds").
+func (s *Server) handle(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
+		s.mets.Count("server.http."+name+".requests", 1)
+		defer obs.Timed(s.mets, "server.http."+name+"_seconds")()
+		h(w, r)
+	})
+}
+
+// writeJSON serves one JSON response.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// writeErr serves one JSON error envelope.
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

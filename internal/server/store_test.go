@@ -1,0 +1,158 @@
+package server
+
+import (
+	"bytes"
+	"testing"
+
+	"wsan"
+	"wsan/internal/obs"
+)
+
+func TestArtifactKeyDeterminism(t *testing.T) {
+	a := ArtifactKey("net1", KindSchedule, []byte(`{"flows":5,"seed":1}`))
+	b := ArtifactKey("net1", KindSchedule, []byte(`{"flows":5,"seed":1}`))
+	if a != b {
+		t.Fatal("identical requests must share a key")
+	}
+	variants := []string{
+		ArtifactKey("net2", KindSchedule, []byte(`{"flows":5,"seed":1}`)),
+		ArtifactKey("net1", KindSimulate, []byte(`{"flows":5,"seed":1}`)),
+		ArtifactKey("net1", KindSchedule, []byte(`{"flows":5,"seed":2}`)),
+	}
+	for i, v := range variants {
+		if v == a {
+			t.Errorf("variant %d collides with the base key", i)
+		}
+	}
+}
+
+func TestStoreLookupCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStore(reg)
+	if _, ok := s.Lookup("missing"); ok {
+		t.Fatal("empty store should miss")
+	}
+	s.Put("k1", "schedule", map[string][]byte{"a.json": []byte(`{}`)})
+	if _, ok := s.Lookup("k1"); !ok {
+		t.Fatal("stored key should hit")
+	}
+	if got := reg.CounterValue("server.cache.hits"); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := reg.CounterValue("server.cache.misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	// Get must not touch the cache counters.
+	if _, ok := s.Get("k1"); !ok {
+		t.Fatal("Get should find k1")
+	}
+	if got := reg.CounterValue("server.cache.hits"); got != 1 {
+		t.Errorf("hits after Get = %d, want 1", got)
+	}
+}
+
+func TestStorePutIdempotent(t *testing.T) {
+	s := NewStore(nil)
+	first := s.Put("k", "schedule", map[string][]byte{"a.json": []byte(`1`)})
+	second := s.Put("k", "schedule", map[string][]byte{"a.json": []byte(`2`)})
+	if first != second {
+		t.Fatal("double Put of one key must keep the first artifact")
+	}
+	if s.Len() != 1 {
+		t.Fatalf("store holds %d artifacts, want 1", s.Len())
+	}
+}
+
+// TestTopologyRoundTripUnderStore pins the property the HTTP artifact
+// surface depends on: testbed JSON stored as an artifact part decodes back
+// to a testbed that re-encodes to the identical bytes.
+func TestTopologyRoundTripUnderStore(t *testing.T) {
+	tb := testTestbed(t)
+	var buf bytes.Buffer
+	if err := wsan.SaveTestbed(tb, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(nil)
+	s.Put("k", KindSchedule, map[string][]byte{"survey.json": buf.Bytes()})
+	a, ok := s.Get("k")
+	if !ok {
+		t.Fatal("artifact missing")
+	}
+	decoded, err := wsan.LoadTestbed(bytes.NewReader(a.Part("survey.json")))
+	if err != nil {
+		t.Fatalf("stored survey does not decode: %v", err)
+	}
+	var again bytes.Buffer
+	if err := wsan.SaveTestbed(decoded, &again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("testbed JSON is not a byte-stable round trip through the store")
+	}
+}
+
+// TestScheduleRoundTripUnderStore does the same for workload and schedule
+// parts: decode from the store, re-encode, compare bytes.
+func TestScheduleRoundTripUnderStore(t *testing.T) {
+	tb := testTestbed(t)
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows: 5, MaxPeriodExp: 1, Traffic: wsan.PeerToPeer, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.Schedule(flows, wsan.RC, wsan.ScheduleConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var workload, sched bytes.Buffer
+	if err := wsan.SaveWorkload(flows, &workload); err != nil {
+		t.Fatal(err)
+	}
+	if err := wsan.SaveSchedule(res, &sched); err != nil {
+		t.Fatal(err)
+	}
+	s := NewStore(nil)
+	s.Put("k", KindSchedule, map[string][]byte{
+		"workload.json": workload.Bytes(),
+		"schedule.json": sched.Bytes(),
+	})
+	a, _ := s.Get("k")
+
+	gotFlows, err := wsan.LoadWorkload(bytes.NewReader(a.Part("workload.json")))
+	if err != nil {
+		t.Fatalf("stored workload does not decode: %v", err)
+	}
+	var workloadAgain bytes.Buffer
+	if err := wsan.SaveWorkload(gotFlows, &workloadAgain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(workload.Bytes(), workloadAgain.Bytes()) {
+		t.Fatal("workload JSON is not a byte-stable round trip through the store")
+	}
+
+	gotSched, err := wsan.LoadSchedule(bytes.NewReader(a.Part("schedule.json")))
+	if err != nil {
+		t.Fatalf("stored schedule does not decode: %v", err)
+	}
+	var schedAgain bytes.Buffer
+	if err := wsan.SaveSchedule(gotSched, &schedAgain); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(sched.Bytes(), schedAgain.Bytes()) {
+		t.Fatal("schedule JSON is not a byte-stable round trip through the store")
+	}
+	// The decoded schedule must also be semantically identical: an empty
+	// dissemination delta against the original.
+	delta, err := wsan.DiffSchedules(res, gotSched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(delta) != 0 {
+		t.Fatalf("round-tripped schedule differs by %d delta entries", len(delta))
+	}
+}

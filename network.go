@@ -14,8 +14,22 @@ import (
 
 // Network is the high-level entry point: a testbed operated on a fixed set
 // of channels, with the communication and channel-reuse graphs the network
-// manager derives from the link statistics. It is safe for concurrent reads
-// after construction.
+// manager derives from the link statistics.
+//
+// # Goroutine safety
+//
+// A Network is immutable after construction, so a single instance is safe
+// for concurrent use by any number of goroutines: GenerateWorkload, Route,
+// Schedule, AddFlow, Compact, and every accessor only read the derived
+// graphs (each call owns its private RNG and schedule state). This is the
+// access pattern of the network-manager daemon (internal/server), which
+// runs scheduling and simulation jobs for one hosted network concurrently
+// on a worker pool. The caveats are the arguments, not the Network: a
+// *ScheduleResult, the flow slice it was built from, and a SimConfig are
+// NOT safe to share between concurrent calls that mutate them (AddFlow,
+// Compact, Repair, Manage, and the simulator's statistics collection) —
+// give each goroutine its own copies (CloneSchedule, or decode fresh
+// instances from JSON as the daemon does).
 type Network struct {
 	tb       *topology.Testbed
 	channels []int

@@ -168,6 +168,39 @@ func LoadTestbed(r io.Reader) (*Testbed, error) {
 	return tb, wrapErr(err)
 }
 
+// SaveWorkload writes a routed flow set as JSON — the workload.json format
+// of the wsansim toolchain and the network-manager daemon's artifacts.
+func SaveWorkload(flows []*Flow, w io.Writer) error {
+	return wrapErr(flow.EncodeWorkload(w, flows))
+}
+
+// LoadWorkload reads a flow set written by SaveWorkload, validating every
+// flow and the priority numbering.
+func LoadWorkload(r io.Reader) ([]*Flow, error) {
+	fs, err := flow.DecodeWorkload(r)
+	return fs, wrapErr(err)
+}
+
+// SaveSchedule writes a schedule as JSON — the schedule.json format of the
+// wsansim toolchain and the network-manager daemon's artifacts.
+func SaveSchedule(res *ScheduleResult, w io.Writer) error {
+	if res == nil || res.Schedule == nil {
+		return fmt.Errorf("wsan: nil schedule")
+	}
+	return wrapErr(res.Schedule.Encode(w))
+}
+
+// LoadSchedule reads a schedule written by SaveSchedule, re-validating
+// every placement. The returned result reports the loaded schedule as
+// schedulable (an unschedulable run is never persisted).
+func LoadSchedule(r io.Reader) (*ScheduleResult, error) {
+	s, err := schedule.Decode(r)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return &ScheduleResult{Schedule: s, Schedulable: true, FailedFlow: -1}, nil
+}
+
 // Observability re-exports: the wsan pipeline reports counters, gauges,
 // histograms, and events through a MetricsSink (see internal/obs). Attach
 // one with SimConfig.WithMetricsSink / ManageConfig.WithMetricsSink or the

@@ -1,6 +1,7 @@
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test bench ci
+.PHONY: build test bench ci fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -18,3 +19,15 @@ ci:
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# fuzz-smoke gives every fuzz target a short budget ($(FUZZTIME) each) —
+# enough to catch regressions in the decoder hardening without stalling CI.
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzLoadTestbed -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=^$$ -fuzz=FuzzLoadWorkload -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=^$$ -fuzz=FuzzLoadSchedule -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=^$$ -fuzz=FuzzLoadFaultScenario -fuzztime=$(FUZZTIME) .
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/schedule
+	$(GO) test -run=^$$ -fuzz=FuzzDecode -fuzztime=$(FUZZTIME) ./internal/topology
+	$(GO) test -run=^$$ -fuzz=FuzzKSTest -fuzztime=$(FUZZTIME) ./internal/stats
+	$(GO) test -run=^$$ -fuzz=FuzzQuantile -fuzztime=$(FUZZTIME) ./internal/stats

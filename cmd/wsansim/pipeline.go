@@ -107,7 +107,12 @@ func runSimulate(args []string, mets obs.Sink) error {
 	drift := fs.Float64("drift", 2.5, "survey-to-runtime drift σ (dB)")
 	channels := fs.Int("channels", 4, "number of channels the schedule uses")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
+	faultsPath := fs.String("faults", "", "fault-scenario JSON to inject during the run")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario, err := loadFaults(*faultsPath)
+	if err != nil {
 		return err
 	}
 	tb, err := readArtifact(*dir, "survey.json", topology.Decode)
@@ -133,6 +138,7 @@ func runSimulate(args []string, mets obs.Sink) error {
 		Retransmit:         true,
 		Metrics:            mets,
 		Seed:               *seed,
+		Faults:             scenario,
 	}
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
@@ -152,7 +158,27 @@ func runSimulate(args []string, mets obs.Sink) error {
 	}
 	fmt.Printf("executed %d hyperperiods over %d flows\n", *reps, len(flows))
 	fmt.Printf("per-flow PDR: %s\n", fn)
+	if scenario != nil {
+		fmt.Printf("fault events applied: %d\n", res.FaultEvents.Total())
+	}
 	return nil
+}
+
+// loadFaults reads a fault scenario when path is non-empty.
+func loadFaults(path string) (*wsan.FaultScenario, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc, err := wsan.LoadFaultScenario(f)
+	if err != nil {
+		return nil, fmt.Errorf("read %s: %w", path, err)
+	}
+	return sc, nil
 }
 
 func makeTestbed(name string, seed int64) (*wsan.Testbed, error) {
@@ -335,7 +361,12 @@ func runManage(args []string, mets obs.Sink) error {
 	iterations := fs.Int("iterations", 3, "maximum management iterations")
 	epochSlots := fs.Int("epoch", 90_000, "observation slots per iteration")
 	seed := fs.Int64("seed", 1, "simulation seed")
+	faultsPath := fs.String("faults", "", "fault-scenario JSON to inject during the loop")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	scenario, err := loadFaults(*faultsPath)
+	if err != nil {
 		return err
 	}
 	tb, err := readArtifact(*dir, "survey.json", topology.Decode)
@@ -364,15 +395,16 @@ func runManage(args []string, mets obs.Sink) error {
 		CompactAfterRepair: true,
 		Metrics:            mets,
 		Seed:               *seed,
+		Faults:             scenario,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("iter  degraded  moved  unmovable  delta  devices  minPDR  meanPDR")
+	fmt.Println("iter  health     degraded  moved  rerouted  blacklist  delta  devices  minPDR  meanPDR")
 	for _, it := range iters {
-		fmt.Printf("%4d  %8d  %5d  %9d  %5d  %7d  %.3f   %.3f\n",
-			it.Index+1, it.Degraded, it.Moved, it.Unmovable,
-			it.DeltaChanges, it.AffectedDevices, it.MinPDR, it.MeanPDR)
+		fmt.Printf("%4d  %-9s  %8d  %5d  %8d  %9d  %5d  %7d  %.3f   %.3f\n",
+			it.Index+1, it.Health, it.Degraded, it.Moved, it.Rerouted,
+			len(it.Blacklisted), it.DeltaChanges, it.AffectedDevices, it.MinPDR, it.MeanPDR)
 	}
 	// Persist the managed schedule.
 	if err := writeArtifact(*dir, "schedule.json", sched.Encode); err != nil {

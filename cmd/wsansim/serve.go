@@ -24,6 +24,9 @@ func runServe(args []string, mets obs.Sink) error {
 	workers := fs.Int("workers", 0, "worker-pool size (0 = GOMAXPROCS)")
 	queueCap := fs.Int("queue", 64, "job queue capacity (full queue ⇒ 429)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget for running jobs")
+	jobTimeout := fs.Duration("job-timeout", 0, "per-job watchdog; a job running longer fails (0 = off)")
+	jobRetries := fs.Int("job-retries", 2, "retry budget for transiently failing jobs")
+	retryBackoff := fs.Duration("retry-backoff", 250*time.Millisecond, "delay before the first retry, doubling per attempt")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -35,10 +38,13 @@ func runServe(args []string, mets obs.Sink) error {
 		reg = obs.NewRegistry()
 	}
 	srv := server.New(server.Config{
-		Workers:     *workers,
-		QueueCap:    *queueCap,
-		Metrics:     reg,
-		EnablePprof: true,
+		Workers:      *workers,
+		QueueCap:     *queueCap,
+		JobTimeout:   *jobTimeout,
+		MaxRetries:   *jobRetries,
+		RetryBackoff: *retryBackoff,
+		Metrics:      reg,
+		EnablePprof:  true,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 

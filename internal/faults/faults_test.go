@@ -1,0 +1,197 @@
+package faults
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wsan/internal/flow"
+)
+
+func link(u, v int) *flow.Link { return &flow.Link{From: u, To: v} }
+
+func scenario() *Scenario {
+	return &Scenario{
+		Name: "test",
+		Seed: 11,
+		Events: []Event{
+			{At: 100, Kind: NodeCrash, Node: 3},
+			{At: 50, Kind: InterferenceStart, Channels: []int{0, 1}, PowerDBm: -40},
+			{At: 200, Kind: NodeRecover, Node: 3},
+			{At: 150, Kind: InterferenceStop, Channels: []int{0}},
+			{At: 120, Kind: LinkBlackout, Link: link(5, 6)},
+			{At: 180, Kind: LinkRestore, Link: link(6, 5)},
+			{At: 160, Kind: DriftStep, SigmaDB: 3},
+		},
+	}
+}
+
+func TestOverlayTimeline(t *testing.T) {
+	o, err := NewOverlay(scenario(), 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := o.Advance(49); n != 0 {
+		t.Fatalf("no event before slot 50, applied %d", n)
+	}
+	o.Advance(99)
+	if o.InterferenceMW(0) <= 0 || o.InterferenceMW(1) <= 0 {
+		t.Error("interference should be active on channels 0 and 1")
+	}
+	if o.InterferenceMW(2) != 0 {
+		t.Error("channel 2 should be clean")
+	}
+	if o.NodeDown(3) {
+		t.Error("node 3 crashes only at slot 100")
+	}
+	o.Advance(130)
+	if !o.NodeDown(3) {
+		t.Error("node 3 should be down")
+	}
+	if !o.LinkDown(5, 6) || !o.LinkDown(6, 5) {
+		t.Error("blackout must sever both directions")
+	}
+	if got := o.CrashedNodes(); len(got) != 1 || got[0] != 3 {
+		t.Errorf("CrashedNodes = %v, want [3]", got)
+	}
+	if got := o.BlackedLinks(); len(got) != 1 || got[0] != (flow.Link{From: 5, To: 6}) {
+		t.Errorf("BlackedLinks = %v", got)
+	}
+	if got := o.InterferedChannels(); len(got) != 2 {
+		t.Errorf("InterferedChannels = %v, want [0 1]", got)
+	}
+	o.Advance(170)
+	if o.InterferenceMW(0) != 0 {
+		t.Error("channel 0 interference should have stopped at 150")
+	}
+	if o.InterferenceMW(1) == 0 {
+		t.Error("channel 1 interference continues")
+	}
+	if !o.HasDrift() {
+		t.Error("drift step at 160 should be active")
+	}
+	if o.GainOffsetDB(1, 2, 3) == 0 {
+		t.Error("drift offset should be non-zero for a generic path")
+	}
+	o.Advance(10_000)
+	if o.NodeDown(3) || o.LinkDown(5, 6) {
+		t.Error("recoveries at 180/200 should have cleared the faults")
+	}
+	c := o.Counts()
+	if c.Total() != 7 || c.NodeCrashes != 1 || c.DriftSteps != 1 {
+		t.Errorf("counts = %+v", c)
+	}
+}
+
+func TestOverlayDeterministicDrift(t *testing.T) {
+	mk := func() *Overlay {
+		o, err := NewOverlay(scenario(), 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		o.Advance(1000)
+		return o
+	}
+	a, b := mk(), mk()
+	for tx := 0; tx < 5; tx++ {
+		for rx := 0; rx < 5; rx++ {
+			if a.GainOffsetDB(tx, rx, 2) != b.GainOffsetDB(tx, rx, 2) {
+				t.Fatalf("drift realization not deterministic at %d→%d", tx, rx)
+			}
+		}
+	}
+	// A different scenario seed realizes a different field.
+	sc := scenario()
+	sc.Seed = 99
+	o, err := NewOverlay(sc, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(1000)
+	if o.GainOffsetDB(1, 2, 3) == a.GainOffsetDB(1, 2, 3) {
+		t.Error("different seeds should realize different drift")
+	}
+}
+
+func TestNilScenarioOverlay(t *testing.T) {
+	o, err := NewOverlay(nil, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(100)
+	if o.NodeDown(0) || o.LinkDown(0, 1) || o.InterferenceMW(0) != 0 || o.HasDrift() {
+		t.Error("nil scenario must be fault-free")
+	}
+}
+
+func TestValidationErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		ev   Event
+	}{
+		{"negative time", Event{At: -1, Kind: NodeCrash}},
+		{"unknown kind", Event{Kind: "meteor-strike"}},
+		{"node out of range", Event{Kind: NodeCrash, Node: 10}},
+		{"negative node", Event{Kind: NodeRecover, Node: -1}},
+		{"missing link", Event{Kind: LinkBlackout}},
+		{"self link", Event{Kind: LinkBlackout, Link: link(2, 2)}},
+		{"link out of range", Event{Kind: LinkRestore, Link: link(0, 10)}},
+		{"no channels", Event{Kind: InterferenceStart}},
+		{"channel out of range", Event{Kind: InterferenceStop, Channels: []int{16}}},
+		{"negative sigma", Event{Kind: DriftStep, SigmaDB: -1}},
+	}
+	for _, c := range cases {
+		sc := &Scenario{Events: []Event{c.ev}}
+		if _, err := NewOverlay(sc, 10); err == nil {
+			t.Errorf("%s: expected a validation error", c.name)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	sc := scenario()
+	var buf bytes.Buffer
+	if err := sc.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != sc.Name || got.Seed != sc.Seed || len(got.Events) != len(sc.Events) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i, e := range got.Events {
+		if e.Kind != sc.Events[i].Kind || e.At != sc.Events[i].At {
+			t.Fatalf("event %d mismatch: %+v vs %+v", i, e, sc.Events[i])
+		}
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	for name, doc := range map[string]string{
+		"not json":      "}{",
+		"unknown field": `{"events":[{"at":0,"kind":"node-crash","node":1,"extra":true}]}`,
+		"unknown kind":  `{"events":[{"at":0,"kind":"alien"}]}`,
+		"negative at":   `{"events":[{"at":-5,"kind":"drift-step"}]}`,
+	} {
+		if _, err := Decode(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: expected a decode error", name)
+		}
+	}
+}
+
+func TestSameSlotEventsApplyInListingOrder(t *testing.T) {
+	sc := &Scenario{Events: []Event{
+		{At: 10, Kind: InterferenceStart, Channels: []int{0}, PowerDBm: -30},
+		{At: 10, Kind: InterferenceStop, Channels: []int{0}},
+	}}
+	o, err := NewOverlay(sc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.Advance(10)
+	if o.InterferenceMW(0) != 0 {
+		t.Error("stop listed after start at the same slot must win")
+	}
+}

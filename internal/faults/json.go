@@ -1,0 +1,45 @@
+package faults
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// maxScenarioBytes bounds a scenario document; fault timelines are small,
+// and the cap keeps a hostile upload from ballooning the daemon.
+const maxScenarioBytes = 4 << 20
+
+// maxScenarioEvents bounds the timeline length for the same reason.
+const maxScenarioEvents = 100_000
+
+// Encode writes the scenario as indented JSON — the scenario.json format of
+// the wsansim -faults flag and the daemon's job parameters.
+func (s *Scenario) Encode(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("faults: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a scenario written by Encode, validating every event (node
+// ranges are checked later, against the testbed, by the overlay). Unknown
+// fields are rejected so typos fail loudly instead of silently disabling a
+// fault.
+func Decode(r io.Reader) (*Scenario, error) {
+	dec := json.NewDecoder(io.LimitReader(r, maxScenarioBytes))
+	dec.DisallowUnknownFields()
+	var s Scenario
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("faults: decode: %w", err)
+	}
+	if len(s.Events) > maxScenarioEvents {
+		return nil, fmt.Errorf("faults: scenario has %d events, maximum %d", len(s.Events), maxScenarioEvents)
+	}
+	if err := s.Validate(0); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wsan/internal/detect"
+	"wsan/internal/faults"
 	"wsan/internal/flow"
 	"wsan/internal/netsim"
 	"wsan/internal/obs"
@@ -52,6 +53,35 @@ type Config struct {
 	// Seed drives the simulations; each iteration advances it so repaired
 	// schedules face fresh noise.
 	Seed int64
+
+	// Faults, when non-nil, replays a fault scenario during every
+	// observation window. The scenario clock advances with the loop —
+	// iteration i observes the timeline from slot i·(executed slots per
+	// iteration) — so one scenario spans the whole management session.
+	Faults *faults.Scenario
+	// FaultOffsetSlots shifts the scenario clock of the first iteration
+	// (see netsim.Config.FaultOffsetSlots).
+	FaultOffsetSlots int
+	// MaxStalls bounds the consecutive iterations the loop tolerates
+	// without progress (no repair move, reroute, or blacklist) while the
+	// network is degraded, before giving up with the last Degraded state.
+	// Default 1 without a fault scenario (the classic behavior: one futile
+	// iteration ends the loop) and 3 with one, because a fault timeline can
+	// clear on its own and retrying is how the loop notices.
+	MaxStalls int
+	// RetryBackoff is the base delay slept after a stalled iteration; it
+	// doubles per consecutive stall and is capped at MaxRetryBackoff
+	// (default 8×RetryBackoff). Zero disables sleeping — stalls are still
+	// counted against MaxStalls.
+	RetryBackoff    time.Duration
+	MaxRetryBackoff time.Duration
+	// BlacklistMinAttempts and BlacklistFailureRate tune channel
+	// blacklisting: a channel is removed from the hopping list only after
+	// at least MinAttempts observed transmissions failed at a rate of at
+	// least FailureRate (and far above the cleanest channel, see
+	// blacklistChannels). Defaults: 50 attempts, rate 0.5.
+	BlacklistMinAttempts int
+	BlacklistFailureRate float64
 }
 
 // WithMetricsSink returns a copy of the config with the observability sink
@@ -94,12 +124,37 @@ type Iteration struct {
 	// devices that must be updated.
 	DeltaChanges    int
 	AffectedDevices int
+	// Health classifies the network at the end of this iteration: Healthy,
+	// Degraded, or Recovered (healthy again after a degraded iteration).
+	Health Health
+	// DegradedFlows lists (sorted) the flows whose end-to-end PDR fell
+	// below the detection PRR threshold during this window.
+	DegradedFlows []int
+	// SuspectNodes lists nodes inferred crashed from this window's link
+	// statistics; Rerouted counts the flows moved onto detour routes
+	// avoiding them.
+	SuspectNodes []int
+	Rerouted     int
+	// Blacklisted lists physical channels removed from the hopping list
+	// this iteration; Channels is the hopping list in effect afterwards
+	// (and for the next iteration).
+	Blacklisted []int
+	Channels    []int
+	// Backoff is the delay slept after this stalled iteration (zero when
+	// the iteration made progress or RetryBackoff is unset).
+	Backoff time.Duration
 }
 
-// Loop runs the management cycle until no link is classified reuse-degraded,
-// repair stops making progress, or MaxIterations is reached. It returns one
-// Iteration per cycle, in order; the schedule in cfg reflects all applied
-// repairs.
+// Loop runs the management cycle until the network is healthy (no link
+// classified reuse-degraded and every flow meeting the PRR target), repair
+// stops making progress for MaxStalls consecutive iterations, or
+// MaxIterations is reached. It returns one Iteration per cycle, in order;
+// the schedule (and, after reroutes, the flow routes) in cfg reflect all
+// applied repairs. Under a fault scenario the loop degrades gracefully:
+// crashed nodes are inferred and routed around, channels under sustained
+// interference are swapped out of the hopping list, and every iteration
+// carries a Health verdict instead of the loop giving up at the first
+// unrepairable fault.
 func Loop(cfg Config) ([]Iteration, error) {
 	return LoopCtx(context.Background(), cfg)
 }
@@ -122,8 +177,34 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 	if cfg.Detection == (detect.Config{}) {
 		cfg.Detection = detect.DefaultConfig()
 	}
+	if cfg.MaxStalls <= 0 {
+		if cfg.Faults != nil {
+			cfg.MaxStalls = 3 // fault timelines can clear; retry before quitting
+		} else {
+			cfg.MaxStalls = 1
+		}
+	}
+	if cfg.MaxRetryBackoff <= 0 {
+		cfg.MaxRetryBackoff = 8 * cfg.RetryBackoff
+	}
+	if cfg.BlacklistMinAttempts <= 0 {
+		cfg.BlacklistMinAttempts = 50
+	}
+	if cfg.BlacklistFailureRate <= 0 {
+		cfg.BlacklistFailureRate = 0.5
+	}
 	hyper := cfg.Schedule.NumSlots()
 	reps := (cfg.EpochSlots + hyper - 1) / hyper
+	// The hopping list is copied so blacklisting never mutates the caller's
+	// slice; used tracks every channel ever in the list, so a blacklisted
+	// channel cannot return as a later replacement.
+	channels := append([]int(nil), cfg.Channels...)
+	used := make(map[int]bool, len(channels))
+	for _, ch := range channels {
+		used[ch] = true
+	}
+	stalls := 0
+	everDegraded := false
 	var out []Iteration
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -134,7 +215,7 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 			Testbed:            cfg.Testbed,
 			Flows:              cfg.Flows,
 			Schedule:           cfg.Schedule,
-			Channels:           cfg.Channels,
+			Channels:           channels,
 			Hyperperiods:       reps,
 			FadingSigmaDB:      cfg.FadingSigmaDB,
 			SurveyDriftSigmaDB: cfg.SurveyDriftSigmaDB,
@@ -146,6 +227,10 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 			Metrics:            cfg.Metrics,
 			Seed:               cfg.Seed + int64(iter),
 			DriftSeed:          cfg.Seed, // same radio environment every iteration
+			Faults:             cfg.Faults,
+			// Each iteration executes reps·hyper slots, so the scenario
+			// clock picks up exactly where the previous iteration left off.
+			FaultOffsetSlots: cfg.FaultOffsetSlots + iter*reps*hyper,
 		})
 		if err != nil {
 			return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
@@ -161,24 +246,59 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 			count++
 		}
 		it.MeanPDR = sum / float64(count)
+		it.DegradedFlows = degradedFlowIDs(cfg.Flows, res, cfg.Detection.PRRThreshold)
 		reports := detect.Classify(res.LinkEpochs, cfg.Detection)
 		degraded := detect.Links(reports, detect.ReuseDegraded)
 		it.Degraded = len(degraded)
-		if len(degraded) == 0 {
-			observeIteration(cfg.Metrics, it, reports, time.Since(iterStart))
+		it.Channels = append([]int(nil), channels...)
+		if len(degraded) == 0 && len(it.DegradedFlows) == 0 {
+			it.Health = Healthy
+			if everDegraded {
+				it.Health = Recovered
+			}
+			observeIteration(cfg.Metrics, it, reports, time.Since(iterStart), false)
 			out = append(out, it)
 			return out, nil
 		}
+		everDegraded = true
+		it.Health = Degraded
 		before := cfg.Schedule.Clone()
-		rep, err := repair.RescheduleObserved(cfg.Schedule, cfg.Flows, degraded, cfg.Metrics)
-		if err != nil {
-			return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
-		}
-		it.Moved = rep.Moved
-		it.Unmovable = len(rep.Failed)
-		if cfg.CompactAfterRepair && rep.Moved > 0 {
-			if _, err := repair.Compact(cfg.Schedule, cfg.Flows, nil, 0); err != nil {
+		if len(degraded) > 0 {
+			rep, err := repair.RescheduleObserved(cfg.Schedule, cfg.Flows, degraded, cfg.Metrics)
+			if err != nil {
 				return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+			}
+			it.Moved = rep.Moved
+			it.Unmovable = len(rep.Failed)
+			if cfg.CompactAfterRepair && rep.Moved > 0 {
+				if _, err := repair.Compact(cfg.Schedule, cfg.Flows, nil, 0); err != nil {
+					return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+				}
+			}
+		}
+		it.SuspectNodes = suspectCrashedNodes(res)
+		if len(it.SuspectNodes) > 0 {
+			n, err := rerouteAround(cfg.Testbed, channels, cfg.Detection.PRRThreshold,
+				cfg.Flows, cfg.Schedule, it.SuspectNodes)
+			if err != nil {
+				return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+			}
+			it.Rerouted = n
+		}
+		// Blacklist channels on OtherCause evidence: reuse degradation is
+		// repaired in time/offset space, but a link failing in both
+		// conditions points at the medium itself. Degraded flows open the
+		// gate too — the classifier only reports links carrying reuse
+		// traffic, so a reuse-free schedule under interference would
+		// otherwise never trigger it; the per-channel contrast test inside
+		// blacklistChannels still separates interference from crashes.
+		if len(detect.Links(reports, detect.OtherCause)) > 0 || len(it.DegradedFlows) > 0 {
+			var removed []int
+			channels, removed = blacklistChannels(channels, res,
+				int64(cfg.BlacklistMinAttempts), cfg.BlacklistFailureRate, used)
+			if len(removed) > 0 {
+				it.Blacklisted = removed
+				it.Channels = append([]int(nil), channels...)
 			}
 		}
 		delta, err := schedule.Diff(before, cfg.Schedule)
@@ -187,11 +307,30 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 		}
 		it.DeltaChanges = len(delta)
 		it.AffectedDevices = len(schedule.AffectedDevices(delta))
-		observeIteration(cfg.Metrics, it, reports, time.Since(iterStart))
+		progress := it.Moved > 0 || it.Rerouted > 0 || len(it.Blacklisted) > 0
+		if progress {
+			stalls = 0
+		} else {
+			stalls++
+			if stalls < cfg.MaxStalls && cfg.RetryBackoff > 0 {
+				// Bounded exponential backoff before the retry.
+				d := cfg.RetryBackoff << uint(stalls-1)
+				if d > cfg.MaxRetryBackoff || d <= 0 {
+					d = cfg.MaxRetryBackoff
+				}
+				it.Backoff = d
+			}
+		}
+		observeIteration(cfg.Metrics, it, reports, time.Since(iterStart), !progress)
 		out = append(out, it)
-		if rep.Moved == 0 {
-			// Nothing left to try; further iterations would spin.
+		if stalls >= cfg.MaxStalls {
+			// Out of ideas: report the degraded state instead of spinning.
 			return out, nil
+		}
+		if it.Backoff > 0 {
+			if err := sleepCtx(ctx, it.Backoff); err != nil {
+				return out, fmt.Errorf("manage: %w", err)
+			}
 		}
 	}
 	return out, nil
@@ -201,7 +340,7 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 // verdict census of the classification pass, the repair outcome, delivery
 // gauges, the cycle's wall-clock histogram sample, and one
 // "manage.iteration" event carrying the same numbers for stream consumers.
-func observeIteration(m obs.Sink, it Iteration, reports []detect.Report, elapsed time.Duration) {
+func observeIteration(m obs.Sink, it Iteration, reports []detect.Report, elapsed time.Duration, stalled bool) {
 	if m == nil {
 		return
 	}
@@ -215,15 +354,36 @@ func observeIteration(m obs.Sink, it Iteration, reports []detect.Report, elapsed
 	m.Count("manage.delta_changes", int64(it.DeltaChanges))
 	m.Gauge("manage.min_pdr", it.MinPDR)
 	m.Gauge("manage.mean_pdr", it.MeanPDR)
+	m.Gauge("manage.health", float64(it.Health))
+	if it.Rerouted > 0 {
+		m.Count("manage.recovery.rerouted_flows", int64(it.Rerouted))
+	}
+	if len(it.SuspectNodes) > 0 {
+		m.Count("manage.recovery.suspect_nodes", int64(len(it.SuspectNodes)))
+	}
+	if len(it.Blacklisted) > 0 {
+		m.Count("manage.recovery.blacklisted_channels", int64(len(it.Blacklisted)))
+	}
+	if stalled {
+		m.Count("manage.recovery.stalls", 1)
+	}
+	if it.Backoff > 0 {
+		m.Observe("manage.recovery.backoff_seconds", it.Backoff.Seconds())
+	}
 	m.Observe("manage.iteration_seconds", elapsed.Seconds())
 	m.Event("manage.iteration", map[string]float64{
 		"iteration":        float64(it.Index),
 		"degraded":         float64(it.Degraded),
+		"degraded_flows":   float64(len(it.DegradedFlows)),
 		"moved":            float64(it.Moved),
 		"unmovable":        float64(it.Unmovable),
 		"delta_changes":    float64(it.DeltaChanges),
 		"affected_devices": float64(it.AffectedDevices),
 		"min_pdr":          it.MinPDR,
 		"mean_pdr":         it.MeanPDR,
+		"health":           float64(it.Health),
+		"rerouted":         float64(it.Rerouted),
+		"suspect_nodes":    float64(len(it.SuspectNodes)),
+		"blacklisted":      float64(len(it.Blacklisted)),
 	})
 }

@@ -1,0 +1,340 @@
+package manage
+
+// This file holds the graceful-degradation machinery of the manage loop:
+// inferring crashed nodes from observed link statistics, rerouting flows
+// around them, blacklisting channels under sustained external interference,
+// and the bounded-backoff stall policy. Everything here works from the
+// observation Result only — the loop never peeks at fault-scenario ground
+// truth, so the same code path handles real deployments.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/netsim"
+	"wsan/internal/schedule"
+	"wsan/internal/topology"
+)
+
+// Health classifies the network at the end of a manage iteration.
+type Health int
+
+const (
+	// Healthy: every flow meets the PRR target and no link is degraded.
+	Healthy Health = iota
+	// Degraded: at least one flow misses the target or a link is degraded.
+	Degraded
+	// Recovered: healthy now, after at least one earlier degraded iteration.
+	Recovered
+)
+
+// String implements fmt.Stringer.
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Degraded:
+		return "degraded"
+	case Recovered:
+		return "recovered"
+	default:
+		return fmt.Sprintf("Health(%d)", int(h))
+	}
+}
+
+// suspectMinAttempts is the inbound-attempt evidence required before a node
+// is inferred crashed. Too low and one unlucky window condemns a live node.
+const suspectMinAttempts = 10
+
+// degradedFlowIDs returns the IDs (sorted) of flows whose end-to-end PDR in
+// this observation window fell below the PRR target.
+func degradedFlowIDs(flows []*flow.Flow, res *netsim.Result, prrT float64) []int {
+	var out []int
+	for _, f := range flows {
+		if res.PDR(f.ID) < prrT {
+			out = append(out, f.ID)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// suspectCrashedNodes infers crashed nodes from the window's link
+// statistics: a node is suspect when the network aimed plenty of traffic at
+// it and not a single transmission touching it — inbound or outbound —
+// succeeded. A live node behind one blacked-out link still answers probes on
+// its other links, so enabling ProbeEverySlots sharpens this inference.
+func suspectCrashedNodes(res *netsim.Result) []int {
+	inAtt := make(map[int]int)
+	succ := make(map[int]int)
+	for link, epochs := range res.LinkEpochs {
+		var att, ok int
+		for _, ep := range epochs {
+			att += ep.Reuse.Attempts + ep.CF.Attempts
+			ok += ep.Reuse.Successes + ep.CF.Successes
+		}
+		inAtt[link.To] += att
+		// A success proves both endpoints alive.
+		succ[link.From] += ok
+		succ[link.To] += ok
+	}
+	var out []int
+	for node, att := range inAtt {
+		if att >= suspectMinAttempts && succ[node] == 0 {
+			out = append(out, node)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// commGraphAvoiding builds the communication graph over the current channel
+// set with the suspect nodes deleted, so shortest paths route around them.
+func commGraphAvoiding(tb *topology.Testbed, channels []int, prrT float64, down map[int]bool) (*graph.Graph, error) {
+	full, err := tb.CommGraph(channels, prrT)
+	if err != nil {
+		return nil, err
+	}
+	g := graph.New(full.Len())
+	for u := 0; u < full.Len(); u++ {
+		if down[u] {
+			continue
+		}
+		for _, v := range full.Neighbors(u) {
+			if down[int(v)] {
+				continue
+			}
+			if err := g.AddEdge(u, int(v)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return g, nil
+}
+
+// rerouteAround moves every flow whose route crosses a suspect node onto a
+// shortest path that avoids all suspects, re-placing its transmissions in
+// exclusive cells. Flows whose own endpoints are suspect cannot be saved and
+// are left untouched (they surface as degraded flows). A flow whose new
+// route cannot be placed keeps its old route and schedule. Returns the
+// number of flows successfully rerouted.
+func rerouteAround(tb *topology.Testbed, channels []int, prrT float64,
+	flows []*flow.Flow, sched *schedule.Schedule, suspects []int) (int, error) {
+	down := make(map[int]bool, len(suspects))
+	for _, n := range suspects {
+		down[n] = true
+	}
+	g, err := commGraphAvoiding(tb, channels, prrT, down)
+	if err != nil {
+		return 0, err
+	}
+	rerouted := 0
+	for _, f := range flows {
+		crosses := false
+		for _, l := range f.Route {
+			if down[l.From] || down[l.To] {
+				crosses = true
+				break
+			}
+		}
+		if !crosses || down[f.Src] || down[f.Dst] {
+			continue
+		}
+		path := g.ShortestPathHop(f.Src, f.Dst)
+		if path == nil {
+			continue // no detour exists; the flow stays degraded
+		}
+		route := make([]flow.Link, len(path)-1)
+		for i := range route {
+			route[i] = flow.Link{From: path[i], To: path[i+1]}
+		}
+		ok, err := replaceFlowSchedule(sched, f, route)
+		if err != nil {
+			return rerouted, err
+		}
+		if ok {
+			f.Route = route
+			rerouted++
+		}
+	}
+	return rerouted, nil
+}
+
+// replaceFlowSchedule swaps a flow's transmissions for a fresh placement of
+// the given route in exclusive cells, preserving the flow's release/deadline
+// windows, route order, and retry depth. On any placement failure the old
+// schedule is restored and ok=false is returned.
+func replaceFlowSchedule(sched *schedule.Schedule, f *flow.Flow, route []flow.Link) (ok bool, err error) {
+	var old []schedule.Tx
+	attempts := 1
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == f.ID {
+			old = append(old, tx)
+			if tx.Attempt+1 > attempts {
+				attempts = tx.Attempt + 1
+			}
+		}
+	}
+	for _, tx := range old {
+		if err := sched.Remove(tx); err != nil {
+			return false, fmt.Errorf("manage: reroute flow %d: %w", f.ID, err)
+		}
+	}
+	restore := func() error {
+		for _, tx := range old {
+			if err := sched.Place(tx); err != nil {
+				return fmt.Errorf("manage: reroute flow %d: restore: %w", f.ID, err)
+			}
+		}
+		return nil
+	}
+	hyper := sched.NumSlots()
+	instances := hyper / f.Period
+	if instances == 0 {
+		instances = 1
+	}
+	var placed []schedule.Tx
+	rollback := func() error {
+		for _, tx := range placed {
+			if err := sched.Remove(tx); err != nil {
+				return fmt.Errorf("manage: reroute flow %d: rollback: %w", f.ID, err)
+			}
+		}
+		return restore()
+	}
+	for inst := 0; inst < instances; inst++ {
+		release := f.Release(inst)
+		hi := release + f.Deadline - 1
+		if hi >= hyper {
+			hi = hyper - 1
+		}
+		prev := release - 1
+		for h, l := range route {
+			for a := 0; a < attempts; a++ {
+				slot, off, found := findExclusiveCell(sched, l, prev+1, hi)
+				if !found {
+					return false, rollback()
+				}
+				tx := schedule.Tx{
+					FlowID: f.ID, Hop: h, Attempt: a, Instance: inst,
+					Link: l, Slot: slot, Offset: off,
+				}
+				if err := sched.Place(tx); err != nil {
+					return false, fmt.Errorf("manage: reroute flow %d: %w", f.ID, err)
+				}
+				placed = append(placed, tx)
+				prev = slot
+			}
+		}
+	}
+	return true, nil
+}
+
+// findExclusiveCell scans [lo, hi] for the earliest slot where both link
+// endpoints are idle and some channel offset is completely unused.
+func findExclusiveCell(sched *schedule.Schedule, l flow.Link, lo, hi int) (int, int, bool) {
+	if lo < 0 {
+		lo = 0
+	}
+	if hi >= sched.NumSlots() {
+		hi = sched.NumSlots() - 1
+	}
+	for s := lo; s <= hi; s++ {
+		if sched.NodeBusy(l.From, s) || sched.NodeBusy(l.To, s) {
+			continue
+		}
+		for c := 0; c < sched.NumOffsets(); c++ {
+			if sched.OffsetLoad(s, c) == 0 {
+				return s, c, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// blacklistChannels finds in-use physical channels whose failure rate this
+// window is both absolutely high and far above the cleanest channel — the
+// signature of narrowband interference, as opposed to a crash or fade that
+// hurts every channel alike (TSCH hopping spreads those uniformly). Each
+// condemned channel is replaced in the hopping list by the lowest-numbered
+// channel never used before (tracked in used), changing only the hopping
+// sequence, never the schedule. Returns the updated list and the channels
+// removed, both deterministic.
+func blacklistChannels(channels []int, res *netsim.Result,
+	minAttempts int64, rateT float64, used map[int]bool) ([]int, []int) {
+	inUse := make(map[int]bool, len(channels))
+	for _, ch := range channels {
+		inUse[ch] = true
+	}
+	// The cleanest well-observed channel is the contrast reference: without
+	// one, uniform failure is not interference evidence.
+	minRate := -1.0
+	for ch := range inUse {
+		if res.ChannelAttempts[ch] < minAttempts {
+			continue
+		}
+		if r := res.ChannelFailureRate(ch); minRate < 0 || r < minRate {
+			minRate = r
+		}
+	}
+	if minRate < 0 {
+		return channels, nil
+	}
+	var bad []int
+	for ch := range inUse {
+		if res.ChannelAttempts[ch] < minAttempts {
+			continue
+		}
+		r := res.ChannelFailureRate(ch)
+		if r >= rateT && r >= 4*minRate {
+			bad = append(bad, ch)
+		}
+	}
+	if len(bad) == 0 {
+		return channels, nil
+	}
+	sort.Ints(bad)
+	var spare []int
+	for ch := 0; ch < topology.NumChannels; ch++ {
+		if !used[ch] {
+			spare = append(spare, ch)
+		}
+	}
+	out := append([]int(nil), channels...)
+	var removed []int
+	for _, ch := range bad {
+		if len(spare) == 0 {
+			break // nothing clean left to hop to; keep the rest as-is
+		}
+		repl := spare[0]
+		spare = spare[1:]
+		used[repl] = true
+		for i, c := range out {
+			if c == ch {
+				out[i] = repl
+			}
+		}
+		removed = append(removed, ch)
+	}
+	return out, removed
+}
+
+// sleepCtx blocks for d or until ctx is cancelled, returning ctx.Err() in
+// the latter case. Non-positive d returns immediately.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

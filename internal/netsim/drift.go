@@ -1,8 +1,6 @@
 package netsim
 
 import (
-	"math"
-
 	"wsan/internal/radio"
 )
 
@@ -13,31 +11,6 @@ import (
 // link's DATA direction and the interference it causes elsewhere.
 func driftedGain(base radio.GainFunc, sigmaDB float64, seed int64) radio.GainFunc {
 	return func(tx, rx, ch int) float64 {
-		return base(tx, rx, ch) + gaussianHash(seed, tx, rx, ch)*sigmaDB
+		return base(tx, rx, ch) + radio.GaussianHash(seed, tx, rx, ch)*sigmaDB
 	}
-}
-
-// gaussianHash maps (seed, tx, rx, ch) to a standard-normal sample via a
-// SplitMix64-style integer hash feeding a Box-Muller transform.
-func gaussianHash(seed int64, tx, rx, ch int) float64 {
-	h := uint64(seed)
-	for _, v := range [3]uint64{uint64(tx), uint64(rx), uint64(ch)} {
-		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
-		h = splitmix64(h)
-	}
-	// Two uniform samples from independent halves of the hash chain.
-	u1 := float64(splitmix64(h)>>11) / float64(1<<53)
-	u2 := float64(splitmix64(h+0x9e3779b97f4a7c15)>>11) / float64(1<<53)
-	if u1 < 1e-300 {
-		u1 = 1e-300
-	}
-	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
-}
-
-// splitmix64 is the SplitMix64 finalizer, a fast high-quality bit mixer.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

@@ -14,18 +14,18 @@ import (
 )
 
 func TestGaussianHashDeterministic(t *testing.T) {
-	a := gaussianHash(7, 1, 2, 3)
-	b := gaussianHash(7, 1, 2, 3)
+	a := radio.GaussianHash(7, 1, 2, 3)
+	b := radio.GaussianHash(7, 1, 2, 3)
 	if a != b {
 		t.Error("same inputs must hash to the same sample")
 	}
-	if gaussianHash(8, 1, 2, 3) == a {
+	if radio.GaussianHash(8, 1, 2, 3) == a {
 		t.Error("different seeds should differ")
 	}
-	if gaussianHash(7, 2, 1, 3) == a {
+	if radio.GaussianHash(7, 2, 1, 3) == a {
 		t.Error("drift must be direction-sensitive")
 	}
-	if gaussianHash(7, 1, 2, 4) == a {
+	if radio.GaussianHash(7, 1, 2, 4) == a {
 		t.Error("drift must be channel-sensitive")
 	}
 }
@@ -35,7 +35,7 @@ func TestGaussianHashDistribution(t *testing.T) {
 	const n = 20000
 	var sum, sumSq float64
 	for i := 0; i < n; i++ {
-		x := gaussianHash(1, i, i*31, i%16)
+		x := radio.GaussianHash(1, i, i*31, i%16)
 		sum += x
 		sumSq += x * x
 	}

@@ -1,0 +1,27 @@
+package netsim
+
+import (
+	"math"
+
+	"wsan/internal/faults"
+	"wsan/internal/radio"
+)
+
+// faultedGain wraps a GainFunc with the fault overlay's current state: a
+// crashed endpoint or a blacked-out pair kills the path outright (-Inf gain
+// puts it unrecoverably below the noise floor), and active drift steps shift
+// the surviving gains by their deterministic per-path offsets. The closure
+// reads the overlay live, so the returned function tracks the scenario as
+// the simulator advances its clock.
+func faultedGain(base radio.GainFunc, o *faults.Overlay) radio.GainFunc {
+	return func(tx, rx, ch int) float64 {
+		if o.NodeDown(tx) || o.NodeDown(rx) || o.LinkDown(tx, rx) {
+			return math.Inf(-1)
+		}
+		g := base(tx, rx, ch)
+		if o.HasDrift() {
+			g += o.GainOffsetDB(tx, rx, ch)
+		}
+		return g
+	}
+}

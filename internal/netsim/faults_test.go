@@ -1,0 +1,214 @@
+package netsim
+
+import (
+	"testing"
+
+	"wsan/internal/faults"
+	"wsan/internal/flow"
+	"wsan/internal/topology"
+)
+
+// faultedConfig assembles the standard 4-node line-flow run used by the
+// fault-injection tests: perfect links, no fading, 100 hyperperiods of a
+// 100-slot frame, so every packet delivers unless a fault intervenes.
+func faultedConfig(t *testing.T, sc *faults.Scenario) Config {
+	t.Helper()
+	tb := denseTestbed(t, 4)
+	flows, sched := lineFlowSchedule(t, 3, 100, false)
+	return Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 100,
+		Seed: 9, Faults: sc,
+	}
+}
+
+func TestNodeCrashAndRecovery(t *testing.T) {
+	// Relay node 1 crashes at slot 0 and recovers at the exact midpoint, so
+	// the first 50 packet instances die on hop 0→1 and the last 50 deliver.
+	res, err := Run(faultedConfig(t, &faults.Scenario{Events: []faults.Event{
+		{At: 0, Kind: faults.NodeCrash, Node: 1},
+		{At: 5000, Kind: faults.NodeRecover, Node: 1},
+	}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PDR(0); got != 0.5 {
+		t.Errorf("PDR = %v, want exactly 0.5 on a deterministic network", got)
+	}
+	if res.FaultEvents.NodeCrashes != 1 || res.FaultEvents.NodeRecoveries != 1 {
+		t.Errorf("fault counts = %+v", res.FaultEvents)
+	}
+}
+
+func TestCrashedSenderStaysSilent(t *testing.T) {
+	// Crashing the source suppresses transmissions entirely: nothing ever
+	// goes on the air, so no channel records a single attempt.
+	res, err := Run(faultedConfig(t, &faults.Scenario{Events: []faults.Event{
+		{At: 0, Kind: faults.NodeCrash, Node: 0},
+	}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR(0) != 0 {
+		t.Errorf("PDR = %v, want 0 with a crashed source", res.PDR(0))
+	}
+	var attempts int64
+	for _, n := range res.ChannelAttempts {
+		attempts += n
+	}
+	if attempts != 0 {
+		t.Errorf("a crashed sender fired %d frames", attempts)
+	}
+}
+
+func TestLinkBlackout(t *testing.T) {
+	// Blacking out the middle hop for the second half of the run kills the
+	// later instances; the DATA frames still fire (and fail), so the faulted
+	// channels record failures — the evidence the manage loop reads.
+	res, err := Run(faultedConfig(t, &faults.Scenario{Events: []faults.Event{
+		{At: 5000, Kind: faults.LinkBlackout, Link: &flow.Link{From: 1, To: 2}},
+	}}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PDR(0); got != 0.5 {
+		t.Errorf("PDR = %v, want exactly 0.5", got)
+	}
+	var failures int64
+	for _, n := range res.ChannelFailures {
+		failures += n
+	}
+	if failures != 50 {
+		t.Errorf("channel failures = %d, want 50 (one failed DATA per lost instance)", failures)
+	}
+}
+
+func TestInterferenceBurstHitsOnlyItsChannels(t *testing.T) {
+	// A full-run burst on one channel out of four, with a slotframe length
+	// coprime to the channel count, costs ≈1/4 of the transmissions — and the
+	// per-channel failure accounting pins the loss on the burst channel.
+	tb := denseTestbed(t, 2)
+	flows, sched := lineFlowSchedule(t, 1, 9, false)
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 2000, Seed: 4,
+		Faults: &faults.Scenario{Events: []faults.Event{
+			{At: 0, Kind: faults.InterferenceStart, Channels: []int{2}, PowerDBm: -20},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pdr := res.PDR(0)
+	if pdr < 0.70 || pdr > 0.80 {
+		t.Errorf("burst on 1/4 channels: PDR = %v, want ≈0.75", pdr)
+	}
+	if rate := res.ChannelFailureRate(2); rate < 0.9 {
+		t.Errorf("burst channel failure rate = %v, want ≈1", rate)
+	}
+	for _, ch := range []int{0, 1, 3} {
+		if rate := res.ChannelFailureRate(ch); rate > 0.01 {
+			t.Errorf("clean channel %d failure rate = %v, want ≈0", ch, rate)
+		}
+	}
+}
+
+func TestInterferenceStopClearsBurst(t *testing.T) {
+	tb := denseTestbed(t, 2)
+	flows, sched := lineFlowSchedule(t, 1, 9, false)
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 1000, Seed: 4,
+		Faults: &faults.Scenario{Events: []faults.Event{
+			{At: 0, Kind: faults.InterferenceStart, Channels: topology.Channels(4), PowerDBm: -20},
+			{At: 4500, Kind: faults.InterferenceStop, Channels: topology.Channels(4)},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9000 slots: every instance in the first half dies, every one after the
+	// stop delivers.
+	if got := res.PDR(0); got != 0.5 {
+		t.Errorf("PDR = %v, want exactly 0.5", got)
+	}
+}
+
+func TestDriftStepIsDeterministic(t *testing.T) {
+	sc := func() *faults.Scenario {
+		return &faults.Scenario{Seed: 3, Events: []faults.Event{
+			{At: 0, Kind: faults.DriftStep, SigmaDB: 30},
+		}}
+	}
+	run := func() *Result {
+		res, err := Run(faultedConfig(t, sc()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Delivered[0] != b.Delivered[0] {
+		t.Fatalf("same scenario+seed, different deliveries: %d vs %d",
+			a.Delivered[0], b.Delivered[0])
+	}
+	if a.ChannelFailures != b.ChannelFailures {
+		t.Fatalf("same scenario+seed, different per-channel failures")
+	}
+	// A different scenario seed realizes a different drift field; with a
+	// 30 dB sigma the two runs almost surely diverge.
+	other := sc()
+	other.Seed = 77
+	res, err := Run(faultedConfig(t, other))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Delivered[0] == a.Delivered[0] && res.ChannelFailures == a.ChannelFailures {
+		t.Errorf("different drift seeds produced identical runs")
+	}
+}
+
+func TestFaultOffsetShiftsScenarioClock(t *testing.T) {
+	sc := &faults.Scenario{Events: []faults.Event{
+		{At: 10_000, Kind: faults.NodeCrash, Node: 1},
+	}}
+	cfg := faultedConfig(t, sc) // 10_000 slots total: ASN never reaches the event
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR(0) != 1 || res.FaultEvents.Total() != 0 {
+		t.Fatalf("event beyond the run should not apply: PDR=%v events=%+v",
+			res.PDR(0), res.FaultEvents)
+	}
+	cfg.FaultOffsetSlots = 10_000 // same run, clock shifted onto the crash
+	res, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR(0) != 0 || res.FaultEvents.NodeCrashes != 1 {
+		t.Errorf("offset run should start crashed: PDR=%v events=%+v",
+			res.PDR(0), res.FaultEvents)
+	}
+}
+
+func TestFaultConfigValidation(t *testing.T) {
+	cfg := faultedConfig(t, nil)
+	cfg.FaultOffsetSlots = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative FaultOffsetSlots should fail")
+	}
+	bad := faultedConfig(t, &faults.Scenario{Events: []faults.Event{
+		{At: 0, Kind: faults.NodeCrash, Node: 99}, // beyond the 4-node testbed
+	}})
+	if _, err := Run(bad); err == nil {
+		t.Error("scenario node beyond the testbed should fail")
+	}
+}
+
+func TestChannelFailureRateNoAttempts(t *testing.T) {
+	var r Result
+	if got := r.ChannelFailureRate(0); got != -1 {
+		t.Errorf("rate with no attempts = %v, want -1", got)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"wsan/internal/faults"
 	"wsan/internal/flow"
 	"wsan/internal/obs"
 	"wsan/internal/radio"
@@ -119,6 +120,16 @@ type Config struct {
 	// hits, per-channel retransmissions, …) under the "netsim." prefix,
 	// flushed once per run. Nil disables observability at near-zero cost.
 	Metrics obs.Sink
+	// Faults, when non-nil, injects the scenario's timeline into the run:
+	// crashed nodes go silent and deaf, blacked-out links lose all gain,
+	// scenario interference raises the noise floor on its channels, and
+	// drift steps shift the gain field — all deterministically, so the same
+	// scenario and seed replay bit-identically. See internal/faults.
+	Faults *faults.Scenario
+	// FaultOffsetSlots shifts the scenario clock: event times are compared
+	// against FaultOffsetSlots + ASN. The management loop uses it to let one
+	// scenario unfold across its iterations' separate simulations.
+	FaultOffsetSlots int
 	// Seed drives all randomness (fading, reception, interferer bursts).
 	Seed int64
 	// DriftSeed, when non-zero, pins the survey-drift realization
@@ -168,6 +179,23 @@ type Result struct {
 	// EnergyMJ accumulates per-node radio energy (populated only when
 	// Config.Energy is set).
 	EnergyMJ map[int]float64
+	// ChannelAttempts and ChannelFailures count DATA frames per physical
+	// channel index — the per-channel evidence the manage loop's blacklist
+	// policy weighs when external interference is suspected.
+	ChannelAttempts [topology.NumChannels]int64
+	ChannelFailures [topology.NumChannels]int64
+	// FaultEvents tallies the scenario events applied during the run (zero
+	// value when Config.Faults is nil).
+	FaultEvents faults.Counts
+}
+
+// ChannelFailureRate returns the DATA failure rate observed on one physical
+// channel, or -1 with no attempts.
+func (r *Result) ChannelFailureRate(ch int) float64 {
+	if ch < 0 || ch >= topology.NumChannels || r.ChannelAttempts[ch] == 0 {
+		return -1
+	}
+	return float64(r.ChannelFailures[ch]) / float64(r.ChannelAttempts[ch])
 }
 
 // PDR returns the packet delivery ratio of one flow, or -1 if it released
@@ -232,8 +260,15 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if cfg.EpochSlots > 0 && cfg.SampleWindowSlots <= 0 {
 		return nil, fmt.Errorf("netsim: EpochSlots set but SampleWindowSlots is not")
 	}
+	if cfg.FaultOffsetSlots < 0 {
+		return nil, fmt.Errorf("netsim: FaultOffsetSlots %d must be non-negative", cfg.FaultOffsetSlots)
+	}
 	if cfg.PathLoss == (radio.PathLossModel{}) {
 		cfg.PathLoss = radio.DefaultPathLoss()
+	}
+	overlay, err := faults.NewOverlay(cfg.Faults, cfg.Testbed.NumNodes())
+	if err != nil {
+		return nil, fmt.Errorf("netsim: %w", err)
 	}
 	gain := cfg.Testbed.GainDBm
 	if cfg.SurveyDriftSigmaDB > 0 {
@@ -242,6 +277,9 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			driftSeed = cfg.Seed
 		}
 		gain = driftedGain(gain, cfg.SurveyDriftSigmaDB, driftSeed)
+	}
+	if cfg.Faults != nil {
+		gain = faultedGain(gain, overlay)
 	}
 	sim := &simulator{
 		cfg: cfg,
@@ -259,8 +297,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 			LinkEpochs: make(map[flow.Link][]EpochStats),
 			EnergyMJ:   make(map[int]float64),
 		},
-		flows:    make(map[int]*flow.Flow, len(cfg.Flows)),
-		interfOn: make([]bool, len(cfg.Interferers)),
+		flows:      make(map[int]*flow.Flow, len(cfg.Flows)),
+		interfOn:   make([]bool, len(cfg.Interferers)),
+		overlay:    overlay,
+		haveFaults: cfg.Faults != nil,
 	}
 	for _, f := range cfg.Flows {
 		sim.flows[f.ID] = f
@@ -277,6 +317,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		}
 		sim.runHyperperiod(rep)
 	}
+	sim.res.FaultEvents = overlay.Counts()
 	sim.finishStats()
 	sim.flushMetrics()
 	stop()

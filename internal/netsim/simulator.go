@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"wsan/internal/faults"
 	"wsan/internal/flow"
 	"wsan/internal/radio"
 	"wsan/internal/schedule"
@@ -49,6 +50,12 @@ type simulator struct {
 	// interferer state and precomputed interferer→node gains (dBm).
 	interfOn   []bool
 	interfGain [][]float64
+
+	// overlay is the fault-scenario state machine (never nil; empty for a
+	// run without faults). haveFaults gates the per-slot overlay work so
+	// fault-free runs pay only a boolean test.
+	overlay    *faults.Overlay
+	haveFaults bool
 
 	// linkWins[link][window][cond] accumulates per-window outcomes.
 	linkWins map[flow.Link]map[int]*[2]condAcc
@@ -122,6 +129,17 @@ func (s *simulator) flushMetrics() {
 	m.Count("netsim.packets.released", released)
 	m.Count("netsim.packets.delivered", delivered)
 	m.Count("netsim.packets.lost", released-delivered)
+	if s.cfg.Faults != nil {
+		fc := s.res.FaultEvents
+		m.Count("faults.events_applied", int64(fc.Total()))
+		m.Count("faults.node_crashes", int64(fc.NodeCrashes))
+		m.Count("faults.node_recoveries", int64(fc.NodeRecoveries))
+		m.Count("faults.link_blackouts", int64(fc.LinkBlackouts))
+		m.Count("faults.link_restores", int64(fc.LinkRestores))
+		m.Count("faults.interference_starts", int64(fc.InterferenceStarts))
+		m.Count("faults.interference_stops", int64(fc.InterferenceStops))
+		m.Count("faults.drift_steps", int64(fc.DriftSteps))
+	}
 }
 
 // buildSlotIndex flattens the schedule into a per-slot transmission list and
@@ -210,9 +228,10 @@ func (s *simulator) stepInterferers() {
 }
 
 // externalInterference returns the cumulative active interferer power (mW)
-// at a receiver on a physical channel, or nil if there are no interferers.
+// at a receiver on a physical channel, or nil if there are no interferers and
+// no fault scenario that could inject bursts.
 func (s *simulator) externalInterference() radio.InterferenceFunc {
-	if len(s.cfg.Interferers) == 0 {
+	if len(s.cfg.Interferers) == 0 && !s.haveFaults {
 		return nil
 	}
 	return func(rx, ch int) float64 {
@@ -227,6 +246,9 @@ func (s *simulator) externalInterference() radio.InterferenceFunc {
 					break
 				}
 			}
+		}
+		if s.haveFaults {
+			total += s.overlay.InterferenceMW(ch)
 		}
 		return total
 	}
@@ -300,6 +322,12 @@ func (s *simulator) runHyperperiod(rep int) {
 	extra := s.externalInterference()
 	for slot := 0; slot < hyper; slot++ {
 		asn := rep*hyper + slot
+		if s.haveFaults {
+			// The scenario clock is the run's ASN shifted by FaultOffsetSlots,
+			// so consecutive runs (manage-loop iterations) can walk one
+			// continuous fault timeline.
+			s.overlay.Advance(s.cfg.FaultOffsetSlots + asn)
+		}
 		s.stepInterferers()
 		if s.cfg.ProbeEverySlots > 0 && asn%s.cfg.ProbeEverySlots == 0 {
 			s.runProbes(asn, extra)
@@ -313,7 +341,11 @@ func (s *simulator) runHyperperiod(rep int) {
 		for _, ref := range refs {
 			st := s.packets[[2]int{ref.tx.FlowID, ref.tx.Instance}]
 			willFire := false
-			if st != nil && !st.dropped {
+			// A crashed sender is silent: nothing goes on the air, so the
+			// packet stalls at this hop (a crashed receiver instead fails the
+			// frame through the -Inf gain path in faultedGain).
+			senderUp := !s.haveFaults || !s.overlay.NodeDown(ref.tx.Link.From)
+			if st != nil && !st.dropped && senderUp {
 				switch {
 				case !st.delivered && ref.tx.Hop == st.pos:
 					fires = append(fires, firing{ref: ref, st: st})
@@ -369,6 +401,10 @@ func (s *simulator) runHyperperiod(rep int) {
 		}
 		// Record statistics and update packet states.
 		for i, f := range fires {
+			s.res.ChannelAttempts[data[i].Channel]++
+			if !dataOK[i] {
+				s.res.ChannelFailures[data[i].Channel]++
+			}
 			s.record(asn, f.ref, dataOK[i])
 			if s.trace != nil {
 				s.trace.emit(TraceEvent{
@@ -422,6 +458,9 @@ func (s *simulator) runProbes(asn int, extra radio.InterferenceFunc) {
 	}
 	ch := s.cfg.Channels[asn%len(s.cfg.Channels)]
 	for _, link := range s.links {
+		if s.haveFaults && s.overlay.NodeDown(link.From) {
+			continue // a crashed node sends no probes
+		}
 		tx := []radio.Transmission{{
 			Sender:   link.From,
 			Receiver: link.To,
@@ -431,6 +470,10 @@ func (s *simulator) runProbes(asn int, extra radio.InterferenceFunc) {
 		ok := s.env.Evaluate(s.rng, tx, extra)
 		if s.collect {
 			s.mets.probes++
+		}
+		s.res.ChannelAttempts[ch]++
+		if !ok[0] {
+			s.res.ChannelFailures[ch]++
 		}
 		s.record(asn, txRef{tx: schedule.Tx{Link: link}, reuse: false}, ok[0])
 	}

@@ -1,0 +1,33 @@
+package radio
+
+import "math"
+
+// GaussianHash maps (seed, a, b, c) to a standard-normal sample via a
+// SplitMix64-style integer hash feeding a Box-Muller transform. The sample
+// depends only on the inputs — never on evaluation order or shared state —
+// which makes it the building block for reproducible radio-environment
+// perturbations: the survey-drift model keys it by (seed, tx, rx, channel),
+// and the fault engine's drift steps key it the same way under per-step
+// seeds, so identical scenarios replay bit-identically.
+func GaussianHash(seed int64, a, b, c int) float64 {
+	h := uint64(seed)
+	for _, v := range [3]uint64{uint64(a), uint64(b), uint64(c)} {
+		h ^= v + 0x9e3779b97f4a7c15 + (h << 6) + (h >> 2)
+		h = splitmix64(h)
+	}
+	// Two uniform samples from independent halves of the hash chain.
+	u1 := float64(splitmix64(h)>>11) / float64(1<<53)
+	u2 := float64(splitmix64(h+0x9e3779b97f4a7c15)>>11) / float64(1<<53)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// splitmix64 is the SplitMix64 finalizer, a fast high-quality bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -42,11 +42,12 @@ type scheduleParams struct {
 // simulateParams is the canonical KindSimulate parameter document.
 // Artifact references the schedule bundle to execute.
 type simulateParams struct {
-	Artifact     string   `json:"artifact"`
-	Hyperperiods int      `json:"hyperperiods"`
-	Seed         int64    `json:"seed"`
-	Fading       *float64 `json:"fading,omitempty"`
-	Drift        *float64 `json:"drift,omitempty"`
+	Artifact     string              `json:"artifact"`
+	Hyperperiods int                 `json:"hyperperiods"`
+	Seed         int64               `json:"seed"`
+	Fading       *float64            `json:"fading,omitempty"`
+	Drift        *float64            `json:"drift,omitempty"`
+	Faults       *wsan.FaultScenario `json:"faults,omitempty"`
 }
 
 // convergeParams is the canonical KindConverge parameter document.
@@ -62,10 +63,11 @@ type convergeParams struct {
 
 // manageParams is the canonical KindManage parameter document.
 type manageParams struct {
-	Artifact      string `json:"artifact"`
-	MaxIterations int    `json:"maxIterations"`
-	EpochSlots    int    `json:"epochSlots"`
-	Seed          int64  `json:"seed"`
+	Artifact      string              `json:"artifact"`
+	MaxIterations int                 `json:"maxIterations"`
+	EpochSlots    int                 `json:"epochSlots"`
+	Seed          int64               `json:"seed"`
+	Faults        *wsan.FaultScenario `json:"faults,omitempty"`
 }
 
 // defaultSigma is the CLI's fading / survey-drift default (dB).
@@ -146,6 +148,9 @@ func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage)
 		if p.Seed == 0 {
 			p.Seed = 1
 		}
+		if err := p.Faults.Validate(0); err != nil {
+			return nil, err
+		}
 		return json.Marshal(p)
 	case KindConverge:
 		var p convergeParams
@@ -184,6 +189,9 @@ func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage)
 		}
 		if p.Seed == 0 {
 			p.Seed = 1
+		}
+		if err := p.Faults.Validate(0); err != nil {
+			return nil, err
 		}
 		return json.Marshal(p)
 	default:
@@ -390,6 +398,7 @@ func (s *Server) runSimulate(ctx context.Context, nw *netEntry, raw json.RawMess
 		Retransmit:         true,
 		Metrics:            s.mets,
 		Seed:               p.Seed,
+		Faults:             p.Faults,
 	})
 	if err != nil {
 		return nil, err
@@ -472,6 +481,7 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, raw json.RawMessag
 		CompactAfterRepair: true,
 		Metrics:            s.mets,
 		Seed:               p.Seed,
+		Faults:             p.Faults,
 	})
 	if err != nil {
 		return nil, err

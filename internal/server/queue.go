@@ -86,6 +86,7 @@ type Job struct {
 	err        string
 	artifactID string
 	cached     bool
+	retries    int
 	created    time.Time
 	started    time.Time
 	finished   time.Time
@@ -98,6 +99,7 @@ type JobView struct {
 	Kind     string     `json:"kind"`
 	State    JobState   `json:"state"`
 	Cached   bool       `json:"cached"`
+	Retries  int        `json:"retries,omitempty"`
 	Artifact string     `json:"artifact,omitempty"`
 	Error    string     `json:"error,omitempty"`
 	Created  time.Time  `json:"created"`
@@ -115,6 +117,7 @@ func (j *Job) View() JobView {
 		Kind:     j.Kind,
 		State:    j.state,
 		Cached:   j.cached,
+		Retries:  j.retries,
 		Artifact: j.artifactID,
 		Error:    j.err,
 		Created:  j.created,
@@ -201,6 +204,33 @@ var (
 	ErrDraining = errors.New("server: draining, not accepting jobs")
 )
 
+// transientError marks a failure the retry policy may re-attempt.
+type transientError struct{ err error }
+
+func (e *transientError) Error() string { return e.err.Error() }
+func (e *transientError) Unwrap() error { return e.err }
+
+// Transient wraps err so the worker pool's retry policy treats the failure
+// as retryable (a flaky dependency, a resource briefly exhausted). A nil err
+// returns nil. Permanent failures — validation, missing artifacts — must
+// stay unwrapped so they fail immediately.
+func Transient(err error) error {
+	if err == nil {
+		return nil
+	}
+	return &transientError{err: err}
+}
+
+// IsTransient reports whether err (or anything it wraps) was marked with
+// Transient.
+func IsTransient(err error) bool {
+	var t *transientError
+	return errors.As(err, &t)
+}
+
+// maxRetryDelay caps the exponential retry backoff.
+const maxRetryDelay = 30 * time.Second
+
 // Pool is the bounded FIFO job queue plus its worker goroutines.
 type Pool struct {
 	queue chan *Job
@@ -208,22 +238,54 @@ type Pool struct {
 	mets  obs.Sink
 	wg    sync.WaitGroup
 
+	jobTimeout   time.Duration
+	maxRetries   int
+	retryBackoff time.Duration
+
 	mu     sync.RWMutex
 	closed bool
 }
 
-// NewPool starts workers goroutines draining a FIFO queue of capacity
-// queueCap. run executes one job and returns the stored artifact ID.
-func NewPool(workers, queueCap int, mets obs.Sink, run func(context.Context, *Job) (string, error)) *Pool {
-	if workers < 1 {
-		workers = 1
+// PoolConfig parameterizes a worker pool.
+type PoolConfig struct {
+	// Workers is the number of worker goroutines (min 1); QueueCap bounds
+	// the FIFO queue (min 1).
+	Workers  int
+	QueueCap int
+	// JobTimeout is the per-job watchdog: an attempt still running after
+	// this long has its context cancelled and the job fails (it does NOT
+	// report cancelled — the caller didn't ask for it). Zero disables the
+	// watchdog.
+	JobTimeout time.Duration
+	// MaxRetries is how many times a job failing with a Transient error is
+	// re-attempted; RetryBackoff is the delay before the first retry,
+	// doubling per attempt (capped at maxRetryDelay). Zero MaxRetries
+	// disables retrying.
+	MaxRetries   int
+	RetryBackoff time.Duration
+	// Metrics receives the pool's counters; nil disables them.
+	Metrics obs.Sink
+}
+
+// NewPool starts worker goroutines draining a FIFO queue. run executes one
+// job attempt and returns the stored artifact ID.
+func NewPool(cfg PoolConfig, run func(context.Context, *Job) (string, error)) *Pool {
+	if cfg.Workers < 1 {
+		cfg.Workers = 1
 	}
-	if queueCap < 1 {
-		queueCap = 1
+	if cfg.QueueCap < 1 {
+		cfg.QueueCap = 1
 	}
-	p := &Pool{queue: make(chan *Job, queueCap), run: run, mets: mets}
-	p.wg.Add(workers)
-	for i := 0; i < workers; i++ {
+	p := &Pool{
+		queue:        make(chan *Job, cfg.QueueCap),
+		run:          run,
+		mets:         cfg.Metrics,
+		jobTimeout:   cfg.JobTimeout,
+		maxRetries:   cfg.MaxRetries,
+		retryBackoff: cfg.RetryBackoff,
+	}
+	p.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
 		go p.worker()
 	}
 	return p
@@ -267,7 +329,7 @@ func (p *Pool) worker() {
 			p.mets.Observe("server.jobs.queue_seconds", time.Since(j.View().Created).Seconds())
 		}
 		start := time.Now()
-		art, err := p.run(j.ctx, j)
+		art, err := p.runWithRetries(j)
 		state := j.finish(art, err)
 		if p.mets != nil {
 			p.mets.Observe("server.jobs.run_seconds", time.Since(start).Seconds())
@@ -278,6 +340,72 @@ func (p *Pool) worker() {
 				p.mets.Count("server.jobs.failed", 1)
 			case StateCancelled:
 				p.mets.Count("server.jobs.cancelled", 1)
+			}
+		}
+	}
+}
+
+// safeRun executes one attempt with panic isolation: a panicking job fails
+// that job — with the panic value as its error — and never takes the worker
+// (or the daemon) down with it.
+func (p *Pool) safeRun(ctx context.Context, j *Job) (art string, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if p.mets != nil {
+				p.mets.Count("server.jobs.panics", 1)
+			}
+			err = fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return p.run(ctx, j)
+}
+
+// attempt executes one watchdog-guarded attempt. A run killed by the
+// watchdog (not by the caller's cancel) reports a plain error, so the job
+// lands in failed — and stays eligible for the retry policy — rather than
+// masquerading as cancelled.
+func (p *Pool) attempt(j *Job) (string, error) {
+	ctx := j.ctx
+	if p.jobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, p.jobTimeout)
+		defer cancel()
+	}
+	art, err := p.safeRun(ctx, j)
+	if err != nil && ctx.Err() != nil && j.ctx.Err() == nil {
+		if p.mets != nil {
+			p.mets.Count("server.jobs.watchdog_timeouts", 1)
+		}
+		err = Transient(fmt.Errorf("job exceeded the %v watchdog timeout", p.jobTimeout))
+	}
+	return art, err
+}
+
+// runWithRetries drives a job through up to 1+MaxRetries attempts,
+// re-attempting only failures marked Transient, with bounded exponential
+// backoff between attempts. Cancellation cuts the sequence short.
+func (p *Pool) runWithRetries(j *Job) (string, error) {
+	for retry := 0; ; retry++ {
+		art, err := p.attempt(j)
+		if err == nil || !IsTransient(err) || retry >= p.maxRetries || j.ctx.Err() != nil {
+			return art, err
+		}
+		j.mu.Lock()
+		j.retries++
+		j.mu.Unlock()
+		if p.mets != nil {
+			p.mets.Count("server.jobs.retries", 1)
+		}
+		if d := p.retryBackoff << uint(retry); d > 0 {
+			if d > maxRetryDelay {
+				d = maxRetryDelay
+			}
+			t := time.NewTimer(d)
+			select {
+			case <-j.ctx.Done():
+				t.Stop()
+				return art, err
+			case <-t.C:
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -21,7 +22,7 @@ func TestPoolRunsJobs(t *testing.T) {
 	reg := obs.NewRegistry()
 	var mu sync.Mutex
 	ran := make(map[string]bool)
-	p := NewPool(2, 4, reg, func(ctx context.Context, j *Job) (string, error) {
+	p := NewPool(PoolConfig{Workers: 2, QueueCap: 4, Metrics: reg}, func(ctx context.Context, j *Job) (string, error) {
 		mu.Lock()
 		ran[j.ID] = true
 		mu.Unlock()
@@ -54,7 +55,7 @@ func TestPoolRunsJobs(t *testing.T) {
 
 func TestPoolBackpressure(t *testing.T) {
 	block := make(chan struct{})
-	p := NewPool(1, 1, nil, func(ctx context.Context, j *Job) (string, error) {
+	p := NewPool(PoolConfig{Workers: 1, QueueCap: 1}, func(ctx context.Context, j *Job) (string, error) {
 		<-block
 		return "", nil
 	})
@@ -80,7 +81,7 @@ func TestPoolBackpressure(t *testing.T) {
 }
 
 func TestPoolRejectsAfterClose(t *testing.T) {
-	p := NewPool(1, 1, nil, func(ctx context.Context, j *Job) (string, error) { return "", nil })
+	p := NewPool(PoolConfig{Workers: 1, QueueCap: 1}, func(ctx context.Context, j *Job) (string, error) { return "", nil })
 	ctx, cancel := contextWithTimeout(time.Second)
 	defer cancel()
 	if err := p.Close(ctx); err != nil {
@@ -95,7 +96,7 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 	block := make(chan struct{})
 	var mu sync.Mutex
 	ran := make(map[string]bool)
-	p := NewPool(1, 2, nil, func(ctx context.Context, j *Job) (string, error) {
+	p := NewPool(PoolConfig{Workers: 1, QueueCap: 2}, func(ctx context.Context, j *Job) (string, error) {
 		mu.Lock()
 		ran[j.ID] = true
 		mu.Unlock()
@@ -134,7 +135,7 @@ func TestCancelQueuedJobNeverRuns(t *testing.T) {
 
 func TestRunningJobCancelReportsCancelled(t *testing.T) {
 	started := make(chan struct{})
-	p := NewPool(1, 1, nil, func(ctx context.Context, j *Job) (string, error) {
+	p := NewPool(PoolConfig{Workers: 1, QueueCap: 1}, func(ctx context.Context, j *Job) (string, error) {
 		close(started)
 		<-ctx.Done()
 		return "", ctx.Err()
@@ -154,6 +155,174 @@ func TestRunningJobCancelReportsCancelled(t *testing.T) {
 	}
 	if st := j.State(); st != StateCancelled {
 		t.Fatalf("state = %v, want cancelled", st)
+	}
+}
+
+// TestPoolSurvivesPanickingJob: a job that panics must fail that one job —
+// with the panic value surfaced as its error — while the single worker
+// recovers and keeps serving subsequent jobs.
+func TestPoolSurvivesPanickingJob(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(PoolConfig{Workers: 1, QueueCap: 4, Metrics: reg},
+		func(ctx context.Context, j *Job) (string, error) {
+			if j.ID == "bomb" {
+				panic("simulated defect in the " + j.Kind + " pipeline")
+			}
+			return "art-" + j.ID, nil
+		})
+	bomb, after := newTestJob("bomb"), newTestJob("after")
+	if err := p.Submit(bomb); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Submit(after); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v := bomb.View()
+	if v.State != StateFailed {
+		t.Fatalf("panicking job state = %v, want failed", v.State)
+	}
+	if v.Error == "" || !strings.Contains(v.Error, "job panicked") {
+		t.Errorf("panicking job error = %q, want a 'job panicked' message", v.Error)
+	}
+	// The same worker that absorbed the panic must have run the next job.
+	if v := after.View(); v.State != StateDone || v.Artifact != "art-after" {
+		t.Errorf("job after the panic: %+v, want done", v)
+	}
+	if got := reg.CounterValue("server.jobs.panics"); got != 1 {
+		t.Errorf("panics counter = %d, want 1", got)
+	}
+}
+
+// TestPoolRetriesTransientFailures: failures marked Transient are re-attempted
+// with backoff up to MaxRetries; the job records its retry count and
+// eventually succeeds.
+func TestPoolRetriesTransientFailures(t *testing.T) {
+	reg := obs.NewRegistry()
+	var mu sync.Mutex
+	attempts := 0
+	p := NewPool(PoolConfig{
+		Workers: 1, QueueCap: 1, Metrics: reg,
+		MaxRetries: 3, RetryBackoff: time.Millisecond,
+	}, func(ctx context.Context, j *Job) (string, error) {
+		mu.Lock()
+		attempts++
+		n := attempts
+		mu.Unlock()
+		if n <= 2 {
+			return "", Transient(errors.New("dependency briefly down"))
+		}
+		return "art", nil
+	})
+	j := newTestJob("flaky")
+	if err := p.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v := j.View()
+	if v.State != StateDone || v.Artifact != "art" {
+		t.Fatalf("flaky job: %+v, want done after retries", v)
+	}
+	if v.Retries != 2 {
+		t.Errorf("retries = %d, want 2", v.Retries)
+	}
+	if got := reg.CounterValue("server.jobs.retries"); got != 2 {
+		t.Errorf("retries counter = %d, want 2", got)
+	}
+}
+
+// TestPoolDoesNotRetryPermanentFailures: an unmarked error fails immediately,
+// no matter the retry budget.
+func TestPoolDoesNotRetryPermanentFailures(t *testing.T) {
+	var mu sync.Mutex
+	attempts := 0
+	p := NewPool(PoolConfig{
+		Workers: 1, QueueCap: 1,
+		MaxRetries: 3, RetryBackoff: time.Millisecond,
+	}, func(ctx context.Context, j *Job) (string, error) {
+		mu.Lock()
+		attempts++
+		mu.Unlock()
+		return "", errors.New("invalid parameters")
+	})
+	j := newTestJob("doomed")
+	if err := p.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if v := j.View(); v.State != StateFailed || v.Retries != 0 {
+		t.Fatalf("permanent failure: %+v, want failed with 0 retries", v)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if attempts != 1 {
+		t.Errorf("attempts = %d, want 1", attempts)
+	}
+}
+
+// TestPoolWatchdogFailsStuckJob: a job outliving the per-job watchdog is
+// killed and reported failed — not cancelled, since the caller never asked
+// for cancellation.
+func TestPoolWatchdogFailsStuckJob(t *testing.T) {
+	reg := obs.NewRegistry()
+	p := NewPool(PoolConfig{
+		Workers: 1, QueueCap: 1, Metrics: reg,
+		JobTimeout: 20 * time.Millisecond,
+	}, func(ctx context.Context, j *Job) (string, error) {
+		<-ctx.Done() // simulates a hung job that at least honors its context
+		return "", ctx.Err()
+	})
+	j := newTestJob("stuck")
+	if err := p.Submit(j); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := contextWithTimeout(5 * time.Second)
+	defer cancel()
+	if err := p.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	v := j.View()
+	if v.State != StateFailed {
+		t.Fatalf("watchdog-killed job state = %v, want failed: %+v", v.State, v)
+	}
+	if !strings.Contains(v.Error, "watchdog") {
+		t.Errorf("error = %q, want a watchdog timeout message", v.Error)
+	}
+	if got := reg.CounterValue("server.jobs.watchdog_timeouts"); got < 1 {
+		t.Errorf("watchdog counter = %d, want ≥ 1", got)
+	}
+}
+
+// TestTransientMarker covers the error-marking helpers.
+func TestTransientMarker(t *testing.T) {
+	if Transient(nil) != nil {
+		t.Error("Transient(nil) must be nil")
+	}
+	base := errors.New("boom")
+	wrapped := Transient(base)
+	if !IsTransient(wrapped) {
+		t.Error("Transient error not detected")
+	}
+	if !errors.Is(wrapped, base) {
+		t.Error("Transient must preserve the error chain")
+	}
+	if IsTransient(base) {
+		t.Error("plain error must not read as transient")
+	}
+	if IsTransient(nil) {
+		t.Error("nil must not read as transient")
 	}
 }
 

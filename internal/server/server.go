@@ -21,6 +21,14 @@ type Config struct {
 	// QueueCap bounds the FIFO job queue; a full queue rejects submissions
 	// with 429 (default 64).
 	QueueCap int
+	// JobTimeout is the per-job watchdog (see PoolConfig.JobTimeout).
+	// Default 0: no watchdog.
+	JobTimeout time.Duration
+	// MaxRetries and RetryBackoff configure the retry policy for jobs
+	// failing with a Transient error (see PoolConfig). Defaults: 2 retries,
+	// 250ms base backoff.
+	MaxRetries   int
+	RetryBackoff time.Duration
 	// Metrics receives every server and pipeline signal and backs the
 	// /metrics endpoint. Nil creates a fresh registry.
 	Metrics *obs.Registry
@@ -56,6 +64,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueCap <= 0 {
 		cfg.QueueCap = 64
 	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 2
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 250 * time.Millisecond
+	}
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
@@ -68,13 +82,21 @@ func New(cfg Config) *Server {
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 	}
-	s.pool = NewPool(cfg.Workers, cfg.QueueCap, cfg.Metrics, s.runJob)
+	s.pool = NewPool(PoolConfig{
+		Workers:      cfg.Workers,
+		QueueCap:     cfg.QueueCap,
+		JobTimeout:   cfg.JobTimeout,
+		MaxRetries:   cfg.MaxRetries,
+		RetryBackoff: cfg.RetryBackoff,
+		Metrics:      cfg.Metrics,
+	}, s.runJob)
 	s.mux = s.buildMux(cfg.EnablePprof)
 	// Pre-declare the headline counters so a fresh /metrics snapshot
 	// carries the full schema as explicit zeros.
 	for _, name := range []string{
 		"server.jobs.submitted", "server.jobs.completed", "server.jobs.failed",
-		"server.jobs.cancelled", "server.jobs.rejected",
+		"server.jobs.cancelled", "server.jobs.rejected", "server.jobs.retries",
+		"server.jobs.panics", "server.jobs.watchdog_timeouts",
 		"server.cache.hits", "server.cache.misses", "server.cache.stored",
 	} {
 		s.mets.Count(name, 0)

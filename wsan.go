@@ -33,6 +33,7 @@ import (
 
 	"wsan/internal/analysis"
 	"wsan/internal/detect"
+	"wsan/internal/faults"
 	"wsan/internal/flow"
 	"wsan/internal/manage"
 	"wsan/internal/netsim"
@@ -85,6 +86,17 @@ type (
 	SimResult = netsim.Result
 	// Interferer is an external interference source.
 	Interferer = netsim.Interferer
+	// FaultScenario is a deterministic, seeded fault timeline the simulator
+	// applies while executing a schedule (set SimConfig.Faults /
+	// ManageConfig.Faults).
+	FaultScenario = faults.Scenario
+	// FaultEvent is one entry of a fault timeline.
+	FaultEvent = faults.Event
+	// FaultKind names one fault-event type.
+	FaultKind = faults.EventKind
+	// FaultCounts tallies the fault events a simulation applied, by kind
+	// (SimResult.FaultEvents).
+	FaultCounts = faults.Counts
 	// DetectionReport classifies one link-epoch.
 	DetectionReport = detect.Report
 	// DetectionConfig parameterizes the detection policy.
@@ -113,6 +125,26 @@ const (
 	Centralized = routing.Centralized
 	// PeerToPeer routes flows directly between field devices.
 	PeerToPeer = routing.PeerToPeer
+)
+
+// Fault-event kinds. The values are the wire strings of the scenario JSON
+// format.
+const (
+	// FaultNodeCrash silences a node until a matching FaultNodeRecover.
+	FaultNodeCrash = faults.NodeCrash
+	// FaultNodeRecover brings a crashed node back.
+	FaultNodeRecover = faults.NodeRecover
+	// FaultLinkBlackout severs one link in both directions.
+	FaultLinkBlackout = faults.LinkBlackout
+	// FaultLinkRestore lifts a blackout.
+	FaultLinkRestore = faults.LinkRestore
+	// FaultInterferenceStart raises the noise floor on the listed channels.
+	FaultInterferenceStart = faults.InterferenceStart
+	// FaultInterferenceStop clears scenario interference from the channels.
+	FaultInterferenceStop = faults.InterferenceStop
+	// FaultDriftStep layers a deterministic Gaussian gain shift onto the
+	// radio environment.
+	FaultDriftStep = faults.DriftStep
 )
 
 // Detection verdicts.
@@ -199,6 +231,23 @@ func LoadSchedule(r io.Reader) (*ScheduleResult, error) {
 		return nil, wrapErr(err)
 	}
 	return &ScheduleResult{Schedule: s, Schedulable: true, FailedFlow: -1}, nil
+}
+
+// SaveFaultScenario writes a fault scenario as JSON — the scenario.json
+// format of the wsansim -faults flag and the daemon's job parameters.
+func SaveFaultScenario(sc *FaultScenario, w io.Writer) error {
+	if sc == nil {
+		return fmt.Errorf("wsan: nil fault scenario")
+	}
+	return wrapErr(sc.Encode(w))
+}
+
+// LoadFaultScenario reads a scenario written by SaveFaultScenario,
+// validating every event (node ranges are checked against the testbed when
+// the simulation starts).
+func LoadFaultScenario(r io.Reader) (*FaultScenario, error) {
+	sc, err := faults.Decode(r)
+	return sc, wrapErr(err)
 }
 
 // Observability re-exports: the wsan pipeline reports counters, gauges,

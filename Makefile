@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench ci fuzz-smoke
+.PHONY: build test bench microbench ci fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -9,7 +9,14 @@ build:
 test:
 	$(GO) test ./...
 
+# bench regenerates the committed baseline files BENCH_schedule.json and
+# BENCH_simulate.json with the reproducible harness (fixed seeds; checksums
+# must not change unless placements legitimately did). `wsansim bench -check`
+# compares a fresh run against them instead of rewriting.
 bench:
+	$(GO) run ./cmd/wsansim bench -out .
+
+microbench:
 	$(GO) test -bench=. -benchmem ./...
 
 # ci is the tier-1+ gate: formatting, vet, and the short test set under the

@@ -1,0 +1,370 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	"wsan"
+	"wsan/internal/experiment"
+	"wsan/internal/obs"
+)
+
+// The bench subcommand is the repo's reproducible performance harness: it
+// measures a fixed set of hot-path workloads (the Fig. 1 figure pipeline,
+// the three schedulers at the Fig. 6 operating point, and the network
+// simulator) and writes the results to BENCH_schedule.json and
+// BENCH_simulate.json. Each entry carries ns/op, allocs/op, bytes/op, and a
+// checksum of the workload's deterministic output, so the files double as a
+// regression gate: -check re-measures and fails on a >tolerance ns/op
+// regression or any checksum drift versus the committed baselines.
+//
+//	wsansim bench -out .                       # write fresh baselines
+//	wsansim bench -short -check -out bench-out # CI smoke: compare against the
+//	                                           # committed files, write fresh
+//	                                           # numbers for artifact upload
+//
+// Timings are machine-dependent; checksums are not. The checksum is computed
+// from a single dedicated run, so it is identical under -short and at any
+// iteration count.
+
+const (
+	benchScheduleFile = "BENCH_schedule.json"
+	benchSimulateFile = "BENCH_simulate.json"
+)
+
+// benchEntry is one measured workload.
+type benchEntry struct {
+	Name        string `json:"name"`
+	NsPerOp     int64  `json:"ns_per_op"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	// Checksum is a sha256 prefix of the workload's deterministic output
+	// (schedule transmissions, rendered tables, or delivery counts). It must
+	// match exactly across machines and iteration counts.
+	Checksum string `json:"checksum"`
+}
+
+// benchFile is the on-disk shape of a BENCH_*.json baseline.
+type benchFile struct {
+	Note    string       `json:"note"`
+	Entries []benchEntry `json:"entries"`
+}
+
+// benchCase pairs a workload with its iteration budget. run executes the
+// workload once and returns the checksum input bytes (only its first call's
+// checksum is kept).
+type benchCase struct {
+	name        string
+	iters       int // full-scale iterations; -short divides by 5 (min 1)
+	run         func() ([]byte, error)
+	warmupIters int
+}
+
+// runBench implements the bench subcommand.
+func runBench(args []string, mets obs.Sink) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	short := fs.Bool("short", false, "reduced iteration counts (CI smoke; checksums are unaffected)")
+	out := fs.String("out", ".", "directory the fresh BENCH_*.json results are written to")
+	check := fs.Bool("check", false, "also compare the fresh results against the committed baselines")
+	baseline := fs.String("baseline", ".", "directory holding the baseline BENCH_*.json files for -check")
+	tol := fs.Float64("tolerance", 0.25, "allowed ns/op regression fraction in -check mode")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	sched, sim, err := buildBenchCases(mets)
+	if err != nil {
+		return err
+	}
+	files := []struct {
+		name  string
+		note  string
+		cases []benchCase
+	}{
+		{benchScheduleFile, "scheduler hot paths: Fig 1 pipeline + Fig 6 operating point (100 flows, 5 channels, Indriya)", sched},
+		{benchSimulateFile, "TSCH network simulator: 50-flow WUSTL schedule, one hyperperiod per op", sim},
+	}
+
+	failed := false
+	for _, f := range files {
+		fresh := benchFile{Note: f.note}
+		for _, c := range f.cases {
+			e, err := measureCase(c, *short)
+			if err != nil {
+				return fmt.Errorf("bench %s: %w", c.name, err)
+			}
+			fresh.Entries = append(fresh.Entries, e)
+			fmt.Printf("%-24s %12d ns/op %10d B/op %8d allocs/op  %s\n",
+				e.Name, e.NsPerOp, e.BytesPerOp, e.AllocsPerOp, e.Checksum)
+		}
+		path := filepath.Join(*out, f.name)
+		if *check {
+			if err := checkAgainstBaseline(filepath.Join(*baseline, f.name), fresh, *tol); err != nil {
+				fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+				failed = true
+			}
+		}
+		if !*check || *out != *baseline {
+			if err := writeBenchFile(path, fresh); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+		}
+	}
+	if failed {
+		return fmt.Errorf("benchmark regression check failed")
+	}
+	return nil
+}
+
+// measureCase runs one warmup pass (whose output provides the checksum),
+// then times iters passes. Allocation figures come from the runtime's
+// allocation counters around the timed loop; the harness is single-run, so
+// nothing else is allocating concurrently.
+func measureCase(c benchCase, short bool) (benchEntry, error) {
+	sum, err := c.run()
+	if err != nil {
+		return benchEntry{}, err
+	}
+	h := sha256.Sum256(sum)
+	iters := c.iters
+	if short {
+		iters /= 5
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	for i := 0; i < c.warmupIters; i++ {
+		if _, err := c.run(); err != nil {
+			return benchEntry{}, err
+		}
+	}
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		if _, err := c.run(); err != nil {
+			return benchEntry{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	n := int64(iters)
+	return benchEntry{
+		Name:        c.name,
+		NsPerOp:     elapsed.Nanoseconds() / n,
+		AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+		BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+		Checksum:    fmt.Sprintf("%x", h[:8]),
+	}, nil
+}
+
+// buildBenchCases constructs the schedule-side and simulate-side workloads.
+// Everything is seeded, so each case's output — and therefore its checksum —
+// is reproducible.
+func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
+	// Fig 1 pipeline at benchmark scale: same code path as `wsansim fig1`,
+	// two trials per data point.
+	ind, err := experiment.NewIndriyaEnv(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	ind.Metrics = mets
+	opt := experiment.Options{Trials: 2, Seed: 1, TopoSeed: 1}
+	sched = append(sched, benchCase{
+		name:  "fig1",
+		iters: 3,
+		run: func() ([]byte, error) {
+			tables, err := experiment.Fig1(ind, opt)
+			if err != nil {
+				return nil, err
+			}
+			var buf []byte
+			for _, t := range tables {
+				buf = append(buf, t.String()...)
+			}
+			return buf, nil
+		},
+	})
+
+	// The three schedulers at the Fig. 6 operating point: 100 peer-to-peer
+	// flows on Indriya with 5 channels, the workload the paper times.
+	tb, err := wsan.GenerateIndriya(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	net, err := wsan.NewNetwork(tb, 5)
+	if err != nil {
+		return nil, nil, err
+	}
+	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
+		NumFlows:     100,
+		MinPeriodExp: 0,
+		MaxPeriodExp: 2,
+		Traffic:      wsan.PeerToPeer,
+		Seed:         3,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	for _, alg := range []wsan.Algorithm{wsan.NR, wsan.RA, wsan.RC} {
+		alg := alg
+		sched = append(sched, benchCase{
+			name:        "scheduler/" + algName(alg),
+			iters:       50,
+			warmupIters: 2,
+			run: func() ([]byte, error) {
+				res, err := net.Schedule(flows, alg, wsan.ScheduleConfig{Metrics: mets})
+				if err != nil {
+					return nil, err
+				}
+				return scheduleDigest(res), nil
+			},
+		})
+	}
+
+	// The simulator on a 50-flow WUSTL schedule, one hyperperiod per op with
+	// a fixed simulation seed.
+	wtb, err := wsan.GenerateWUSTL(1)
+	if err != nil {
+		return nil, nil, err
+	}
+	wnet, err := wsan.NewNetwork(wtb, 4)
+	if err != nil {
+		return nil, nil, err
+	}
+	var simFlows []*wsan.Flow
+	var simRes *wsan.ScheduleResult
+	for seed := int64(0); ; seed++ {
+		if seed > 50 {
+			return nil, nil, fmt.Errorf("bench: no schedulable 50-flow WUSTL workload in seeds 0..50")
+		}
+		simFlows, err = wnet.GenerateWorkload(wsan.WorkloadConfig{
+			NumFlows:     50,
+			MinPeriodExp: 0,
+			MaxPeriodExp: 0,
+			Traffic:      wsan.PeerToPeer,
+			Seed:         seed,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		simRes, err = wnet.Schedule(simFlows, wsan.RC, wsan.ScheduleConfig{})
+		if err != nil {
+			return nil, nil, err
+		}
+		if simRes.Schedulable {
+			break
+		}
+	}
+	sim = append(sim, benchCase{
+		name:        "simulate/wustl-50f",
+		iters:       50,
+		warmupIters: 2,
+		run: func() ([]byte, error) {
+			cfg := wnet.NewSimConfig(simFlows, simRes, 1, 7)
+			cfg.Metrics = mets
+			res, err := wsan.Simulate(cfg)
+			if err != nil {
+				return nil, err
+			}
+			return deliveryDigest(res), nil
+		},
+	})
+	return sched, sim, nil
+}
+
+// scheduleDigest serializes a schedule's transmissions for checksumming.
+func scheduleDigest(res *wsan.ScheduleResult) []byte {
+	var buf []byte
+	buf = fmt.Appendf(buf, "schedulable=%v;", res.Schedulable)
+	for _, tx := range res.Schedule.Txs() {
+		buf = fmt.Appendf(buf, "%d/%d/%d/%d/%d>%d@%d.%d;",
+			tx.FlowID, tx.Instance, tx.Hop, tx.Attempt,
+			tx.Link.From, tx.Link.To, tx.Slot, tx.Offset)
+	}
+	return buf
+}
+
+// deliveryDigest serializes per-flow release/delivery counts in flow order.
+func deliveryDigest(res *wsan.SimResult) []byte {
+	ids := make([]int, 0, len(res.Released))
+	for id := range res.Released {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	var buf []byte
+	for _, id := range ids {
+		buf = fmt.Appendf(buf, "%d:%d/%d;", id, res.Delivered[id], res.Released[id])
+	}
+	return buf
+}
+
+func algName(alg wsan.Algorithm) string {
+	switch alg {
+	case wsan.NR:
+		return "nr"
+	case wsan.RA:
+		return "ra"
+	default:
+		return "rc"
+	}
+}
+
+// checkAgainstBaseline compares fresh measurements to a committed baseline:
+// checksums must match exactly; ns/op may regress by at most tol (timings
+// below baseline always pass — machines differ, and only slowdowns gate).
+func checkAgainstBaseline(path string, fresh benchFile, tol float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline %s: %w (run `wsansim bench` to create it)", path, err)
+	}
+	var base benchFile
+	if err := json.Unmarshal(raw, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	byName := make(map[string]benchEntry, len(base.Entries))
+	for _, e := range base.Entries {
+		byName[e.Name] = e
+	}
+	for _, e := range fresh.Entries {
+		b, ok := byName[e.Name]
+		if !ok {
+			return fmt.Errorf("%s: entry %q missing from baseline (rerun `wsansim bench`)", path, e.Name)
+		}
+		if e.Checksum != b.Checksum {
+			return fmt.Errorf("%s: %s output changed: checksum %s, baseline %s (behavior drift — regenerate the baseline only if intended)",
+				path, e.Name, e.Checksum, b.Checksum)
+		}
+		if limit := float64(b.NsPerOp) * (1 + tol); float64(e.NsPerOp) > limit {
+			return fmt.Errorf("%s: %s regressed: %d ns/op vs baseline %d (>%.0f%% over)",
+				path, e.Name, e.NsPerOp, b.NsPerOp, tol*100)
+		}
+	}
+	fmt.Printf("%s: %d entries within %.0f%% of baseline, checksums match\n",
+		path, len(fresh.Entries), tol*100)
+	return nil
+}
+
+// writeBenchFile emits a baseline with stable formatting (trailing newline,
+// two-space indent) so regeneration produces minimal diffs.
+func writeBenchFile(path string, bf benchFile) error {
+	raw, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}

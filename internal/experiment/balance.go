@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"wsan/internal/flow"
 	"wsan/internal/routing"
@@ -28,8 +29,9 @@ func ExtBalance(env *Env, opt Options) ([]*Table, error) {
 			return nil, err
 		}
 		for _, balance := range []bool{false, true} {
+			var mu sync.Mutex
 			ok := map[scheduler.Algorithm]int{}
-			for trial := 0; trial < opt.Trials; trial++ {
+			err := forEachTrial(opt, func(trial int) error {
 				rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(trial)))
 				fs, err := flow.Generate(rng, ce.Gc, flow.GenConfig{
 					NumFlows:     numFlows,
@@ -38,7 +40,7 @@ func ExtBalance(env *Env, opt Options) ([]*Table, error) {
 					Exclude:      ce.APs,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				err = routing.Assign(fs, ce.Gc, routing.Config{
 					Traffic:    routing.Centralized,
@@ -46,7 +48,7 @@ func ExtBalance(env *Env, opt Options) ([]*Table, error) {
 					BalanceAPs: balance,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				for _, alg := range allAlgs {
 					res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
@@ -58,12 +60,18 @@ func ExtBalance(env *Env, opt Options) ([]*Table, error) {
 						Metrics:     env.Metrics,
 					})
 					if err != nil {
-						return nil, err
+						return err
 					}
 					if res.Schedulable {
+						mu.Lock()
 						ok[alg]++
+						mu.Unlock()
 					}
 				}
+				return nil
+			})
+			if err != nil {
+				return nil, err
 			}
 			label := "nearest"
 			if balance {

@@ -66,14 +66,25 @@ func (o Options) workers() int {
 // (trials are short). Aggregation must be order-independent for
 // deterministic results.
 func forEachTrial(opt Options, fn func(trial int) error) error {
-	workers := opt.workers()
-	if workers <= 1 || opt.Trials <= 1 {
-		for trial := 0; trial < opt.Trials; trial++ {
-			if err := fn(trial); err != nil {
+	return forEachIndex(opt.workers(), opt.Trials, fn)
+}
+
+// forEachIndex fans fn out over [0, n) across at most workers goroutines via
+// atomic work stealing. It collects nothing itself: callers that need
+// ordered results write into index-addressed slots, which keeps output
+// deterministic regardless of completion order. The first error is reported
+// after all workers drain.
+func forEachIndex(workers, n int, fn func(i int) error) error {
+	if workers <= 1 || n <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
 				return err
 			}
 		}
 		return nil
+	}
+	if workers > n {
+		workers = n
 	}
 	var (
 		wg       sync.WaitGroup
@@ -86,11 +97,11 @@ func forEachTrial(opt Options, fn func(trial int) error) error {
 		go func() {
 			defer wg.Done()
 			for {
-				trial := int(next.Add(1)) - 1
-				if trial >= opt.Trials {
+				i := int(next.Add(1)) - 1
+				if i >= n {
 					return
 				}
-				if err := fn(trial); err != nil {
+				if err := fn(i); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err

@@ -2,6 +2,7 @@ package experiment
 
 import (
 	"fmt"
+	"sync"
 
 	"wsan/internal/analysis"
 	"wsan/internal/flow"
@@ -80,9 +81,12 @@ func ExtRhoSweep(env *Env, opt Options) ([]*Table, error) {
 		return nil, err
 	}
 	for _, rhoT := range []int{2, 3, 4} {
+		// Integer tallies commute, so the parallel trial fan-out is
+		// bit-identical to the sequential sweep at any worker count.
+		var mu sync.Mutex
 		ok := map[scheduler.Algorithm]int{}
 		hopTotal, hopCount := 0, 0
-		for trial := 0; trial < opt.Trials; trial++ {
+		err := forEachTrial(opt, func(trial int) error {
 			fs, _, err := env.GenerateFlows(TrialSpec{
 				Traffic:   routing.PeerToPeer,
 				Channels:  nch,
@@ -91,7 +95,7 @@ func ExtRhoSweep(env *Env, opt Options) ([]*Table, error) {
 				Seed:      opt.Seed*1_000_003 + int64(trial),
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			for _, alg := range reuseAlgs {
 				res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
@@ -103,9 +107,10 @@ func ExtRhoSweep(env *Env, opt Options) ([]*Table, error) {
 					Metrics:     env.Metrics,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if res.Schedulable {
+					mu.Lock()
 					ok[alg]++
 					if alg == scheduler.RC {
 						for h, n := range res.Schedule.ReuseHopHist(ce.Hop) {
@@ -113,8 +118,13 @@ func ExtRhoSweep(env *Env, opt Options) ([]*Table, error) {
 							hopCount += n
 						}
 					}
+					mu.Unlock()
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		meanHop := "-"
 		if hopCount > 0 {
@@ -147,8 +157,9 @@ func ExtPriority(env *Env, opt Options) ([]*Table, error) {
 		return nil, err
 	}
 	for _, prio := range []string{"DM", "RM"} {
+		var mu sync.Mutex
 		ok := map[scheduler.Algorithm]int{}
-		for trial := 0; trial < opt.Trials; trial++ {
+		err := forEachTrial(opt, func(trial int) error {
 			fs, _, err := env.GenerateFlows(TrialSpec{
 				Traffic:   routing.PeerToPeer,
 				Channels:  nch,
@@ -157,7 +168,7 @@ func ExtPriority(env *Env, opt Options) ([]*Table, error) {
 				Seed:      opt.Seed*1_000_003 + int64(trial),
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if prio == "RM" {
 				flow.AssignRM(fs)
@@ -172,12 +183,18 @@ func ExtPriority(env *Env, opt Options) ([]*Table, error) {
 					Metrics:     env.Metrics,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if res.Schedulable {
+					mu.Lock()
 					ok[alg]++
+					mu.Unlock()
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		t.Rows = append(t.Rows, []string{
 			prio,

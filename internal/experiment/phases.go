@@ -3,6 +3,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"wsan/internal/flow"
 	"wsan/internal/routing"
@@ -29,8 +30,9 @@ func ExtPhases(env *Env, opt Options) ([]*Table, error) {
 		return nil, err
 	}
 	for _, stagger := range []bool{false, true} {
+		var mu sync.Mutex
 		ok := map[scheduler.Algorithm]int{}
-		for trial := 0; trial < opt.Trials; trial++ {
+		err := forEachTrial(opt, func(trial int) error {
 			rng := rand.New(rand.NewSource(opt.Seed*1_000_003 + int64(trial)))
 			fs, err := flow.Generate(rng, ce.Gc, flow.GenConfig{
 				NumFlows:      numFlows,
@@ -40,10 +42,10 @@ func ExtPhases(env *Env, opt Options) ([]*Table, error) {
 				StaggerPhases: stagger,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
 			if err := routing.Assign(fs, ce.Gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
-				return nil, err
+				return err
 			}
 			for _, alg := range allAlgs {
 				res, err := scheduler.Run(CloneFlows(fs), scheduler.Config{
@@ -55,12 +57,18 @@ func ExtPhases(env *Env, opt Options) ([]*Table, error) {
 					Metrics:     env.Metrics,
 				})
 				if err != nil {
-					return nil, err
+					return err
 				}
 				if res.Schedulable {
+					mu.Lock()
 					ok[alg]++
+					mu.Unlock()
 				}
 			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		label := "synchronized"
 		if stagger {

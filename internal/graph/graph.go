@@ -14,6 +14,7 @@ import (
 	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Unreachable marks a pair of nodes with no connecting path in hop-distance
@@ -26,6 +27,14 @@ const Unreachable = uint8(math.MaxUint8)
 type Graph struct {
 	n   int
 	adj [][]int32
+
+	// mu guards forests, the lazily built per-source BFS predecessor forests
+	// serving ShortestPathHop: route construction asks for many destinations
+	// from the same source (and the same graph serves every Monte-Carlo
+	// trial), so one BFS per source replaces one per query. AddEdge
+	// invalidates the cache.
+	mu      sync.Mutex
+	forests map[int32][]int32
 }
 
 // New returns an empty undirected graph with n nodes and no edges.
@@ -59,6 +68,9 @@ func (g *Graph) AddEdge(u, v int) error {
 	}
 	g.adj[u] = append(g.adj[u], int32(v))
 	g.adj[v] = append(g.adj[v], int32(u))
+	g.mu.Lock()
+	g.forests = nil // cached paths may no longer be minimum-hop
+	g.mu.Unlock()
 	return nil
 }
 
@@ -230,39 +242,56 @@ func (g *Graph) ShortestPathHop(src, dst int) []int {
 	if src == dst {
 		return []int{src}
 	}
+	prev := g.pathForest(src)
+	if prev[dst] < 0 {
+		return nil
+	}
+	hops := 0
+	for at := int32(dst); at != -1; at = prev[at] {
+		hops++
+	}
+	path := make([]int, hops)
+	for at, i := int32(dst), hops-1; at != -1; at, i = prev[at], i-1 {
+		path[i] = int(at)
+	}
+	return path
+}
+
+// pathForest returns the BFS predecessor forest rooted at src, building and
+// caching it on first use. prev[v] is v's predecessor on a minimum-hop path
+// from src (-1 for src itself and for unreachable nodes). The traversal
+// visits neighbors in adjacency order, exactly as a per-query BFS would, so
+// extracted paths match ShortestPathHop's historical lowest-neighbor
+// determinism. The returned slice is shared and must not be modified.
+func (g *Graph) pathForest(src int) []int32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if f, ok := g.forests[int32(src)]; ok {
+		return f
+	}
 	prev := make([]int32, g.n)
+	seen := make([]bool, g.n)
 	for i := range prev {
 		prev[i] = -1
 	}
-	dist := make([]int32, g.n)
-	for i := range dist {
-		dist[i] = -1
-	}
-	dist[src] = 0
-	queue := []int32{int32(src)}
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		if int(u) == dst {
-			break
-		}
+	seen[src] = true
+	queue := make([]int32, 0, g.n)
+	queue = append(queue, int32(src))
+	for head := 0; head < len(queue); head++ {
+		u := queue[head]
 		for _, v := range g.adj[u] {
-			if dist[v] < 0 {
-				dist[v] = dist[u] + 1
+			if !seen[v] {
+				seen[v] = true
 				prev[v] = u
 				queue = append(queue, v)
 			}
 		}
 	}
-	if dist[dst] < 0 {
-		return nil
+	if g.forests == nil {
+		g.forests = make(map[int32][]int32)
 	}
-	path := make([]int, 0, dist[dst]+1)
-	for at := int32(dst); at != -1; at = prev[at] {
-		path = append(path, int(at))
-	}
-	reverse(path)
-	return path
+	g.forests[int32(src)] = prev
+	return prev
 }
 
 // ArticulationPoints returns the cut vertices of the graph — nodes whose

@@ -39,7 +39,13 @@ const (
 )
 
 type simulator struct {
-	cfg   Config
+	cfg Config
+	// rng is the run's private random stream, created by RunCtx from
+	// Config.Seed and confined to that call: a simulator is never shared
+	// across goroutines, so concurrent Run/RunCtx calls (the parallel
+	// Monte-Carlo trials in internal/experiment) each draw from their own
+	// forked stream and stay bit-identical to sequential execution. See
+	// TestConcurrentRunsAreDeterministic for the -race proof.
 	rng   *rand.Rand
 	env   *radio.Env
 	res   *Result

@@ -130,6 +130,7 @@ func (s *Schedule) Clone() *Schedule {
 		// Dimensions of an existing schedule are always valid.
 		panic(fmt.Sprintf("schedule: clone: %v", err))
 	}
+	cp.Reserve(len(s.txs))
 	for _, tx := range s.txs {
 		if err := cp.Place(tx); err != nil {
 			panic(fmt.Sprintf("schedule: clone: %v", err))

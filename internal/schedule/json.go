@@ -36,6 +36,7 @@ func Decode(r io.Reader) (*Schedule, error) {
 	if err != nil {
 		return nil, fmt.Errorf("decode schedule: %w", err)
 	}
+	s.Reserve(len(in.Txs))
 	for _, tx := range in.Txs {
 		if err := s.Place(tx); err != nil {
 			return nil, fmt.Errorf("decode schedule: %w", err)

@@ -38,22 +38,62 @@ type Tx struct {
 	Offset int `json:"offset"`
 }
 
-// Schedule is a slot × channel-offset transmission matrix plus per-node
-// busy bitsets. Create one with New; the zero value is not usable.
+// Schedule is a slot × channel-offset transmission matrix plus the indices
+// that keep its hot queries cheap: per-node slot-busy bitsets, per-slot
+// occupied-offset bitsets, and lazily built per-pair conflict counters (see
+// Pair). Create one with New; the zero value is not usable.
 type Schedule struct {
 	numSlots   int
 	numOffsets int
 	numNodes   int
 	words      int // bitset words per node
+	offWords   int // bitset words per slot's offset row
 
 	// nodeBusy[node*words+w] holds slot-busy bits for the node.
 	nodeBusy []uint64
+	// occ[slot*offWords+w] holds occupied-offset bits for the slot: bit c is
+	// set iff cell (slot, c) is non-empty. It lets slot scans skip empty
+	// columns without touching the cells themselves.
+	occ []uint64
 	// cells[slot*numOffsets+offset] lists the transmissions sharing that
 	// slot and offset (channel reuse when len > 1).
 	cells [][]Tx
+	// arena and pairArena back cell storage in chunks: a freshly occupied
+	// cell carves a single-entry slice from arena, and a cell gaining its
+	// second occupant moves to a two-entry carving from pairArena. A schedule
+	// with thousands of one- and two-occupant cells (every NR schedule, and
+	// most reuse cells) thus costs one allocation per chunk instead of one
+	// per cell, without wasting a second arena slot on the single-occupant
+	// majority. Cells that grow past two occupants escape to the ordinary
+	// allocator via append.
+	arena     []Tx
+	pairArena []Tx
 	// txs records all placements in order.
 	txs []Tx
+
+	// nodeVer stamps each node's busy-bitset state; marking or clearing a
+	// busy bit bumps the node's stamp, so the pair counters below can tell a
+	// stale cache from a fresh one without rebuilding on mutations that
+	// touched neither of their endpoints. Stamps start at 1 so a zero-stamped
+	// counter is always rebuilt.
+	nodeVer []uint64
+	// pairs caches the PairCount handles by normalized (u,v) key so repeated
+	// Pair calls share one index per node pair.
+	pairs map[uint64]*PairCount
+
+	stats IndexStats
 }
+
+// IndexStats counts the index machinery's work for observability: how many
+// O(1) pair queries were served and how many cache rebuilds (each O(slots/64))
+// they cost. The scheduler surfaces them as "sched.index.*" counters.
+type IndexStats struct {
+	PairQueries  int64
+	PairRebuilds int64
+}
+
+// IndexStats returns the accumulated index counters.
+func (s *Schedule) IndexStats() IndexStats { return s.stats }
 
 // New creates an empty schedule covering numSlots slots, numOffsets channel
 // offsets, and nodes 0..numNodes-1.
@@ -63,14 +103,34 @@ func New(numSlots, numOffsets, numNodes int) (*Schedule, error) {
 			numSlots, numOffsets, numNodes)
 	}
 	words := (numSlots + 63) / 64
+	offWords := (numOffsets + 63) / 64
+	nodeVer := make([]uint64, numNodes)
+	for i := range nodeVer {
+		nodeVer[i] = 1
+	}
 	return &Schedule{
 		numSlots:   numSlots,
 		numOffsets: numOffsets,
 		numNodes:   numNodes,
 		words:      words,
+		offWords:   offWords,
 		nodeBusy:   make([]uint64, numNodes*words),
+		occ:        make([]uint64, numSlots*offWords),
 		cells:      make([][]Tx, numSlots*numOffsets),
+		nodeVer:    nodeVer,
 	}, nil
+}
+
+// Reserve grows the transmission list's capacity to hold n more placements
+// without reallocating — schedulers that know the workload size up front call
+// it once instead of paying the append growth copies on the hot path.
+func (s *Schedule) Reserve(n int) {
+	if n <= 0 || cap(s.txs)-len(s.txs) >= n {
+		return
+	}
+	grown := make([]Tx, len(s.txs), len(s.txs)+n)
+	copy(grown, s.txs)
+	s.txs = grown
 }
 
 // NumSlots returns the schedule length in slots.
@@ -99,6 +159,7 @@ func (s *Schedule) NodeBusy(node, slot int) bool {
 
 func (s *Schedule) markBusy(node, slot int) {
 	s.nodeBusy[node*s.words+slot/64] |= 1 << uint(slot%64)
+	s.nodeVer[node]++
 }
 
 // Cell returns the transmissions already assigned to (slot, offset). The
@@ -132,7 +193,27 @@ func (s *Schedule) Place(tx Tx) error {
 	s.markBusy(u, tx.Slot)
 	s.markBusy(v, tx.Slot)
 	idx := tx.Slot*s.numOffsets + tx.Offset
-	s.cells[idx] = append(s.cells[idx], tx)
+	c := s.cells[idx]
+	if len(c) == 0 {
+		s.occ[tx.Slot*s.offWords+tx.Offset/64] |= 1 << uint(tx.Offset%64)
+	}
+	switch {
+	case cap(c) == 0:
+		if len(s.arena) == 0 {
+			s.arena = make([]Tx, 512)
+		}
+		c = s.arena[:0:1]
+		s.arena = s.arena[1:]
+	case len(c) == 1 && cap(c) == 1:
+		if len(s.pairArena) < 2 {
+			s.pairArena = make([]Tx, 512)
+		}
+		pair := s.pairArena[:1:2]
+		s.pairArena = s.pairArena[2:]
+		pair[0] = c[0]
+		c = pair
+	}
+	s.cells[idx] = append(c, tx)
 	s.txs = append(s.txs, tx)
 	return nil
 }
@@ -160,6 +241,9 @@ func (s *Schedule) Remove(tx Tx) error {
 			break
 		}
 	}
+	if len(s.cells[cellIdx]) == 0 {
+		s.occ[tx.Slot*s.offWords+tx.Offset/64] &^= 1 << uint(tx.Offset%64)
+	}
 	s.clearBusy(tx.Link.From, tx.Slot)
 	s.clearBusy(tx.Link.To, tx.Slot)
 	return nil
@@ -167,12 +251,18 @@ func (s *Schedule) Remove(tx Tx) error {
 
 func (s *Schedule) clearBusy(node, slot int) {
 	s.nodeBusy[node*s.words+slot/64] &^= 1 << uint(slot%64)
+	s.nodeVer[node]++
 }
 
 // BusyUnionCount returns the number of slots in the inclusive range
 // [from, to] in which node u or node v (or both) is busy — the q^t term of
 // the laxity equation for a link t = (u,v). Out-of-range bounds are clamped;
 // an empty range returns 0.
+//
+// This is the straight word-level scan, O((to-from)/64) per call; hot loops
+// that ask repeatedly about the same pair should hold a Pair handle, whose
+// UnionCount answers in O(1) from a prefix index. The scan stays as the
+// reference implementation the index is property-tested against.
 func (s *Schedule) BusyUnionCount(u, v, from, to int) int {
 	if from < 0 {
 		from = 0

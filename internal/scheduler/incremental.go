@@ -71,7 +71,7 @@ func AddFlow(sched *schedule.Schedule, f *flow.Flow, cfg Config) (*Result, error
 	if cfg.Algorithm == RC {
 		res.LambdaR = cfg.HopGR.Diameter()
 	}
-	eng := engine{cfg: cfg, sched: sched, lambdaR: res.LambdaR}
+	eng := newEngine(cfg, sched, res.LambdaR)
 	start := time.Now()
 	defer func() { eng.flushMetrics(time.Since(start)) }()
 	// Remember everything we place so a failure can roll back.

@@ -1,0 +1,158 @@
+package scheduler
+
+import (
+	"math/rand"
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/routing"
+	"wsan/internal/schedule"
+	"wsan/internal/topology"
+)
+
+// TestScanVsIndexIdentical proves the indexing change is purely an
+// optimization: on real testbeds across fixed workload seeds, all three
+// algorithms must produce byte-identical transmission sequences whether the
+// hot paths run through the bitset/prefix-sum indexes or through the
+// pre-index reference scans (cfg.scanPaths).
+func TestScanVsIndexIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		mk   func(int64) (*topology.Testbed, error)
+	}{
+		{"indriya", topology.Indriya},
+		{"wustl", topology.WUSTL},
+	} {
+		tb, err := tc.mk(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const nch = 5
+		chs := topology.Channels(nch)
+		gc, err := tb.CommGraph(chs, 0.9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr, err := tb.ReuseGraph(chs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hop := gr.AllPairsHop()
+		for seed := int64(1); seed <= 3; seed++ {
+			rng := rand.New(rand.NewSource(seed))
+			fs, err := flow.Generate(rng, gc, flow.GenConfig{
+				NumFlows: 60, MinPeriodExp: 0, MaxPeriodExp: 2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := routing.Assign(fs, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+				t.Fatal(err)
+			}
+			for _, alg := range []Algorithm{NR, RA, RC} {
+				cfg := Config{Algorithm: alg, NumChannels: nch, RhoT: 2,
+					HopGR: hop, Retransmit: true}
+				indexed, err := Run(cloneFlows(fs), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.scanPaths = true
+				scanned, err := Run(cloneFlows(fs), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if indexed.Schedulable != scanned.Schedulable {
+					t.Fatalf("%s seed=%d %v: schedulable differs: index=%v scan=%v",
+						tc.name, seed, alg, indexed.Schedulable, scanned.Schedulable)
+				}
+				it, st := indexed.Schedule.Txs(), scanned.Schedule.Txs()
+				if len(it) != len(st) {
+					t.Fatalf("%s seed=%d %v: %d vs %d transmissions",
+						tc.name, seed, alg, len(it), len(st))
+				}
+				for i := range it {
+					if it[i] != st[i] {
+						t.Fatalf("%s seed=%d %v: tx %d differs: index=%+v scan=%+v",
+							tc.name, seed, alg, i, it[i], st[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPlaceRCFallbackPrefersPermissive pins the fallback rule of Algorithm 1
+// when laxity never reaches zero: keep the earliest feasible slot, and among
+// placements tied on that slot the most permissive (highest-ρ) one. The old
+// code kept whatever findSlot returned last — the lowest-ρ, most aggressive
+// placement — even when the extra ρ steps bought no earlier slot.
+//
+// Constructed scenario on a 10-node line (G_R distances = index gaps),
+// placing link 0→1 with λ_R pinned to 3 and ρ_t = 2, two offsets:
+//
+//	slot 0, offset 0: {8→9, 6→7}  load 2, compatible at ρ=3 and ρ=2
+//	slot 0, offset 1: {3→4}       load 1, compatible only at ρ=2
+//	                              (Dist(3,1) = 2 < 3)
+//	slot 1+:          empty
+//
+// The ρ search sees: ρ=∞ → slot 1 (slot 0 full); ρ=3 → (0,0) (offset 1
+// incompatible); ρ=2 → (0,1) (least-loaded of the two). With the deadline
+// budget forced negative, the fixed fallback keeps (0,0) — slot 0 beats
+// slot 1, and on the slot-0 tie the ρ=3 placement stands. The old rule
+// returned (0,1).
+func TestPlaceRCFallbackPrefersPermissive(t *testing.T) {
+	g := graph.New(10)
+	for i := 0; i < 9; i++ {
+		if err := g.AddEdge(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hop := g.AllPairsHop()
+	for _, scan := range []bool{false, true} {
+		sched, err := schedule.New(8, 2, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, tx := range []schedule.Tx{
+			{FlowID: 1, Link: flow.Link{From: 8, To: 9}, Slot: 0, Offset: 0},
+			{FlowID: 2, Link: flow.Link{From: 6, To: 7}, Slot: 0, Offset: 0},
+			{FlowID: 3, Link: flow.Link{From: 3, To: 4}, Slot: 0, Offset: 1},
+		} {
+			if err := sched.Place(tx); err != nil {
+				t.Fatal(err)
+			}
+		}
+		eng := newEngine(Config{Algorithm: RC, NumChannels: 2, RhoT: 2,
+			HopGR: hop, scanPaths: scan}, sched, 3)
+		f := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: 8, Deadline: 7,
+			Route: []flow.Link{{From: 0, To: 1}}}
+		eng.setFlow(f)
+		tx := schedule.Tx{FlowID: 0, Link: flow.Link{From: 0, To: 1}}
+
+		// Sanity: the ρ steps see the placements the scenario intends.
+		if s, c, ok := eng.findSlot(tx, 0, 6, rhoInf); !ok || s != 1 {
+			t.Fatalf("scan=%v: ρ=∞ placement = (%d,%d,%v), want slot 1", scan, s, c, ok)
+		}
+		if s, c, ok := eng.findSlot(tx, 0, 6, 3); !ok || s != 0 || c != 0 {
+			t.Fatalf("scan=%v: ρ=3 placement = (%d,%d,%v), want (0,0)", scan, s, c, ok)
+		}
+		if s, c, ok := eng.findSlot(tx, 0, 6, 2); !ok || s != 0 || c != 1 {
+			t.Fatalf("scan=%v: ρ=2 placement = (%d,%d,%v), want (0,1)", scan, s, c, ok)
+		}
+
+		// remaining=10 forces laxity = 6 − s − 10 < 0 at every candidate,
+		// so placeRC runs the ρ search to exhaustion and must fall back.
+		slot, offset, ok := eng.placeOne(f, tx, 0, 6, 10)
+		if !ok {
+			t.Fatalf("scan=%v: placement failed", scan)
+		}
+		if slot != 0 || offset != 0 {
+			t.Errorf("scan=%v: fallback = (%d,%d), want the highest-ρ slot-0 placement (0,0)",
+				scan, slot, offset)
+		}
+		if eng.mets.laxityFallbacks != 1 {
+			t.Errorf("scan=%v: laxityFallbacks = %d, want 1", scan, eng.mets.laxityFallbacks)
+		}
+	}
+}

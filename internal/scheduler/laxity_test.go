@@ -58,10 +58,9 @@ func TestLaxityMatchesBruteForce(t *testing.T) {
 			f.Route = append(f.Route, flow.Link{From: perm[h], To: perm[h+1]})
 		}
 		attempts := 1 + rng.Intn(2)
-		eng := engine{
-			cfg:   Config{Algorithm: RC, NumChannels: 2, RhoT: 2, Retransmit: attempts == 2},
-			sched: sched,
-		}
+		eng := newEngine(Config{Algorithm: RC, NumChannels: 2, RhoT: 2,
+			Retransmit: attempts == 2}, sched, 0)
+		eng.setFlow(f)
 		hop := rng.Intn(hops)
 		tx := schedule.Tx{
 			FlowID:  0,

@@ -83,6 +83,10 @@ type Config struct {
 	// "scheduler.<alg>." prefix, flushed once per run. Nil disables
 	// observability at near-zero cost.
 	Metrics obs.Sink
+	// scanPaths routes findSlot and laxity through the pre-index reference
+	// scans instead of the bitset/prefix-sum fast paths. Unexported: only
+	// in-package tests can set it, to prove both paths place identically.
+	scanPaths bool
 }
 
 func (c Config) attempts() int {
@@ -164,11 +168,16 @@ func Run(flows []*flow.Flow, cfg Config) (*Result, error) {
 	if cfg.Algorithm == RC {
 		res.LambdaR = cfg.HopGR.Diameter()
 	}
+	total := 0
+	for _, f := range flows {
+		total += (hyper / f.Period) * len(f.Route) * cfg.attempts()
+	}
+	sched.Reserve(total)
 
 	start := time.Now()
 	defer func() { res.Elapsed = time.Since(start) }()
 
-	eng := engine{cfg: cfg, sched: sched, lambdaR: res.LambdaR}
+	eng := newEngine(cfg, sched, res.LambdaR)
 	// Deferred after the Elapsed assignment above so it runs first (LIFO);
 	// measure independently so the flushed histogram sample is non-zero.
 	defer func() { eng.flushMetrics(time.Since(start)) }()
@@ -191,6 +200,68 @@ type engine struct {
 	sched   *schedule.Schedule
 	lambdaR int
 	mets    schedCounters
+
+	// Index-path state. routePairs holds the current flow's per-hop
+	// conflict-count handles so laxity issues zero map lookups; occBuf is
+	// the reusable OccupiedOffsets buffer.
+	curFlow    *flow.Flow
+	routePairs []*schedule.PairCount
+	occBuf     []int
+	statsBase  schedule.IndexStats // schedule index stats at engine creation
+
+	// cands and candOcc cache one RC placement attempt's candidate slots and
+	// their occupied offsets (see buildCands); candDist and candLoad run
+	// parallel to candOcc with each cell's memoized minimum reuse-constraint
+	// distance and load (see rcFind). All four are reused across attempts.
+	cands    []slotCand
+	candOcc  []int
+	candDist []int32
+	candLoad []int32
+
+	// laxDeadSum memoizes the deadline term of the attempt's laxity sums:
+	// Σ CountThrough(deadline) over the remaining route pairs. It is fixed for
+	// one placement attempt (the schedule is unmutated and the deadline and
+	// remaining set don't change), so each candidate's conflict sum needs only
+	// the CountThrough(slot) subtractions. Reset by buildCands.
+	laxDeadSum int
+	laxDeadOK  bool
+}
+
+// slotCand is one cached candidate slot of an RC placement attempt: a slot
+// where both endpoints are free, its first free offset (-1 when every offset
+// is occupied), the occupied offsets (recorded for full slots only), and the
+// attempt's laxity at this slot, computed at most once across all ρ levels.
+// maxDist is the slot's best cell minDist, filled on the slot's first
+// finite-ρ visit (distOK) so later levels skip incompatible slots with one
+// comparison.
+type slotCand struct {
+	slot    int
+	freeOff int
+	occLo   int // candOcc[occLo:occHi] lists the slot's occupied offsets
+	occHi   int
+	lax     int
+	laxOK   bool
+	maxDist int32
+	distOK  bool
+}
+
+// newEngine prepares the scheduling state for one run over sched.
+func newEngine(cfg Config, sched *schedule.Schedule, lambdaR int) engine {
+	return engine{cfg: cfg, sched: sched, lambdaR: lambdaR,
+		statsBase: sched.IndexStats()}
+}
+
+// setFlow binds the engine's per-flow index state (the route's conflict-count
+// handles) to f. Instances of the same flow share the binding.
+func (e *engine) setFlow(f *flow.Flow) {
+	if e.curFlow == f {
+		return
+	}
+	e.curFlow = f
+	e.routePairs = e.routePairs[:0]
+	for _, l := range f.Route {
+		e.routePairs = append(e.routePairs, e.sched.Pair(l.From, l.To))
+	}
 }
 
 // schedCounters accumulates one run's observability counters locally (plain
@@ -204,6 +275,8 @@ type schedCounters struct {
 	rhoSteps        int64 // RC ρ-search iterations past the ρ=∞ attempt
 	laxityFallbacks int64 // RC placements accepted with negative laxity
 	deadlineMisses  int64 // flow instances that missed their deadline
+	memoHits        int64 // reuse verdicts served from the ρ-search memo
+	memoMisses      int64 // reuse verdicts computed fresh
 }
 
 // flushMetrics pushes the accumulated counters to the configured sink under
@@ -224,12 +297,19 @@ func (e *engine) flushMetrics(elapsed time.Duration) {
 	m.Count(p+"rho_steps", c.rhoSteps)
 	m.Count(p+"laxity_fallbacks", c.laxityFallbacks)
 	m.Count(p+"deadline_misses", c.deadlineMisses)
+	// Index-layer counters: how hard the O(1) structures worked this run.
+	st := e.sched.IndexStats()
+	m.Count("sched.index.pair_queries", st.PairQueries-e.statsBase.PairQueries)
+	m.Count("sched.index.pair_rebuilds", st.PairRebuilds-e.statsBase.PairRebuilds)
+	m.Count("sched.index.reuse_memo_hits", c.memoHits)
+	m.Count("sched.index.reuse_memo_misses", c.memoMisses)
 	m.Observe(p+"elapsed_seconds", elapsed.Seconds())
 }
 
 // scheduleInstance places every transmission of one release of flow f,
 // returning false on a deadline miss.
 func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
+	e.setFlow(f)
 	release := f.Release(inst)
 	deadline := release + f.Deadline - 1 // last usable slot index
 	prevSlot := release - 1
@@ -287,19 +367,41 @@ func (e *engine) placeOne(f *flow.Flow, tx schedule.Tx, earliest, deadline, rema
 
 // placeRC is the inner loop of Algorithm 1: try without reuse, then with
 // reuse at decreasing hop distances, accepting the first placement whose
-// flow laxity is non-negative; fall back to the last feasible placement.
+// flow laxity is non-negative.
+//
+// When laxity never reaches zero, the paper schedules anyway ("if s ≤ d_i
+// then schedule"). The fallback keeps the earliest feasible slot found —
+// lower ρ relaxes the reuse constraint, so candidate slots are monotonically
+// non-increasing and an earlier slot never costs schedulability — and, among
+// placements tied on that slot, the most permissive (highest-ρ) one. This
+// replaces the old rule of blindly keeping the last placement tried, which
+// discarded a higher-ρ (safer-reuse) placement even when the extra ρ steps
+// bought no earlier slot.
 func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+	if e.cfg.scanPaths {
+		return e.placeRCRef(f, tx, earliest, deadline, remaining)
+	}
+	u, v := tx.Link.From, tx.Link.To
+	e.buildCands(u, v, earliest, deadline)
 	rho := rhoInf
-	lastSlot, lastOffset, lastOK := 0, 0, false
+	fbSlot, fbOffset, fbOK := 0, 0, false
 	for {
-		slot, offset, ok := e.findSlot(tx, earliest, deadline, rho)
+		ci, offset, ok := e.rcFind(u, v, rho)
 		if ok {
-			lastSlot, lastOffset, lastOK = slot, offset, true
-			if e.laxity(f, tx, slot, deadline, remaining) >= 0 {
+			c := &e.cands[ci]
+			if !c.laxOK {
+				c.lax, c.laxOK = e.laxity(f, tx, c.slot, deadline, remaining), true
+			}
+			if c.lax >= 0 {
 				e.mets.laxityPass++
-				return slot, offset, true
+				return c.slot, offset, true
 			}
 			e.mets.laxityFail++
+			if !fbOK || c.slot < fbSlot {
+				// Strictly earlier only: on a slot tie the earlier-tried
+				// (higher-ρ) placement stands.
+				fbSlot, fbOffset, fbOK = c.slot, offset, true
+			}
 		}
 		if rho == rhoInf {
 			if e.lambdaR < e.cfg.RhoT {
@@ -318,24 +420,206 @@ func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remai
 		}
 		e.mets.rhoSteps++
 	}
-	// Laxity never reached 0: schedule at the most permissive placement
-	// found (paper: "if s ≤ d_i then schedule"), else report a miss.
-	if lastOK {
+	if fbOK {
 		e.mets.laxityFallbacks++
 	}
-	return lastSlot, lastOffset, lastOK
+	return fbSlot, fbOffset, fbOK
+}
+
+// buildCands collects, once per RC placement attempt, every candidate slot
+// the descending ρ search can ever choose: the endpoint-free slots from
+// earliest up to and including the first one offering a free offset. Under
+// least-loaded tie-breaking a free cell wins at every ρ, so no later slot is
+// ever selected; when no slot has a free offset the cache extends to the
+// deadline. The schedule is unmutated for the attempt's duration, so the
+// per-slot occupancy recorded here serves all ρ levels.
+func (e *engine) buildCands(u, v, earliest, deadline int) {
+	e.cands = e.cands[:0]
+	e.candOcc = e.candOcc[:0]
+	e.laxDeadOK = false
+	for s := e.sched.NextSharedFreeSlot(u, v, earliest, deadline); s >= 0; s = e.sched.NextSharedFreeSlot(u, v, s+1, deadline) {
+		e.mets.slotsExamined++
+		free := e.sched.FirstFreeOffset(s)
+		lo := len(e.candOcc)
+		if free < 0 {
+			e.candOcc = e.sched.OccupiedOffsets(s, e.candOcc)
+		}
+		e.cands = append(e.cands, slotCand{slot: s, freeOff: free, occLo: lo, occHi: len(e.candOcc)})
+		if free >= 0 {
+			break
+		}
+	}
+	if n := len(e.candOcc); n <= cap(e.candDist) {
+		e.candDist = e.candDist[:n]
+		e.candLoad = e.candLoad[:n]
+	} else {
+		e.candDist = make([]int32, n)
+		e.candLoad = make([]int32, n)
+	}
+}
+
+// rcFind answers one ρ level of the descent from the candidate cache,
+// choosing exactly what findSlot would: the earliest candidate offering a
+// free cell, or before that a least-loaded compatible occupied cell (ties on
+// load to the lowest offset). It returns the candidate's index so placeRC
+// can memoize per-slot laxity.
+//
+// A full slot's first finite-ρ visit computes each cell's minimum
+// reuse-constraint distance and load into candDist/candLoad — fixed for the
+// attempt's duration — so every later level resolves the slot with integer
+// compares: skip when maxDist < ρ (no cell can be compatible, since
+// compatibility at ρ is exactly minDist ≥ ρ), else pick the least-loaded
+// cell with minDist ≥ ρ.
+func (e *engine) rcFind(u, v, rho int) (ci, offset int, ok bool) {
+	for i := range e.cands {
+		c := &e.cands[i]
+		if c.freeOff >= 0 {
+			return i, c.freeOff, true // least-loaded: an empty cell always wins
+		}
+		if rho == rhoInf {
+			continue // every offset occupied and reuse forbidden
+		}
+		if !c.distOK {
+			maxDist := int32(-1)
+			for k := c.occLo; k < c.occHi; k++ {
+				cell := e.sched.Cell(c.slot, e.candOcc[k])
+				d := e.cellMinDist(u, v, cell)
+				e.candDist[k] = d
+				e.candLoad[k] = int32(len(cell))
+				if d > maxDist {
+					maxDist = d
+				}
+			}
+			c.maxDist, c.distOK = maxDist, true
+			e.mets.memoMisses += int64(c.occHi - c.occLo)
+		} else {
+			e.mets.memoHits += int64(c.occHi - c.occLo)
+		}
+		if int(c.maxDist) < rho {
+			continue
+		}
+		best, bestLoad := -1, int32(0)
+		for k := c.occLo; k < c.occHi; k++ {
+			if int(e.candDist[k]) < rho {
+				continue
+			}
+			if best < 0 || e.candLoad[k] < bestLoad {
+				best, bestLoad = e.candOcc[k], e.candLoad[k]
+			}
+		}
+		return i, best, true // maxDist ≥ ρ guarantees a compatible cell
+	}
+	return -1, 0, false
+}
+
+// cellMinDist is the memoized ingredient of the channel constraint: the
+// minimum over the cell's occupants of min(d(u, y), d(x, v)) on G_R. The
+// cell is compatible with (u→v) at hop distance ρ iff this is ≥ ρ.
+func (e *engine) cellMinDist(u, v int, cell []schedule.Tx) int32 {
+	minDist := int32(1) << 30
+	for _, other := range cell {
+		if d := int32(e.cfg.HopGR.Dist(u, other.Link.To)); d < minDist {
+			minDist = d
+		}
+		if d := int32(e.cfg.HopGR.Dist(other.Link.From, v)); d < minDist {
+			minDist = d
+		}
+	}
+	return minDist
+}
+
+// placeRCRef is the reference formulation of Algorithm 1's inner loop, used
+// under scanPaths: each ρ level re-runs a full findSlot/laxity pass through
+// the pre-index reference implementations, with no cross-level caching.
+func (e *engine) placeRCRef(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+	rho := rhoInf
+	fbSlot, fbOffset, fbOK := 0, 0, false
+	for {
+		slot, offset, ok := e.findSlot(tx, earliest, deadline, rho)
+		if ok {
+			if e.laxity(f, tx, slot, deadline, remaining) >= 0 {
+				e.mets.laxityPass++
+				return slot, offset, true
+			}
+			e.mets.laxityFail++
+			if !fbOK || slot < fbSlot {
+				// Strictly earlier only: on a slot tie the earlier-tried
+				// (higher-ρ) placement stands.
+				fbSlot, fbOffset, fbOK = slot, offset, true
+			}
+		}
+		if rho == rhoInf {
+			if e.lambdaR < e.cfg.RhoT {
+				break // reuse impossible on this G_R; keep the ρ=∞ result
+			}
+			if e.cfg.FixedRho {
+				rho = e.cfg.RhoT // ablation: no hop-distance maximization
+			} else {
+				rho = e.lambdaR
+			}
+		} else {
+			rho--
+			if rho < e.cfg.RhoT {
+				break
+			}
+		}
+		e.mets.rhoSteps++
+	}
+	if fbOK {
+		e.mets.laxityFallbacks++
+	}
+	return fbSlot, fbOffset, fbOK
 }
 
 // laxity evaluates Eq. 1 for scheduling tx at slot s: the number of slots
 // left before the deadline, minus the slots already known to conflict with
 // each remaining transmission, minus the count of remaining transmissions.
+// The conflict sum is served by the per-pair prefix-popcount handles bound
+// in setFlow — O(1) per remaining transmission instead of a bitset scan.
 func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int) int {
+	if e.cfg.scanPaths {
+		return e.laxityScan(f, tx, s, deadline, remaining)
+	}
 	lax := deadline - s - remaining
 	if lax < 0 {
 		return lax // cheap exit: conflict sum can only decrease it
 	}
+	// Remaining transmissions of the same hop share their conflict pair, so
+	// each pair is queried once and weighted by its multiplicity: the current
+	// hop's leftover attempts, then a full attempt count per later hop.
 	attempts := e.cfg.attempts()
-	seq := tx.Hop*attempts + tx.Attempt // index of tx within the instance
+	curCnt := attempts - tx.Attempt - 1
+	if !e.laxDeadOK {
+		sum := 0
+		if curCnt > 0 {
+			sum = curCnt * e.routePairs[tx.Hop].CountThrough(deadline)
+		}
+		for h := tx.Hop + 1; h < len(f.Route); h++ {
+			sum += attempts * e.routePairs[h].CountThrough(deadline)
+		}
+		e.laxDeadSum, e.laxDeadOK = sum, true
+	}
+	// UnionCount(s+1, deadline) per pair, split so the deadline term above is
+	// paid once per attempt rather than once per candidate slot.
+	conflictSum := e.laxDeadSum
+	if curCnt > 0 {
+		conflictSum -= curCnt * e.routePairs[tx.Hop].CountThrough(s)
+	}
+	for h := tx.Hop + 1; h < len(f.Route); h++ {
+		conflictSum -= attempts * e.routePairs[h].CountThrough(s)
+	}
+	return lax - conflictSum
+}
+
+// laxityScan is the pre-index reference implementation of laxity, summing
+// BusyUnionCount word scans per remaining transmission.
+func (e *engine) laxityScan(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int) int {
+	lax := deadline - s - remaining
+	if lax < 0 {
+		return lax
+	}
+	attempts := e.cfg.attempts()
+	seq := tx.Hop*attempts + tx.Attempt
 	conflictSum := 0
 	for next := seq + 1; next < len(f.Route)*attempts; next++ {
 		link := f.Route[next/attempts]
@@ -349,7 +633,59 @@ func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int
 // (rhoInf = no reuse allowed). Offset tie-breaking encodes the policies:
 // least-loaded for NR/RC (reduce channel contention), most-loaded for RA
 // (aggressive packing).
+//
+// The index path iterates candidate slots via NextSharedFreeSlot (skipping
+// busy runs a word at a time) and resolves the offset choice from the
+// occupancy bitset, exploiting two facts the reference scan rediscovers every
+// call: under least-loaded tie-breaking an empty cell (load 0, earliest
+// offset) beats every occupied one, and under most-loaded tie-breaking only
+// occupied cells can win, with the first free offset as fallback. The two
+// paths choose identical placements (see TestScanVsIndexIdentical).
 func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
+	if e.cfg.scanPaths {
+		return e.findSlotScan(tx, earliest, deadline, rho)
+	}
+	u, v := tx.Link.From, tx.Link.To
+	preferLoaded := e.cfg.Algorithm == RA
+	for s := e.sched.NextSharedFreeSlot(u, v, earliest, deadline); s >= 0; s = e.sched.NextSharedFreeSlot(u, v, s+1, deadline) {
+		e.mets.slotsExamined++
+		free := e.sched.FirstFreeOffset(s)
+		if rho == rhoInf {
+			if free >= 0 {
+				return s, free, true
+			}
+			continue // every offset occupied and reuse forbidden
+		}
+		if !preferLoaded && free >= 0 {
+			return s, free, true // least-loaded: an empty cell always wins
+		}
+		e.occBuf = e.sched.OccupiedOffsets(s, e.occBuf[:0])
+		best, bestLoad := -1, 0
+		for _, c := range e.occBuf {
+			cell := e.sched.Cell(s, c)
+			if !e.reuseCompatible(u, v, cell, rho) {
+				continue
+			}
+			load := len(cell)
+			if best < 0 ||
+				(preferLoaded && load > bestLoad) ||
+				(!preferLoaded && load < bestLoad) {
+				best, bestLoad = c, load
+			}
+		}
+		if best >= 0 {
+			return s, best, true
+		}
+		if preferLoaded && free >= 0 {
+			return s, free, true // most-loaded: free offsets only as fallback
+		}
+	}
+	return 0, 0, false
+}
+
+// findSlotScan is the pre-index reference implementation of findSlot: walk
+// every slot, check both endpoints' busy bits, scan every offset.
+func (e *engine) findSlotScan(tx schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
 	if earliest < 0 {
 		earliest = 0
 	}
@@ -359,10 +695,10 @@ func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int,
 	u, v := tx.Link.From, tx.Link.To
 	preferLoaded := e.cfg.Algorithm == RA
 	for s := earliest; s <= deadline; s++ {
-		e.mets.slotsExamined++
 		if e.sched.NodeBusy(u, s) || e.sched.NodeBusy(v, s) {
 			continue
 		}
+		e.mets.slotsExamined++
 		best, bestLoad := -1, 0
 		for c := 0; c < e.sched.NumOffsets(); c++ {
 			cell := e.sched.Cell(s, c)

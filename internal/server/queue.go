@@ -396,10 +396,7 @@ func (p *Pool) runWithRetries(j *Job) (string, error) {
 		if p.mets != nil {
 			p.mets.Count("server.jobs.retries", 1)
 		}
-		if d := p.retryBackoff << uint(retry); d > 0 {
-			if d > maxRetryDelay {
-				d = maxRetryDelay
-			}
+		if d := backoffDelay(p.retryBackoff, retry); d > 0 {
 			t := time.NewTimer(d)
 			select {
 			case <-j.ctx.Done():
@@ -409,6 +406,24 @@ func (p *Pool) runWithRetries(j *Job) (string, error) {
 			}
 		}
 	}
+}
+
+// backoffDelay returns base·2^retry clamped to maxRetryDelay. Doubling stops
+// as soon as the delay reaches the cap, so a large retry count can never
+// overflow the duration to ≤ 0 — which a plain `base << retry` does,
+// silently skipping the sleep and hot-looping the retry sequence.
+func backoffDelay(base time.Duration, retry int) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	d := base
+	for i := 0; i < retry && d < maxRetryDelay; i++ {
+		d <<= 1
+	}
+	if d > maxRetryDelay {
+		d = maxRetryDelay
+	}
+	return d
 }
 
 // Close stops intake and waits for the workers to drain the queue — the

@@ -343,3 +343,36 @@ func TestJobStateStrings(t *testing.T) {
 		t.Error("unknown state should still stringify")
 	}
 }
+
+// TestBackoffDelayNeverOverflows pins the retry-backoff schedule: doubling
+// from the base, capped at maxRetryDelay, and — the regression this guards —
+// never overflowing to a non-positive duration at large retry counts, which
+// would skip the sleep entirely and hot-loop the retry sequence.
+func TestBackoffDelayNeverOverflows(t *testing.T) {
+	base := 100 * time.Millisecond
+	if got := backoffDelay(base, 0); got != base {
+		t.Errorf("retry 0: %v, want %v", got, base)
+	}
+	if got := backoffDelay(base, 3); got != 800*time.Millisecond {
+		t.Errorf("retry 3: %v, want 800ms", got)
+	}
+	// 100ms << 9 = 51.2s: past the cap.
+	if got := backoffDelay(base, 9); got != maxRetryDelay {
+		t.Errorf("retry 9: %v, want cap %v", got, maxRetryDelay)
+	}
+	// The shift-based formula went non-positive from here on.
+	for _, retry := range []int{40, 63, 64, 100, 1 << 20} {
+		if got := backoffDelay(base, retry); got != maxRetryDelay {
+			t.Errorf("retry %d: %v, want cap %v", retry, got, maxRetryDelay)
+		}
+		if shifted := base << uint(retry%64); retry >= 40 && retry < 64 && shifted > 0 {
+			t.Errorf("retry %d: expected the old formula to overflow, got %v", retry, shifted)
+		}
+	}
+	if got := backoffDelay(0, 5); got != 0 {
+		t.Errorf("zero base: %v, want 0 (backoff disabled)", got)
+	}
+	if got := backoffDelay(-time.Second, 5); got != 0 {
+		t.Errorf("negative base: %v, want 0", got)
+	}
+}

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench microbench ci fuzz-smoke
+.PHONY: build test bench microbench ci lint fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -19,12 +19,21 @@ bench:
 microbench:
 	$(GO) test -bench=. -benchmem ./...
 
-# ci is the tier-1+ gate: formatting, vet, and the short test set under the
+# lint runs go vet always and staticcheck when it is on PATH. Locally the
+# staticcheck half degrades to a notice so a bare toolchain still passes;
+# the GitHub workflow installs staticcheck, making it blocking there.
+lint:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; fi
+
+# ci is the tier-1+ gate: formatting, lint, and the short test set under the
 # race detector. Run it before sending changes.
-ci:
+ci: lint
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
-	$(GO) vet ./...
 	$(GO) test -race -short ./...
 
 # fuzz-smoke gives every fuzz target a short budget ($(FUZZTIME) each) —

@@ -231,6 +231,45 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 		})
 	}
 
+	// The delta scheduler at the same operating point: flow 100 churns in and
+	// out of a pinned 99-flow schedule. The add/remove pair returns the grid
+	// to its base state, so every iteration measures the same churn op; the
+	// checksum covers the delta changes and the restored schedule.
+	base := flows[:99]
+	churn := flows[99]
+	baseRes, err := net.Schedule(base, wsan.RC, wsan.ScheduleConfig{})
+	if err != nil {
+		return nil, nil, err
+	}
+	if !baseRes.Schedulable {
+		return nil, nil, fmt.Errorf("bench: 99-flow incremental base not schedulable")
+	}
+	sched = append(sched, benchCase{
+		name:        "scheduler/incremental",
+		iters:       200,
+		warmupIters: 2,
+		run: func() ([]byte, error) {
+			add, err := net.AddFlowDelta(baseRes, base, churn, wsan.RC, wsan.ScheduleConfig{Metrics: mets})
+			if err != nil {
+				return nil, err
+			}
+			if !add.Schedulable {
+				return nil, fmt.Errorf("bench: incremental add of flow %d infeasible", churn.ID)
+			}
+			rem, err := net.RemoveFlowDelta(baseRes, churn.ID, mets)
+			if err != nil {
+				return nil, err
+			}
+			var buf []byte
+			buf = fmt.Appendf(buf, "fallback=%v;placed=%d;removed=%d;txs=%d;",
+				add.Fallback, add.PlacementOps, rem.RemovalOps, baseRes.Schedule.Len())
+			for _, c := range add.Changes {
+				buf = fmt.Appendf(buf, "%v/%d@%d.%d;", c.Kind, c.Tx.FlowID, c.Tx.Slot, c.Tx.Offset)
+			}
+			return buf, nil
+		},
+	})
+
 	// The simulator on a 50-flow WUSTL schedule, one hyperperiod per op with
 	// a fixed simulation seed.
 	wtb, err := wsan.GenerateWUSTL(1)

@@ -92,8 +92,14 @@ type Config struct {
 	PRRThreshold float64
 	// Alpha is the K-S significance level (paper: 0.05).
 	Alpha float64
-	// MinSamples is the minimum sample count required in each distribution
-	// to run the K-S test; below it the report is Inconclusive.
+	// MinSamples bounds the sample count required in each distribution to
+	// run the statistical test: a report is Inconclusive unless both
+	// distributions hold strictly more than MinSamples samples. The bound
+	// is strict because the asymptotic two-sample K-S p-value is
+	// anti-conservative at the smallest sizes — at n = m = 3 a maximal
+	// D = 1 yields an asymptotic p ≈ 0.033 (a rejection at α = 0.05) where
+	// the exact test gives p = 0.1 — so verdicts at exactly MinSamples
+	// would be spurious.
 	MinSamples int
 	// Method selects the statistical test (default MethodKS, the paper's).
 	Method Method
@@ -161,7 +167,13 @@ func Classify(linkEpochs map[flow.Link][]netsim.EpochStats, cfg Config) []Report
 			case cfg.Method == MethodThreshold:
 				// Naive policy: any below-threshold link is blamed on reuse.
 				rep.Verdict = ReuseDegraded
-			case len(es.Reuse.Samples) < cfg.MinSamples || len(es.CF.Samples) < cfg.MinSamples:
+			case len(es.Reuse.Samples) <= cfg.MinSamples || len(es.CF.Samples) <= cfg.MinSamples:
+				rep.Verdict = Inconclusive
+			case allTies(es.Reuse.Samples, es.CF.Samples):
+				// Zero pooled variance: every sample in both conditions is
+				// identical, so no rank or distribution test has any
+				// information to work with — D = 0 would read as "accept"
+				// and misattribute the shortfall to external causes.
 				rep.Verdict = Inconclusive
 			default:
 				var reject bool
@@ -197,6 +209,31 @@ func Classify(linkEpochs map[flow.Link][]netsim.EpochStats, cfg Config) []Report
 		}
 	}
 	return reports
+}
+
+// allTies reports whether every sample across both distributions carries
+// the same value (zero pooled variance).
+func allTies(a, b []float64) bool {
+	var ref float64
+	switch {
+	case len(a) > 0:
+		ref = a[0]
+	case len(b) > 0:
+		ref = b[0]
+	default:
+		return true
+	}
+	for _, v := range a {
+		if v != ref {
+			return false
+		}
+	}
+	for _, v := range b {
+		if v != ref {
+			return false
+		}
+	}
+	return true
 }
 
 // CountByEpoch tallies reports with the given verdict per epoch (Fig. 11).

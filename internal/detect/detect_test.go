@@ -256,9 +256,57 @@ func TestClassifyThresholdMethod(t *testing.T) {
 	if len(reports) != 1 || reports[0].Verdict != ReuseDegraded {
 		t.Errorf("threshold method should blame reuse: %+v", reports)
 	}
-	// The statistical policies do not make that mistake.
-	reports = Classify(le, DefaultConfig())
+	// The statistical policies do not make that mistake: equally bad (but
+	// variance-bearing) distributions in both conditions are attributed to
+	// external causes.
+	noisy := []float64{0.5, 0.45, 0.55, 0.5, 0.4, 0.6, 0.5, 0.45, 0.55,
+		0.5, 0.4, 0.6, 0.5, 0.45, 0.55, 0.5, 0.4, 0.6}
+	le2 := map[flow.Link][]netsim.EpochStats{
+		{From: 0, To: 1}: {epochStats(noisy, noisy, 100, 50, 100, 50)},
+	}
+	reports = Classify(le2, DefaultConfig())
 	if len(reports) != 1 || reports[0].Verdict != OtherCause {
 		t.Errorf("K-S should attribute to other causes: %+v", reports)
+	}
+}
+
+// TestClassifySampleBoundary pins the small-sample edge cases: at exactly
+// MinSamples the asymptotic p-value is anti-conservative (n = m = 3, D = 1
+// gives p ≈ 0.033 < α where the exact test says 0.1), so the verdict must be
+// Inconclusive; one sample more, a maximal separation is a legitimate
+// rejection.
+func TestClassifySampleBoundary(t *testing.T) {
+	low := []float64{0.1, 0.2, 0.15, 0.12}
+	high := []float64{0.95, 1, 0.97, 0.99}
+	cases := []struct {
+		name   string
+		method Method
+		reuse  []float64
+		cf     []float64
+		want   Verdict
+	}{
+		{"KS exactly MinSamples", MethodKS, low[:3], high[:3], Inconclusive},
+		{"KS one above MinSamples", MethodKS, low, high, ReuseDegraded},
+		{"KS below MinSamples", MethodKS, low[:2], high, Inconclusive},
+		{"MWU exactly MinSamples", MethodMWU, low[:3], high[:3], Inconclusive},
+		{"KS all ties", MethodKS, many(0.5, 10), many(0.5, 12), Inconclusive},
+		{"MWU all ties", MethodMWU, many(0.5, 10), many(0.5, 12), Inconclusive},
+		{"KS one-sided ties", MethodKS, many(0.5, 10), high, ReuseDegraded},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			le := map[flow.Link][]netsim.EpochStats{
+				{From: 0, To: 1}: {epochStats(tc.reuse, tc.cf, 100, 40, 100, 90)},
+			}
+			cfg := DefaultConfig()
+			cfg.Method = tc.method
+			reports := Classify(le, cfg)
+			if len(reports) != 1 {
+				t.Fatalf("got %d reports, want 1", len(reports))
+			}
+			if reports[0].Verdict != tc.want {
+				t.Errorf("verdict = %v, want %v (KS=%+v)", reports[0].Verdict, tc.want, reports[0].KS)
+			}
+		})
 	}
 }

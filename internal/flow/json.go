@@ -27,8 +27,10 @@ func EncodeWorkload(w io.Writer, flows []*Flow) error {
 }
 
 // DecodeWorkload reads a flow set written by EncodeWorkload, validating
-// every flow and the priority numbering (IDs must be 0..n-1 in order, the
-// scheduler's contract).
+// every flow and the priority numbering: IDs must be strictly increasing,
+// so position order is priority order (the scheduler's contract). Gaps are
+// allowed — flow churn (incremental add/remove) retires IDs without
+// renumbering the survivors.
 func DecodeWorkload(r io.Reader) ([]*Flow, error) {
 	var in workloadJSON
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
@@ -48,9 +50,9 @@ func DecodeWorkload(r io.Reader) ([]*Flow, error) {
 		if err := f.Validate(); err != nil {
 			return nil, fmt.Errorf("decode workload: %w", err)
 		}
-		if f.ID != i {
-			return nil, fmt.Errorf("decode workload: flow at position %d has ID %d (priority order broken)",
-				i, f.ID)
+		if i > 0 && f.ID <= in.Flows[i-1].ID {
+			return nil, fmt.Errorf("decode workload: flow at position %d has ID %d after ID %d (priority order broken)",
+				i, f.ID, in.Flows[i-1].ID)
 		}
 		for h, l := range f.Route {
 			if l.From == l.To {

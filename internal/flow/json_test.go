@@ -50,7 +50,11 @@ func TestDecodeWorkloadRejects(t *testing.T) {
 		{"invalid flow", `{"slotsPerSecond":100,
 			"flows":[{"id":0,"src":0,"dst":1,"period":0,"deadline":0}]}`},
 		{"priority order", `{"slotsPerSecond":100,
-			"flows":[{"id":1,"src":0,"dst":1,"period":100,"deadline":100}]}`},
+			"flows":[{"id":1,"src":0,"dst":1,"period":100,"deadline":100},
+			         {"id":0,"src":1,"dst":0,"period":100,"deadline":100}]}`},
+		{"duplicate id", `{"slotsPerSecond":100,
+			"flows":[{"id":1,"src":0,"dst":1,"period":100,"deadline":100},
+			         {"id":1,"src":1,"dst":0,"period":100,"deadline":100}]}`},
 		{"null flow", `{"slotsPerSecond":100,"flows":[null]}`},
 		{"self-loop hop", `{"slotsPerSecond":100,
 			"flows":[{"id":0,"src":0,"dst":1,"period":100,"deadline":100,
@@ -59,6 +63,29 @@ func TestDecodeWorkloadRejects(t *testing.T) {
 	for _, tc := range cases {
 		if _, err := DecodeWorkload(strings.NewReader(tc.in)); err == nil {
 			t.Errorf("%s: should fail", tc.name)
+		}
+	}
+}
+
+// TestDecodeWorkloadAllowsIDGaps pins the churn contract: incremental
+// add/remove retires flow IDs without renumbering survivors, so decoded
+// workloads only need strictly increasing IDs, not dense 0..n-1.
+func TestDecodeWorkloadAllowsIDGaps(t *testing.T) {
+	in := `{"slotsPerSecond":100,
+		"flows":[{"id":0,"src":0,"dst":1,"period":100,"deadline":100},
+		         {"id":3,"src":1,"dst":2,"period":100,"deadline":100},
+		         {"id":99,"src":2,"dst":0,"period":100,"deadline":100}]}`
+	fs, err := DecodeWorkload(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{0, 3, 99}
+	if len(fs) != len(want) {
+		t.Fatalf("decoded %d flows, want %d", len(fs), len(want))
+	}
+	for i, f := range fs {
+		if f.ID != want[i] {
+			t.Errorf("flow at %d has ID %d, want %d", i, f.ID, want[i])
 		}
 	}
 }

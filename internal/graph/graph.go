@@ -31,8 +31,17 @@ type Graph struct {
 	// mu guards forests, the lazily built per-source BFS predecessor forests
 	// serving ShortestPathHop: route construction asks for many destinations
 	// from the same source (and the same graph serves every Monte-Carlo
-	// trial), so one BFS per source replaces one per query. AddEdge
-	// invalidates the cache.
+	// trial), so one BFS per source replaces one per query.
+	//
+	// Cache-invalidation audit: AddEdge and RemoveEdge are the ONLY methods
+	// that mutate adjacency, and both clear the cache under mu. Every other
+	// mutation the manage loop performs — link-quality/PRR changes, channel
+	// blacklisting, and node-crash avoidance — is modeled by constructing a
+	// brand-new Graph from the testbed's link statistics (see
+	// topology.Testbed.CommGraph and manage's commGraphAvoiding), never by
+	// editing an existing one, so no stale forest can outlive the topology
+	// it was derived from. Weighted paths (ShortestPathWeighted) take the
+	// weight function per call and bypass the cache entirely.
 	mu      sync.Mutex
 	forests map[int32][]int32
 }
@@ -72,6 +81,35 @@ func (g *Graph) AddEdge(u, v int) error {
 	g.forests = nil // cached paths may no longer be minimum-hop
 	g.mu.Unlock()
 	return nil
+}
+
+// RemoveEdge deletes the undirected edge (u, v) if present. Removing an
+// absent edge is a no-op. It returns an error if either endpoint is out of
+// range.
+func (g *Graph) RemoveEdge(u, v int) error {
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		return fmt.Errorf("edge (%d,%d) out of range [0,%d)", u, v, g.n)
+	}
+	if u == v || !g.HasEdge(u, v) {
+		return nil
+	}
+	g.adj[u] = deleteNeighbor(g.adj[u], int32(v))
+	g.adj[v] = deleteNeighbor(g.adj[v], int32(u))
+	g.mu.Lock()
+	g.forests = nil // cached paths may route through the deleted edge
+	g.mu.Unlock()
+	return nil
+}
+
+// deleteNeighbor removes the first occurrence of v, preserving adjacency
+// order (path determinism depends on it).
+func deleteNeighbor(nbrs []int32, v int32) []int32 {
+	for i, w := range nbrs {
+		if w == v {
+			return append(nbrs[:i], nbrs[i+1:]...)
+		}
+	}
+	return nbrs
 }
 
 // HasEdge reports whether the undirected edge (u, v) exists.

@@ -461,3 +461,70 @@ func TestArticulationPointsMatchBruteForce(t *testing.T) {
 		}
 	}
 }
+
+// TestForestInvalidationOnMutation is the regression test for the
+// ShortestPathHop predecessor-forest cache: a structural edit after a path
+// query must invalidate the cached forest, or later queries would return
+// routes through a graph that no longer exists.
+func TestForestInvalidationOnMutation(t *testing.T) {
+	g := New(5)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {3, 4}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Prime the cache: the only 0→4 path walks the whole line.
+	if got := g.ShortestPathHop(0, 4); len(got) != 5 {
+		t.Fatalf("path before mutation = %v, want 5 nodes", got)
+	}
+	// A new shortcut must be visible immediately.
+	if err := g.AddEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ShortestPathHop(0, 4); len(got) != 2 {
+		t.Fatalf("path after AddEdge = %v, want the 0-4 shortcut", got)
+	}
+	// And deleting it must fall back to the long way, not replay the
+	// cached shortcut.
+	if err := g.RemoveEdge(0, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ShortestPathHop(0, 4); len(got) != 5 {
+		t.Fatalf("path after RemoveEdge = %v, want 5 nodes", got)
+	}
+}
+
+func TestRemoveEdge(t *testing.T) {
+	g := New(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}, {1, 3}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.RemoveEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if g.HasEdge(1, 3) || g.HasEdge(3, 1) {
+		t.Fatal("edge (1,3) survived removal")
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	// Removing an absent edge or a self-loop is a no-op.
+	if err := g.RemoveEdge(1, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.RemoveEdge(2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges after no-ops = %d, want 3", g.NumEdges())
+	}
+	if err := g.RemoveEdge(0, 9); err == nil {
+		t.Fatal("out-of-range RemoveEdge accepted")
+	}
+	// Adjacency order of the survivors is preserved (path determinism).
+	if nbrs := g.Neighbors(1); len(nbrs) != 2 || nbrs[0] != 0 || nbrs[1] != 2 {
+		t.Fatalf("Neighbors(1) = %v, want [0 2]", nbrs)
+	}
+}

@@ -279,7 +279,7 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 		it.SuspectNodes = suspectCrashedNodes(res)
 		if len(it.SuspectNodes) > 0 {
 			n, err := rerouteAround(cfg.Testbed, channels, cfg.Detection.PRRThreshold,
-				cfg.Flows, cfg.Schedule, it.SuspectNodes)
+				cfg.Flows, cfg.Schedule, it.SuspectNodes, cfg.Metrics)
 			if err != nil {
 				return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
 			}

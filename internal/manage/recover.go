@@ -16,7 +16,9 @@ import (
 	"wsan/internal/flow"
 	"wsan/internal/graph"
 	"wsan/internal/netsim"
+	"wsan/internal/obs"
 	"wsan/internal/schedule"
+	"wsan/internal/scheduler"
 	"wsan/internal/topology"
 )
 
@@ -117,13 +119,17 @@ func commGraphAvoiding(tb *topology.Testbed, channels []int, prrT float64, down 
 }
 
 // rerouteAround moves every flow whose route crosses a suspect node onto a
-// shortest path that avoids all suspects, re-placing its transmissions in
-// exclusive cells. Flows whose own endpoints are suspect cannot be saved and
-// are left untouched (they surface as degraded flows). A flow whose new
-// route cannot be placed keeps its old route and schedule. Returns the
-// number of flows successfully rerouted.
+// shortest path that avoids all suspects, re-placing only that flow's
+// transmissions through the delta scheduler (scheduler.RerouteFlowDelta):
+// unaffected flows stay pinned, and on a collision the scheduler descends
+// its eviction → full-reschedule repair ladder before giving up. Placements
+// use exclusive cells (NR semantics), which are valid under any reuse
+// policy the original schedule was built with. Flows whose own endpoints
+// are suspect cannot be saved and are left untouched (they surface as
+// degraded flows). A flow whose new route cannot be placed keeps its old
+// route and schedule. Returns the number of flows successfully rerouted.
 func rerouteAround(tb *topology.Testbed, channels []int, prrT float64,
-	flows []*flow.Flow, sched *schedule.Schedule, suspects []int) (int, error) {
+	flows []*flow.Flow, sched *schedule.Schedule, suspects []int, mets obs.Sink) (int, error) {
 	down := make(map[int]bool, len(suspects))
 	for _, n := range suspects {
 		down[n] = true
@@ -152,108 +158,29 @@ func rerouteAround(tb *topology.Testbed, channels []int, prrT float64,
 		for i := range route {
 			route[i] = flow.Link{From: path[i], To: path[i+1]}
 		}
-		ok, err := replaceFlowSchedule(sched, f, route)
-		if err != nil {
-			return rerouted, err
+		// Preserve the flow's retry depth: infer it from its scheduled
+		// transmissions rather than assuming the global default.
+		attempts := 1
+		for _, tx := range sched.Txs() {
+			if tx.FlowID == f.ID && tx.Attempt+1 > attempts {
+				attempts = tx.Attempt + 1
+			}
 		}
-		if ok {
+		res, err := scheduler.RerouteFlowDelta(sched, flows, f.ID, route, scheduler.Config{
+			Algorithm:   scheduler.NR,
+			NumChannels: sched.NumOffsets(),
+			Retransmit:  attempts > 1,
+			Metrics:     mets,
+		})
+		if err != nil {
+			return rerouted, fmt.Errorf("manage: reroute flow %d: %w", f.ID, err)
+		}
+		if res.Schedulable {
 			f.Route = route
 			rerouted++
 		}
 	}
 	return rerouted, nil
-}
-
-// replaceFlowSchedule swaps a flow's transmissions for a fresh placement of
-// the given route in exclusive cells, preserving the flow's release/deadline
-// windows, route order, and retry depth. On any placement failure the old
-// schedule is restored and ok=false is returned.
-func replaceFlowSchedule(sched *schedule.Schedule, f *flow.Flow, route []flow.Link) (ok bool, err error) {
-	var old []schedule.Tx
-	attempts := 1
-	for _, tx := range sched.Txs() {
-		if tx.FlowID == f.ID {
-			old = append(old, tx)
-			if tx.Attempt+1 > attempts {
-				attempts = tx.Attempt + 1
-			}
-		}
-	}
-	for _, tx := range old {
-		if err := sched.Remove(tx); err != nil {
-			return false, fmt.Errorf("manage: reroute flow %d: %w", f.ID, err)
-		}
-	}
-	restore := func() error {
-		for _, tx := range old {
-			if err := sched.Place(tx); err != nil {
-				return fmt.Errorf("manage: reroute flow %d: restore: %w", f.ID, err)
-			}
-		}
-		return nil
-	}
-	hyper := sched.NumSlots()
-	instances := hyper / f.Period
-	if instances == 0 {
-		instances = 1
-	}
-	var placed []schedule.Tx
-	rollback := func() error {
-		for _, tx := range placed {
-			if err := sched.Remove(tx); err != nil {
-				return fmt.Errorf("manage: reroute flow %d: rollback: %w", f.ID, err)
-			}
-		}
-		return restore()
-	}
-	for inst := 0; inst < instances; inst++ {
-		release := f.Release(inst)
-		hi := release + f.Deadline - 1
-		if hi >= hyper {
-			hi = hyper - 1
-		}
-		prev := release - 1
-		for h, l := range route {
-			for a := 0; a < attempts; a++ {
-				slot, off, found := findExclusiveCell(sched, l, prev+1, hi)
-				if !found {
-					return false, rollback()
-				}
-				tx := schedule.Tx{
-					FlowID: f.ID, Hop: h, Attempt: a, Instance: inst,
-					Link: l, Slot: slot, Offset: off,
-				}
-				if err := sched.Place(tx); err != nil {
-					return false, fmt.Errorf("manage: reroute flow %d: %w", f.ID, err)
-				}
-				placed = append(placed, tx)
-				prev = slot
-			}
-		}
-	}
-	return true, nil
-}
-
-// findExclusiveCell scans [lo, hi] for the earliest slot where both link
-// endpoints are idle and some channel offset is completely unused.
-func findExclusiveCell(sched *schedule.Schedule, l flow.Link, lo, hi int) (int, int, bool) {
-	if lo < 0 {
-		lo = 0
-	}
-	if hi >= sched.NumSlots() {
-		hi = sched.NumSlots() - 1
-	}
-	for s := lo; s <= hi; s++ {
-		if sched.NodeBusy(l.From, s) || sched.NodeBusy(l.To, s) {
-			continue
-		}
-		for c := 0; c < sched.NumOffsets(); c++ {
-			if sched.OffsetLoad(s, c) == 0 {
-				return s, c, true
-			}
-		}
-	}
-	return 0, 0, false
 }
 
 // blacklistChannels finds in-use physical channels whose failure rate this

@@ -65,6 +65,13 @@ func Diff(old, new *Schedule) ([]Change, error) {
 			changes = append(changes, Change{Kind: Added, Tx: tx})
 		}
 	}
+	SortChanges(changes)
+	return changes, nil
+}
+
+// SortChanges puts a delta into the canonical dissemination order Diff
+// produces: removals first, then additions, each by slot/flow/hop/attempt.
+func SortChanges(changes []Change) {
 	sort.Slice(changes, func(i, j int) bool {
 		a, b := changes[i], changes[j]
 		if a.Kind != b.Kind {
@@ -81,7 +88,23 @@ func Diff(old, new *Schedule) ([]Change, error) {
 		}
 		return a.Tx.Attempt < b.Tx.Attempt
 	})
-	return changes, nil
+}
+
+// Invert returns the delta that undoes changes: every addition becomes a
+// removal and vice versa, re-sorted into canonical order. Applying a delta
+// and then its inverse restores the original schedule, which is how a caller
+// rolls back an incremental rescheduling operation it decided not to keep.
+func Invert(changes []Change) []Change {
+	out := make([]Change, len(changes))
+	for i, c := range changes {
+		k := Added
+		if c.Kind == Added {
+			k = Removed
+		}
+		out[i] = Change{Kind: k, Tx: c.Tx}
+	}
+	SortChanges(out)
+	return out
 }
 
 // AffectedDevices returns the sorted node IDs whose link schedules a delta

@@ -1,0 +1,549 @@
+package scheduler
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/routing"
+	"wsan/internal/schedule"
+	"wsan/internal/topology"
+)
+
+// ringGraph returns a cycle of n nodes — every node pair has two disjoint
+// paths, so reroutes have somewhere to go.
+func ringGraph(n int) (*graph.Graph, *graph.HopMatrix) {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		if err := g.AddEdge(i, (i+1)%n); err != nil {
+			panic(err)
+		}
+	}
+	return g, g.AllPairsHop()
+}
+
+// deltaBase schedules the given flows from scratch and fails the test on an
+// infeasible base workload.
+func deltaBase(t *testing.T, flows []*flow.Flow, cfg Config) *schedule.Schedule {
+	t.Helper()
+	res, err := Run(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable {
+		t.Fatalf("base workload unschedulable (flow %d)", res.FailedFlow)
+	}
+	return res.Schedule
+}
+
+// checkDelta verifies one successful delta operation end to end: the live
+// schedule obeys every conflict and reuse-distance constraint, every flow's
+// timing invariants hold, and Changes is exactly the diff between the
+// before and after states.
+func checkDelta(t *testing.T, before, after *schedule.Schedule, res *DeltaResult,
+	flows []*flow.Flow, cfg Config) {
+	t.Helper()
+	if !res.Schedulable {
+		t.Fatalf("delta op infeasible (flow %d, fallback %v)", res.FailedFlow, res.Fallback)
+	}
+	rhoT := cfg.RhoT
+	if cfg.Algorithm == NR {
+		rhoT = 0
+	}
+	if err := after.Validate(cfg.HopGR, rhoT); err != nil {
+		t.Fatalf("schedule invalid after delta op: %v", err)
+	}
+	checkTiming(t, flows, &Result{Schedule: after, Schedulable: true}, cfg.attempts())
+	want, err := schedule.Diff(before, after)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) == 0 {
+		want = nil
+	}
+	if !reflect.DeepEqual(res.Changes, want) {
+		t.Fatalf("Changes disagree with Diff:\n got %v\nwant %v", res.Changes, want)
+	}
+}
+
+// txSet is a schedule's transmissions as a comparable set.
+func txSet(s *schedule.Schedule) map[schedule.Tx]bool {
+	out := make(map[schedule.Tx]bool, s.Len())
+	for _, tx := range s.Txs() {
+		out[tx] = true
+	}
+	return out
+}
+
+func TestAddFlowDeltaDirect(t *testing.T) {
+	_, hop := threeIslands()
+	f0 := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 50, Deadline: 50}
+	routeThrough(f0, 0, 1, 2)
+	f1 := &flow.Flow{ID: 1, Src: 3, Dst: 5, Period: 100, Deadline: 100}
+	routeThrough(f1, 3, 4, 5)
+	flows := []*flow.Flow{f0, f1}
+	cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop, Retransmit: true}
+	sched := deltaBase(t, flows, cfg)
+	before := sched.Clone()
+
+	add := &flow.Flow{ID: 2, Src: 6, Dst: 8, Period: 100, Deadline: 100}
+	routeThrough(add, 6, 7, 8)
+	res, err := AddFlowDelta(sched, flows, add, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackNone {
+		t.Fatalf("fallback = %v, want none", res.Fallback)
+	}
+	mutated := append(append([]*flow.Flow(nil), flows...), add)
+	checkDelta(t, before, sched, res, mutated, cfg)
+	for _, c := range res.Changes {
+		if c.Kind != schedule.Added || c.Tx.FlowID != add.ID {
+			t.Fatalf("direct add produced unexpected change %+v", c)
+		}
+	}
+	// Disruption: a direct add places only the new flow's transmissions.
+	want := (sched.NumSlots() / add.Period) * len(add.Route) * cfg.attempts()
+	if res.PlacementOps != want || res.RemovalOps != 0 {
+		t.Fatalf("ops = %d placements / %d removals, want %d / 0",
+			res.PlacementOps, res.RemovalOps, want)
+	}
+}
+
+func TestRemoveFlowDeltaAndInvert(t *testing.T) {
+	_, hop := threeIslands()
+	f0 := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 50, Deadline: 50}
+	routeThrough(f0, 0, 1, 2)
+	f1 := &flow.Flow{ID: 1, Src: 3, Dst: 5, Period: 100, Deadline: 100}
+	routeThrough(f1, 3, 4, 5)
+	cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop, Retransmit: true}
+	sched := deltaBase(t, []*flow.Flow{f0, f1}, cfg)
+	before := sched.Clone()
+
+	res, err := RemoveFlowDelta(sched, f0.ID, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedulable || res.Fallback != FallbackNone {
+		t.Fatalf("remove failed: %+v", res)
+	}
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == f0.ID {
+			t.Fatalf("flow %d transmission %+v survived removal", f0.ID, tx)
+		}
+	}
+	for _, c := range res.Changes {
+		if c.Kind != schedule.Removed || c.Tx.FlowID != f0.ID {
+			t.Fatalf("remove produced unexpected change %+v", c)
+		}
+	}
+	// Rolling back the returned delta restores the schedule exactly.
+	if err := schedule.Apply(sched, schedule.Invert(res.Changes)); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(txSet(sched), txSet(before)) {
+		t.Fatal("Invert did not restore the original schedule")
+	}
+
+	if _, err := RemoveFlowDelta(sched, 99, nil); err == nil {
+		t.Fatal("removing an unscheduled flow should error")
+	}
+}
+
+func TestRerouteFlowDeltaDirect(t *testing.T) {
+	f0 := &flow.Flow{ID: 0, Src: 0, Dst: 3, Period: 100, Deadline: 100}
+	routeThrough(f0, 0, 1, 2, 3)
+	f1 := &flow.Flow{ID: 1, Src: 4, Dst: 7, Period: 100, Deadline: 100}
+	routeThrough(f1, 4, 5, 6, 7)
+	flows := []*flow.Flow{f0, f1}
+	cfg := Config{Algorithm: NR, NumChannels: 2, Retransmit: true}
+	sched := deltaBase(t, flows, cfg)
+	before := sched.Clone()
+
+	// Send flow 0 the long way round the ring.
+	newRoute := []flow.Link{{From: 0, To: 7}, {From: 7, To: 6}, {From: 6, To: 5}, {From: 5, To: 4}, {From: 4, To: 3}}
+	res, err := RerouteFlowDelta(sched, flows, f0.ID, newRoute, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := *f0
+	moved.Route = newRoute
+	mutated := []*flow.Flow{&moved, f1}
+	checkDelta(t, before, sched, res, mutated, cfg)
+	if res.Fallback != FallbackNone {
+		t.Fatalf("fallback = %v, want none", res.Fallback)
+	}
+	// The old route's transmissions are gone, the new route's are in.
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == f0.ID && tx.Link.To == 1 {
+			t.Fatalf("old-route transmission %+v survived reroute", tx)
+		}
+	}
+}
+
+func TestAddFlowDeltaEviction(t *testing.T) {
+	_, hop := threeIslands()
+	// A lone low-criticality flow hogs island 0's early slots.
+	low := &flow.Flow{ID: 10, Src: 0, Dst: 2, Period: 100, Deadline: 100}
+	routeThrough(low, 0, 1, 2)
+	flows := []*flow.Flow{low}
+	cfg := Config{Algorithm: RC, NumChannels: 1, RhoT: 2, HopGR: hop}
+	sched := deltaBase(t, flows, cfg)
+	before := sched.Clone()
+
+	// A tight high-criticality flow on the same island: its two slots are
+	// exactly where the low flow sits, so direct placement must fail and the
+	// low flow must be evicted and re-placed after it.
+	hi := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 100, Deadline: 2}
+	routeThrough(hi, 0, 1, 2)
+	res, err := AddFlowDelta(sched, flows, hi, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackEvict {
+		t.Fatalf("fallback = %v, want evict", res.Fallback)
+	}
+	if len(res.Evicted) != 1 || res.Evicted[0] != low.ID {
+		t.Fatalf("evicted = %v, want [%d]", res.Evicted, low.ID)
+	}
+	mutated := []*flow.Flow{hi, low}
+	checkDelta(t, before, sched, res, mutated, cfg)
+	// The high-criticality flow owns slots 0 and 1 now.
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == hi.ID && tx.Slot >= hi.Deadline {
+			t.Fatalf("high-criticality tx %+v past its deadline window", tx)
+		}
+	}
+}
+
+func TestAddFlowDeltaFullFallback(t *testing.T) {
+	// Two single-hop flows on the same link; B lands in slot 1 behind A.
+	a := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: 100, Deadline: 100}
+	routeThrough(a, 0, 1)
+	b := &flow.Flow{ID: 1, Src: 0, Dst: 1, Period: 100, Deadline: 100}
+	routeThrough(b, 0, 1)
+	cfg := Config{Algorithm: NR, NumChannels: 1}
+	sched := deltaBase(t, []*flow.Flow{a, b}, cfg)
+
+	// Retiring A leaves B parked in slot 1 with slot 0 free.
+	if _, err := RemoveFlowDelta(sched, a.ID, nil); err != nil {
+		t.Fatal(err)
+	}
+	flows := []*flow.Flow{b}
+	before := sched.Clone()
+
+	// The new flow needs exactly slot 1 — occupied by B, which outranks it,
+	// so eviction is off the table. Only a full reschedule (which repacks B
+	// into slot 0) can admit it.
+	c := &flow.Flow{ID: 2, Src: 0, Dst: 1, Period: 100, Deadline: 1, Phase: 1}
+	routeThrough(c, 0, 1)
+	res, err := AddFlowDelta(sched, flows, c, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackFull {
+		t.Fatalf("fallback = %v, want full", res.Fallback)
+	}
+	mutated := []*flow.Flow{b, c}
+	checkDelta(t, before, sched, res, mutated, cfg)
+}
+
+func TestAddFlowDeltaInfeasibleRollsBack(t *testing.T) {
+	a := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: 100, Deadline: 1}
+	routeThrough(a, 0, 1)
+	cfg := Config{Algorithm: NR, NumChannels: 1}
+	sched := deltaBase(t, []*flow.Flow{a}, cfg)
+	before := sched.Clone()
+
+	// Slot 0 is the only slot both flows can use; the incumbent outranks the
+	// newcomer, so even a full reschedule fails.
+	b := &flow.Flow{ID: 1, Src: 0, Dst: 1, Period: 100, Deadline: 1}
+	routeThrough(b, 0, 1)
+	res, err := AddFlowDelta(sched, []*flow.Flow{a}, b, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedulable {
+		t.Fatal("impossible add reported schedulable")
+	}
+	if res.FailedFlow != b.ID {
+		t.Fatalf("FailedFlow = %d, want %d", res.FailedFlow, b.ID)
+	}
+	if res.Changes != nil {
+		t.Fatalf("failed op returned changes %v", res.Changes)
+	}
+	if !reflect.DeepEqual(txSet(sched), txSet(before)) {
+		t.Fatal("failed op did not leave the schedule untouched")
+	}
+	// Feasibility parity: the from-scratch scheduler agrees.
+	full, err := Run([]*flow.Flow{a, b}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Schedulable {
+		t.Fatal("full reschedule found a schedule the delta path missed")
+	}
+}
+
+func TestDeltaValidation(t *testing.T) {
+	_, hop := threeIslands()
+	f0 := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 50, Deadline: 50}
+	routeThrough(f0, 0, 1, 2)
+	flows := []*flow.Flow{f0}
+	cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop, Retransmit: true}
+	sched := deltaBase(t, flows, cfg)
+
+	bad := &flow.Flow{ID: 0, Src: 6, Dst: 8, Period: 50, Deadline: 50}
+	routeThrough(bad, 6, 7, 8)
+	if _, err := AddFlowDelta(sched, flows, bad, cfg); err == nil {
+		t.Error("duplicate flow ID accepted")
+	}
+	odd := &flow.Flow{ID: 3, Src: 6, Dst: 8, Period: 30, Deadline: 30}
+	routeThrough(odd, 6, 7, 8)
+	if _, err := AddFlowDelta(sched, flows, odd, cfg); err == nil {
+		t.Error("non-harmonic period accepted")
+	}
+	mis := Config{Algorithm: RC, NumChannels: 3, RhoT: 2, HopGR: hop}
+	if _, err := AddFlowDelta(sched, flows, odd, mis); err == nil {
+		t.Error("channel/offset mismatch accepted")
+	}
+	if _, err := RerouteFlowDelta(sched, flows, 42, f0.Route, cfg); err == nil {
+		t.Error("reroute of unknown flow accepted")
+	}
+}
+
+// TestDeltaChurnPlacementBound is the issue's disruption bound: admitting
+// one flow into the 80-node Indriya workload must cost at least 5x fewer
+// placement operations than rescheduling the network from scratch.
+func TestDeltaChurnPlacementBound(t *testing.T) {
+	tb, err := topology.Indriya(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	channels := topology.Channels(5)
+	gc, err := tb.CommGraph(channels, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr, err := tb.ReuseGraph(channels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aps := topology.AccessPoints(gc, 2)
+	rng := rand.New(rand.NewSource(3))
+	flows, err := flow.Generate(rng, gc, flow.GenConfig{
+		NumFlows: 100, MinPeriodExp: 0, MaxPeriodExp: 2, Exclude: aps,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := routing.Assign(flows, gc, routing.Config{Traffic: routing.PeerToPeer, APs: aps}); err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Algorithm: RC, NumChannels: len(channels), RhoT: 2,
+		HopGR: gr.AllPairsHop(), Retransmit: true}
+
+	base := flows[:len(flows)-1]
+	churn := flows[len(flows)-1]
+	sched := deltaBase(t, base, cfg)
+	before := sched.Clone()
+
+	res, err := AddFlowDelta(sched, base, churn, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkDelta(t, before, sched, res, flows, cfg)
+
+	// The full rescheduler's work for the same mutated workload: one
+	// placement per transmission in the network.
+	full, err := Run(flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !full.Schedulable {
+		t.Fatalf("full reschedule of the mutated workload unschedulable (flow %d)", full.FailedFlow)
+	}
+	fullOps := full.Schedule.Len()
+	if res.PlacementOps*5 > fullOps {
+		t.Fatalf("single-flow churn cost %d placements vs %d for a full reschedule (< 5x headroom)",
+			res.PlacementOps, fullOps)
+	}
+	t.Logf("churn placements %d vs full %d (%.1fx fewer)",
+		res.PlacementOps, fullOps, float64(fullOps)/float64(res.PlacementOps))
+}
+
+// TestDeltaPropertyRandomChurn drives random Add/Remove/Reroute sequences
+// against the delta scheduler, checking after every operation that the live
+// schedule is valid, timing holds, Changes equals the real diff, and
+// infeasibility agrees with the from-scratch scheduler.
+func TestDeltaPropertyRandomChurn(t *testing.T) {
+	const (
+		seeds = 6
+		steps = 14
+	)
+	for seed := int64(0); seed < seeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8
+		_, hop := ringGraph(n)
+		cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop,
+			Retransmit: seed%2 == 0}
+
+		newFlow := func(id, period int) *flow.Flow {
+			src := rng.Intn(n)
+			hops := 1 + rng.Intn(3)
+			dir := 1
+			if rng.Intn(2) == 0 {
+				dir = -1
+			}
+			nodes := make([]int, hops+1)
+			for i := range nodes {
+				nodes[i] = ((src+dir*i)%n + n) % n
+			}
+			if period == 0 {
+				periods := []int{50, 100}
+				period = periods[rng.Intn(len(periods))]
+			}
+			f := &flow.Flow{ID: id, Src: nodes[0], Dst: nodes[hops], Period: period}
+			minD := hops * cfg.attempts()
+			f.Deadline = minD + rng.Intn(f.Period-minD+1)
+			routeThrough(f, nodes...)
+			return f
+		}
+		randomRoute := func(f *flow.Flow) []flow.Link {
+			// The other way around the ring.
+			hops := n - len(f.Route)
+			nodes := make([]int, hops+1)
+			for i := range nodes {
+				nodes[i] = ((f.Src-i)%n + n) % n
+			}
+			if nodes[0] != f.Src || nodes[hops] != f.Dst {
+				// Walk direction must match the original route's.
+				for i := range nodes {
+					nodes[i] = (f.Src + i) % n
+				}
+			}
+			if nodes[hops] != f.Dst {
+				return nil
+			}
+			route := make([]flow.Link, hops)
+			for i := range route {
+				route[i] = flow.Link{From: nodes[i], To: nodes[i+1]}
+			}
+			return route
+		}
+
+		// Start from a lightly loaded feasible base whose hyperperiod (and
+		// so the slotframe every later churn must divide) is pinned at 100.
+		var sched *schedule.Schedule
+		var workload []*flow.Flow
+		for try := 0; ; try++ {
+			if try >= 20 {
+				t.Fatalf("seed %d: no feasible base workload found", seed)
+			}
+			workload = []*flow.Flow{newFlow(0, 100), newFlow(1, 0)}
+			res0, err := Run(workload, cfg)
+			if err != nil {
+				t.Fatalf("seed %d: base run: %v", seed, err)
+			}
+			if res0.Schedulable {
+				sched = res0.Schedule
+				break
+			}
+		}
+
+		for step := 0; step < steps; step++ {
+			before := sched.Clone()
+			op := rng.Intn(3)
+			switch {
+			case op == 0 || len(workload) == 1:
+				// Random priority: sometimes above existing flows, forcing
+				// the eviction/full rungs.
+				id := rng.Intn(1000)
+				used := false
+				for _, g := range workload {
+					if g.ID == id {
+						used = true
+						break
+					}
+				}
+				if used {
+					continue
+				}
+				f := newFlow(id, 0)
+				res, err := AddFlowDelta(sched, workload, f, cfg)
+				if err != nil {
+					t.Fatalf("seed %d step %d: add: %v", seed, step, err)
+				}
+				mutated := mutatedWorkload(workload, f)
+				if res.Schedulable {
+					workload = mutated
+					checkDelta(t, before, sched, res, workload, cfg)
+				} else {
+					assertUnchangedAndInfeasible(t, seed, step, sched, before, mutated, cfg)
+				}
+			case op == 1:
+				victim := workload[rng.Intn(len(workload))]
+				res, err := RemoveFlowDelta(sched, victim.ID, nil)
+				if err != nil {
+					t.Fatalf("seed %d step %d: remove: %v", seed, step, err)
+				}
+				var rest []*flow.Flow
+				for _, g := range workload {
+					if g.ID != victim.ID {
+						rest = append(rest, g)
+					}
+				}
+				workload = rest
+				checkDelta(t, before, sched, res, workload, cfg)
+			default:
+				target := workload[rng.Intn(len(workload))]
+				route := randomRoute(target)
+				if route == nil {
+					continue
+				}
+				res, err := RerouteFlowDelta(sched, workload, target.ID, route, cfg)
+				if err != nil {
+					t.Fatalf("seed %d step %d: reroute: %v", seed, step, err)
+				}
+				moved := *target
+				moved.Route = route
+				var mutated []*flow.Flow
+				for _, g := range workload {
+					if g.ID == target.ID {
+						mutated = append(mutated, &moved)
+					} else {
+						mutated = append(mutated, g)
+					}
+				}
+				if res.Schedulable {
+					workload = mutated
+					checkDelta(t, before, sched, res, workload, cfg)
+				} else {
+					assertUnchangedAndInfeasible(t, seed, step, sched, before, mutated, cfg)
+				}
+			}
+		}
+	}
+}
+
+// assertUnchangedAndInfeasible checks a failed delta op's two obligations:
+// the schedule is byte-for-byte where it was, and the from-scratch scheduler
+// also finds the mutated workload infeasible (feasibility parity).
+func assertUnchangedAndInfeasible(t *testing.T, seed int64, step int,
+	sched, before *schedule.Schedule, mutated []*flow.Flow, cfg Config) {
+	t.Helper()
+	if !reflect.DeepEqual(txSet(sched), txSet(before)) {
+		t.Fatalf("seed %d step %d: failed op mutated the schedule", seed, step)
+	}
+	sort.Slice(mutated, func(i, j int) bool { return mutated[i].ID < mutated[j].ID })
+	full, err := Run(mutated, cfg)
+	if err != nil {
+		t.Fatalf("seed %d step %d: full run: %v", seed, step, err)
+	}
+	if full.Schedulable {
+		t.Fatalf("seed %d step %d: full reschedule feasible but delta path failed", seed, step)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net/http"
+	"strconv"
 )
 
 // handleHealthz reports liveness.
@@ -105,7 +106,7 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	j, err := s.SubmitJob(name, req.Kind, req.Params)
 	switch {
 	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.pool.RetryAfterSeconds()))
 		writeErr(w, http.StatusTooManyRequests, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):

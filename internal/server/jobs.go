@@ -5,6 +5,8 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"slices"
+	"sort"
 
 	"wsan"
 )
@@ -25,6 +27,10 @@ const (
 	// KindManage runs observe→classify→repair management iterations over a
 	// schedule artifact — the async equivalent of `wsansim manage`.
 	KindManage = "manage"
+	// KindReschedule applies one incremental flow-delta (add, remove, or
+	// reroute) to a schedule artifact through the delta scheduler — the
+	// async equivalent of `wsansim reschedule`.
+	KindReschedule = "reschedule"
 )
 
 // scheduleParams is the canonical KindSchedule parameter document.
@@ -68,6 +74,27 @@ type manageParams struct {
 	EpochSlots    int                 `json:"epochSlots"`
 	Seed          int64               `json:"seed"`
 	Faults        *wsan.FaultScenario `json:"faults,omitempty"`
+}
+
+// rescheduleParams is the canonical KindReschedule parameter document.
+// Artifact references the schedule bundle the delta applies to; Op selects
+// the operation ("add", "remove", or "reroute"). Flow is the target flow ID
+// for every op — for "add" it is the NEW flow's ID and must not collide
+// with an existing flow. Src/Dst/Period/Deadline/Phase describe the added
+// flow (slots; Deadline defaults to Period); Avoid lists nodes a reroute
+// detours around.
+type rescheduleParams struct {
+	Artifact string `json:"artifact"`
+	Op       string `json:"op"`
+	Flow     int    `json:"flow"`
+	Src      int    `json:"src,omitempty"`
+	Dst      int    `json:"dst,omitempty"`
+	Period   int    `json:"period,omitempty"`
+	Deadline int    `json:"deadline,omitempty"`
+	Phase    int    `json:"phase,omitempty"`
+	Avoid    []int  `json:"avoid,omitempty"`
+	Alg      string `json:"alg,omitempty"`
+	RhoT     int    `json:"rhoT,omitempty"`
 }
 
 // defaultSigma is the CLI's fading / survey-drift default (dB).
@@ -194,9 +221,60 @@ func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage)
 			return nil, err
 		}
 		return json.Marshal(p)
+	case KindReschedule:
+		var p rescheduleParams
+		if err := dec(&p); err != nil {
+			return nil, err
+		}
+		if err := s.checkScheduleArtifact(p.Artifact); err != nil {
+			return nil, err
+		}
+		if p.Flow < 0 {
+			return nil, fmt.Errorf("flow must be non-negative")
+		}
+		if p.Alg == "" {
+			p.Alg = "rc"
+		}
+		if _, err := parseAlgorithm(p.Alg); err != nil {
+			return nil, err
+		}
+		if p.RhoT == 0 {
+			p.RhoT = 2
+		}
+		switch p.Op {
+		case "add":
+			if p.Period <= 0 {
+				return nil, fmt.Errorf("add requires a positive period")
+			}
+			if p.Deadline == 0 {
+				p.Deadline = p.Period
+			}
+			if p.Src < 0 || p.Dst < 0 || p.Src == p.Dst {
+				return nil, fmt.Errorf("add requires distinct non-negative src and dst")
+			}
+			if len(p.Avoid) != 0 {
+				return nil, fmt.Errorf("avoid applies only to op reroute")
+			}
+		case "remove", "reroute":
+			if p.Src != 0 || p.Dst != 0 || p.Period != 0 || p.Deadline != 0 || p.Phase != 0 {
+				return nil, fmt.Errorf("src/dst/period/deadline/phase apply only to op add")
+			}
+			if p.Op == "remove" && len(p.Avoid) != 0 {
+				return nil, fmt.Errorf("avoid applies only to op reroute")
+			}
+			// Canonicalize the avoid set so equivalent requests share one
+			// artifact key.
+			if len(p.Avoid) > 0 {
+				sort.Ints(p.Avoid)
+				p.Avoid = slices.Compact(p.Avoid)
+			}
+		default:
+			return nil, fmt.Errorf("unknown op %q (want add, remove, or reroute)", p.Op)
+		}
+		return json.Marshal(p)
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want %s, %s, %s, or %s)",
-			kind, KindSchedule, KindSimulate, KindConverge, KindManage)
+		return nil, fmt.Errorf("unknown job kind %q (want %s, %s, %s, %s, or %s)",
+			kind, KindSchedule, KindSimulate, KindConverge, KindManage, KindReschedule)
 	}
 }
 
@@ -222,6 +300,14 @@ func (s *Server) checkScheduleArtifact(id string) error {
 // content address. The worker pool calls it with the job's context; every
 // long-running wsan operation underneath checks that context.
 func (s *Server) runJob(ctx context.Context, j *Job) (string, error) {
+	// Idempotency probe: a retried attempt can land after a prior attempt
+	// already stored the artifact (a transient failure between the store
+	// write and the worker's ack). The store is content-addressed, so an
+	// existing entry for this key IS this job's output — return it rather
+	// than recomputing and re-writing.
+	if a, ok := s.store.Get(j.Key); ok {
+		return a.ID, nil
+	}
 	nw, ok := s.nets.get(j.Network)
 	if !ok {
 		return "", fmt.Errorf("network %q was removed", j.Network)
@@ -237,6 +323,8 @@ func (s *Server) runJob(ctx context.Context, j *Job) (string, error) {
 		parts, err = s.runConverge(ctx, nw, j.Params)
 	case KindManage:
 		parts, err = s.runManage(ctx, nw, j.Params)
+	case KindReschedule:
+		parts, err = s.runReschedule(ctx, nw, j.Params)
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.Kind)
 	}
@@ -497,6 +585,137 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, raw json.RawMessag
 	return map[string][]byte{
 		"iterations.json": iterJSON,
 		"schedule.json":   repaired.Bytes(),
+	}, nil
+}
+
+// runReschedule applies one incremental flow-delta to a schedule bundle
+// through the delta scheduler and emits an updated bundle: the same
+// survey/workload/schedule triple a schedule job produces (so every
+// downstream job kind accepts the result), plus delta.json recording the
+// net schedule changes and which repair rung produced them.
+func (s *Server) runReschedule(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+	var p rescheduleParams
+	if err := json.Unmarshal(raw, &p); err != nil {
+		return nil, err
+	}
+	alg, err := parseAlgorithm(p.Alg)
+	if err != nil {
+		return nil, err
+	}
+	_, flows, sched, err := s.loadBundle(p.Artifact)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Keep the bundle's retry depth: infer whether it was scheduled with
+	// retransmission slots from the placed transmissions.
+	retransmit := false
+	for _, tx := range sched.Schedule.Txs() {
+		if tx.Attempt > 0 {
+			retransmit = true
+			break
+		}
+	}
+	cfg := wsan.ScheduleConfig{RhoT: p.RhoT, DisableRetransmit: !retransmit, Metrics: s.mets}
+	var res *wsan.DeltaResult
+	switch p.Op {
+	case "add":
+		f := &wsan.Flow{
+			ID: p.Flow, Src: p.Src, Dst: p.Dst,
+			Period: p.Period, Deadline: p.Deadline, Phase: p.Phase,
+		}
+		f.Route, err = nw.Net.RouteAvoiding(p.Src, p.Dst, nil)
+		if err != nil {
+			return nil, err
+		}
+		res, err = nw.Net.AddFlowDelta(sched, flows, f, alg, cfg)
+		if err == nil && res.Schedulable {
+			flows = append(flows, f)
+			sort.Slice(flows, func(i, j int) bool { return flows[i].ID < flows[j].ID })
+		}
+	case "remove":
+		res, err = nw.Net.RemoveFlowDelta(sched, p.Flow, s.mets)
+		if err == nil {
+			kept := flows[:0]
+			for _, f := range flows {
+				if f.ID != p.Flow {
+					kept = append(kept, f)
+				}
+			}
+			flows = kept
+		}
+	case "reroute":
+		var target *wsan.Flow
+		for _, f := range flows {
+			if f.ID == p.Flow {
+				target = f
+				break
+			}
+		}
+		if target == nil {
+			return nil, fmt.Errorf("flow %d not in artifact %q", p.Flow, p.Artifact)
+		}
+		var route []wsan.Link
+		route, err = nw.Net.RouteAvoiding(target.Src, target.Dst, p.Avoid)
+		if err != nil {
+			return nil, err
+		}
+		res, err = nw.Net.RerouteFlowDelta(sched, flows, p.Flow, route, alg, cfg)
+		if err == nil && res.Schedulable {
+			target.Route = route
+		}
+	default:
+		return nil, fmt.Errorf("unknown op %q", p.Op)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if !res.Schedulable {
+		return nil, fmt.Errorf("delta %s of flow %d not schedulable under %v (flow %d missed its deadline)",
+			p.Op, p.Flow, alg, res.FailedFlow)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	var workload, schedOut bytes.Buffer
+	if err := wsan.SaveWorkload(flows, &workload); err != nil {
+		return nil, err
+	}
+	if err := wsan.SaveSchedule(sched, &schedOut); err != nil {
+		return nil, err
+	}
+	delta, err := json.Marshal(map[string]any{
+		"op":           p.Op,
+		"flow":         p.Flow,
+		"fallback":     res.Fallback.String(),
+		"evicted":      res.Evicted,
+		"placementOps": res.PlacementOps,
+		"removalOps":   res.RemovalOps,
+		"changes":      res.Changes,
+	})
+	if err != nil {
+		return nil, err
+	}
+	summary, err := json.Marshal(map[string]any{
+		"op":            p.Op,
+		"algorithm":     p.Alg,
+		"flows":         len(flows),
+		"transmissions": sched.Schedule.Len(),
+		"slots":         sched.Schedule.NumSlots(),
+		"channels":      len(nw.Channels),
+		"changes":       len(res.Changes),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{
+		"survey.json":   nw.Survey,
+		"workload.json": workload.Bytes(),
+		"schedule.json": schedOut.Bytes(),
+		"delta.json":    delta,
+		"summary.json":  summary,
 	}, nil
 }
 

@@ -233,10 +233,11 @@ const maxRetryDelay = 30 * time.Second
 
 // Pool is the bounded FIFO job queue plus its worker goroutines.
 type Pool struct {
-	queue chan *Job
-	run   func(ctx context.Context, j *Job) (artifactID string, err error)
-	mets  obs.Sink
-	wg    sync.WaitGroup
+	queue   chan *Job
+	run     func(ctx context.Context, j *Job) (artifactID string, err error)
+	mets    obs.Sink
+	workers int
+	wg      sync.WaitGroup
 
 	jobTimeout   time.Duration
 	maxRetries   int
@@ -280,6 +281,7 @@ func NewPool(cfg PoolConfig, run func(context.Context, *Job) (string, error)) *P
 		queue:        make(chan *Job, cfg.QueueCap),
 		run:          run,
 		mets:         cfg.Metrics,
+		workers:      cfg.Workers,
 		jobTimeout:   cfg.JobTimeout,
 		maxRetries:   cfg.MaxRetries,
 		retryBackoff: cfg.RetryBackoff,
@@ -312,6 +314,22 @@ func (p *Pool) Submit(j *Job) error {
 		}
 		return ErrQueueFull
 	}
+}
+
+// RetryAfterSeconds estimates how long a rejected client should wait before
+// resubmitting: the time to drain the current backlog assuming roughly one
+// second per queued job per worker, clamped to [1, 60] so clients neither
+// hammer a saturated daemon nor stall for minutes after a momentary spike.
+// It backs the Retry-After header of 429 responses.
+func (p *Pool) RetryAfterSeconds() int {
+	secs := (len(p.queue) + p.workers - 1) / p.workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
 }
 
 // worker drains the queue until Close.

@@ -98,6 +98,7 @@ func New(cfg Config) *Server {
 		"server.jobs.cancelled", "server.jobs.rejected", "server.jobs.retries",
 		"server.jobs.panics", "server.jobs.watchdog_timeouts",
 		"server.cache.hits", "server.cache.misses", "server.cache.stored",
+		"server.cache.dup_writes",
 	} {
 		s.mets.Count(name, 0)
 	}

@@ -99,12 +99,19 @@ func (s *Store) Get(id string) (*Artifact, bool) {
 }
 
 // Put stores a completed artifact under its ID. Storing an ID twice (two
-// racing identical submissions) keeps the first copy: content addressing
-// guarantees both hold the same request's output.
+// racing identical submissions, or a retried job recomputing output a prior
+// attempt already stored) keeps the first copy: content addressing
+// guarantees both hold the same request's output. Duplicate writes count
+// server.cache.dup_writes — a nonzero value means some job recomputed work
+// whose artifact already existed, which the runJob idempotency probe is
+// supposed to prevent.
 func (s *Store) Put(id, kind string, parts map[string][]byte) *Artifact {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if a, ok := s.arts[id]; ok {
+		if s.mets != nil {
+			s.mets.Count("server.cache.dup_writes", 1)
+		}
 		return a
 	}
 	a := &Artifact{ID: id, Kind: kind, Created: time.Now(), parts: parts}

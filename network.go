@@ -218,6 +218,120 @@ func (n *Network) AddFlow(res *ScheduleResult, f *Flow, alg Algorithm, cfg Sched
 	return out, nil
 }
 
+// DeltaResult describes the outcome of one incremental scheduling
+// operation (AddFlowDelta, RemoveFlowDelta, RerouteFlowDelta): the net
+// schedule changes, which repair rung produced them, and the work the
+// operation performed.
+type DeltaResult = scheduler.DeltaResult
+
+// DeltaFallback names the repair rung an incremental operation descended to.
+type DeltaFallback = scheduler.Fallback
+
+// Delta-scheduler repair rungs, mildest first.
+const (
+	// DeltaFallbackNone: the delta placed directly against the pinned grid.
+	DeltaFallbackNone = scheduler.FallbackNone
+	// DeltaFallbackEvict: lower-criticality colliding flows were evicted and
+	// re-placed to make room.
+	DeltaFallbackEvict = scheduler.FallbackEvict
+	// DeltaFallbackFull: the mutated workload was rescheduled from scratch.
+	DeltaFallbackFull = scheduler.FallbackFull
+)
+
+// deltaConfig assembles the scheduler configuration for a delta operation.
+func (n *Network) deltaConfig(alg Algorithm, cfg ScheduleConfig) scheduler.Config {
+	if cfg.RhoT == 0 {
+		cfg.RhoT = 2
+	}
+	return scheduler.Config{
+		Algorithm:   alg,
+		NumChannels: len(n.channels),
+		RhoT:        cfg.RhoT,
+		HopGR:       n.hop,
+		Retransmit:  !cfg.DisableRetransmit,
+		Metrics:     cfg.Metrics,
+	}
+}
+
+// AddFlowDelta admits one new flow of any priority into an existing
+// schedule, pinning every already-scheduled transmission and placing only
+// the new flow's. On a collision the delta scheduler descends its repair
+// ladder (evict lower-criticality flows, then reschedule the mutated
+// workload from scratch) before declaring the admission infeasible; an
+// infeasible admission leaves the schedule untouched. flows is the workload
+// the schedule was built from, NOT including f.
+func (n *Network) AddFlowDelta(res *ScheduleResult, flows []*Flow, f *Flow, alg Algorithm, cfg ScheduleConfig) (*DeltaResult, error) {
+	out, err := scheduler.AddFlowDelta(res.Schedule, flows, f, n.deltaConfig(alg, cfg))
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return out, nil
+}
+
+// RemoveFlowDelta retires one flow from an existing schedule, deleting
+// exactly its transmissions. Removal cannot fail for capacity reasons; the
+// result's Changes invert cleanly via InvertDeltas for rollback.
+func (n *Network) RemoveFlowDelta(res *ScheduleResult, flowID int, metrics MetricsSink) (*DeltaResult, error) {
+	out, err := scheduler.RemoveFlowDelta(res.Schedule, flowID, metrics)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return out, nil
+}
+
+// RerouteFlowDelta moves one scheduled flow onto a new route, re-placing
+// only that flow's transmissions (with the same repair ladder as
+// AddFlowDelta behind it). The flow itself is not mutated: on success the
+// caller assigns newRoute to the flow; on infeasibility the schedule is
+// rolled back and the old placements stand.
+func (n *Network) RerouteFlowDelta(res *ScheduleResult, flows []*Flow, flowID int, newRoute []Link, alg Algorithm, cfg ScheduleConfig) (*DeltaResult, error) {
+	out, err := scheduler.RerouteFlowDelta(res.Schedule, flows, flowID, newRoute, n.deltaConfig(alg, cfg))
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return out, nil
+}
+
+// RouteAvoiding returns a minimum-hop route from src to dst over the
+// communication graph with the avoid nodes deleted — the detour a reroute
+// delta places a flow onto. It returns an error when no such path exists.
+func (n *Network) RouteAvoiding(src, dst int, avoid []int) ([]Link, error) {
+	g := n.gc
+	if len(avoid) > 0 {
+		down := make(map[int]bool, len(avoid))
+		for _, v := range avoid {
+			down[v] = true
+		}
+		sub := graph.New(n.gc.Len())
+		for u := 0; u < n.gc.Len(); u++ {
+			if down[u] {
+				continue
+			}
+			for _, v := range n.gc.Neighbors(u) {
+				if down[int(v)] {
+					continue
+				}
+				if err := sub.AddEdge(u, int(v)); err != nil {
+					return nil, wrapErr(err)
+				}
+			}
+		}
+		g = sub
+	}
+	if src < 0 || src >= g.Len() || dst < 0 || dst >= g.Len() {
+		return nil, fmt.Errorf("wsan: route endpoints (%d,%d) out of range [0,%d)", src, dst, g.Len())
+	}
+	path := g.ShortestPathHop(src, dst)
+	if path == nil {
+		return nil, fmt.Errorf("wsan: no route from %d to %d avoiding %v", src, dst, avoid)
+	}
+	route := make([]Link, len(path)-1)
+	for i := range route {
+		route[i] = Link{From: path[i], To: path[i+1]}
+	}
+	return route, nil
+}
+
 // NewSimConfig pre-fills a simulator configuration for a scheduled
 // workload on this network; the caller can tweak fading, interferers, and
 // statistics collection before calling Simulate.

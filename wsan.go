@@ -397,6 +397,13 @@ func DiffSchedules(old, new *ScheduleResult) ([]ScheduleDelta, error) {
 	return delta, wrapErr(err)
 }
 
+// InvertDeltas returns the delta that undoes the given one (adds become
+// removes and vice versa), letting a caller roll an applied DeltaResult
+// back atomically.
+func InvertDeltas(delta []ScheduleDelta) []ScheduleDelta {
+	return schedule.Invert(delta)
+}
+
 // CloneSchedule snapshots a schedule state for later diffing.
 func CloneSchedule(res *ScheduleResult) *ScheduleResult {
 	cp := *res

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench microbench ci lint fuzz-smoke
+.PHONY: build test bench microbench ci lint fuzz-smoke e2e
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,18 @@ ci: lint
 	@fmt=$$(gofmt -l .); if [ -n "$$fmt" ]; then \
 		echo "gofmt needed on:"; echo "$$fmt"; exit 1; fi
 	$(GO) test -race -short ./...
+
+# e2e starts a real daemon and drives it over the wire with the wsanclient
+# SDK (examples/stream): register a network, run a schedule job, then a
+# manage job whose per-iteration health verdicts must arrive on the SSE
+# stream before the job completes. The example waits for the daemon to
+# come up; the daemon is torn down whatever the outcome.
+E2E_ADDR ?= 127.0.0.1:18080
+e2e:
+	@$(GO) build -o /tmp/wsansim-e2e ./cmd/wsansim
+	@/tmp/wsansim-e2e serve -addr $(E2E_ADDR) -workers 2 -queue 16 & \
+	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
+	$(GO) run ./examples/stream -addr http://$(E2E_ADDR) -timeout 90s
 
 # fuzz-smoke gives every fuzz target a short budget ($(FUZZTIME) each) —
 # enough to catch regressions in the decoder hardening without stalling CI.

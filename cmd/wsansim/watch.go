@@ -1,0 +1,111 @@
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+
+	"wsan/wsanclient"
+)
+
+// runWatch implements `wsansim watch <job-id>`: tail one job's live event
+// stream — lifecycle transitions, per-iteration manage health verdicts,
+// fault events — until the job reaches a terminal state. With no job ID it
+// tails the daemon firehose until interrupted.
+func runWatch(args []string) error {
+	fs := flag.NewFlagSet("watch", flag.ContinueOnError)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: wsansim watch [flags] [job-id]")
+		fmt.Fprintln(fs.Output(), "tails a job's live event stream (no job-id: the daemon firehose)")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() > 1 {
+		fs.Usage()
+		return fmt.Errorf("watch takes at most one job ID")
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	c := wsanclient.New(*addr, wsanclient.Options{})
+
+	if fs.NArg() == 0 {
+		st, err := c.Subscribe(ctx, wsanclient.StreamOptions{})
+		if err != nil {
+			return err
+		}
+		defer st.Close()
+		fmt.Println("watching daemon firehose (interrupt to stop)")
+		for ev := range st.Events() {
+			printEvent(ev)
+		}
+		return st.Err()
+	}
+
+	jobID := fs.Arg(0)
+	final, err := c.WatchUntilDone(ctx, jobID, printEvent)
+	if err != nil {
+		return err
+	}
+	switch final.State {
+	case wsanclient.StateDone:
+		fmt.Printf("job %s done, artifact %s\n", final.ID, final.Artifact)
+	default:
+		fmt.Printf("job %s %s", final.ID, final.State)
+		if final.Error != "" {
+			fmt.Printf(": %s", final.Error)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// printEvent renders one stream event as a log line.
+func printEvent(ev wsanclient.Event) {
+	ts := ev.Time.Format("15:04:05.000")
+	switch {
+	case ev.Type == wsanclient.EventManageHealth:
+		mh, err := ev.ManageHealthData()
+		if err != nil {
+			fmt.Printf("%s  %-14s %s\n", ts, ev.Type, ev.Data)
+			return
+		}
+		line := fmt.Sprintf("%s  %-14s job=%s iter=%d health=%s minPDR=%.3f meanPDR=%.3f",
+			ts, ev.Type, ev.Job, mh.Iteration, mh.Health, mh.MinPDR, mh.MeanPDR)
+		var actions []string
+		if mh.Moved > 0 {
+			actions = append(actions, fmt.Sprintf("moved=%d", mh.Moved))
+		}
+		if mh.Rerouted > 0 {
+			actions = append(actions, fmt.Sprintf("rerouted=%d", mh.Rerouted))
+		}
+		if len(mh.Blacklisted) > 0 {
+			actions = append(actions, fmt.Sprintf("blacklisted=%v", mh.Blacklisted))
+		}
+		if len(actions) > 0 {
+			line += " " + strings.Join(actions, " ")
+		}
+		fmt.Println(line)
+	case strings.HasPrefix(ev.Type, "job."):
+		j, err := ev.JobData()
+		if err != nil {
+			fmt.Printf("%s  %-14s job=%s\n", ts, ev.Type, ev.Job)
+			return
+		}
+		line := fmt.Sprintf("%s  %-14s job=%s kind=%s", ts, ev.Type, j.ID, j.Kind)
+		if j.Artifact != "" {
+			line += " artifact=" + j.Artifact
+		}
+		if j.Error != "" {
+			line += " error=" + j.Error
+		}
+		fmt.Println(line)
+	default:
+		fmt.Printf("%s  %-14s job=%s %s\n", ts, ev.Type, ev.Job, ev.Data)
+	}
+}

@@ -69,16 +69,16 @@ func ExampleKSTest() {
 	// Output: D=1.00 reject=true
 }
 
-// ExampleDelayAnalysis admission-tests a workload without running the
+// ExampleDelayBounds admission-tests a workload without running the
 // scheduler.
-func ExampleDelayAnalysis() {
+func ExampleDelayBounds() {
 	flows := []*wsan.Flow{
 		{ID: 0, Src: 0, Dst: 2, Period: 100, Deadline: 50,
 			Route: []wsan.Link{{From: 0, To: 1}, {From: 1, To: 2}}},
 		{ID: 1, Src: 3, Dst: 1, Period: 200, Deadline: 100,
 			Route: []wsan.Link{{From: 3, To: 1}}},
 	}
-	bounds, err := wsan.DelayAnalysis(flows, 4, true)
+	bounds, err := wsan.DelayBounds(flows, 4, 2)
 	if err != nil {
 		fmt.Println(err)
 		return

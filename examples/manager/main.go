@@ -60,13 +60,13 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	util, err := wsan.ComputeUtilization(flows, len(chs), true)
+	util, err := wsan.AnalyzeUtilization(flows, len(chs), 2)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("admission: channel utilization %.0f%%, bottleneck node %d at %.0f%%\n",
 		util.Channel*100, util.BottleneckID, util.BottleneckNode*100)
-	bounds, err := wsan.DelayAnalysis(flows, len(chs), true)
+	bounds, err := wsan.DelayBounds(flows, len(chs), 2)
 	if err != nil {
 		return err
 	}

@@ -1,13 +1,13 @@
 // Server: embed the network-manager daemon in-process, then drive it the
-// way a remote operator would — over HTTP. The client registers a testbed,
-// submits an RC scheduling job, polls it to completion, chains a simulation
-// job against the produced artifact, and resubmits the schedule request to
-// show the content-addressed cache answering instantly. The same protocol
-// works against a standalone daemon started with `wsansim serve`.
+// way a remote operator would — through the typed wsanclient SDK over the
+// v1 HTTP API. The client registers a testbed, submits an RC scheduling
+// job, waits for completion, chains a simulation job against the produced
+// artifact, and resubmits the schedule request to show the
+// content-addressed cache answering instantly. The same code works against
+// a standalone daemon started with `wsansim serve`.
 package main
 
 import (
-	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
@@ -18,6 +18,7 @@ import (
 
 	"wsan/internal/obs"
 	"wsan/internal/server"
+	"wsan/wsanclient"
 )
 
 func main() {
@@ -38,7 +39,6 @@ func run() error {
 	}
 	httpSrv := &http.Server{Handler: srv.Handler()}
 	go func() { _ = httpSrv.Serve(ln) }()
-	base := "http://" + ln.Addr().String()
 	defer func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -46,24 +46,22 @@ func run() error {
 		_ = srv.Shutdown(ctx)
 	}()
 
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	c := wsanclient.New("http://"+ln.Addr().String(), wsanclient.Options{})
+
 	// 1. Register a network: the WUSTL testbed preset on 4 channels.
-	var netView struct {
-		Name     string `json:"name"`
-		Hash     string `json:"hash"`
-		Nodes    int    `json:"nodes"`
-		Channels []int  `json:"channels"`
-	}
-	err = call(base, "POST", "/networks", map[string]any{
-		"name": "plant-a", "preset": "wustl", "channels": 4,
-	}, &netView)
+	nw, err := c.CreateNetwork(ctx, wsanclient.CreateNetworkRequest{
+		Name: "plant-a", Preset: "wustl", Channels: 4,
+	})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("registered %s: %d nodes on channels %v (hash %.12s…)\n",
-		netView.Name, netView.Nodes, netView.Channels, netView.Hash)
+		nw.Name, nw.Nodes, nw.Channels, nw.Hash)
 
-	// 2. Submit an RC scheduling job and poll it to completion.
-	schedJob, err := submitAndWait(base, "plant-a", "schedule", map[string]any{
+	// 2. Submit an RC scheduling job and wait for completion.
+	schedJob, err := submitAndWait(ctx, c, "plant-a", wsanclient.KindSchedule, map[string]any{
 		"flows": 20, "alg": "rc", "seed": 7,
 	})
 	if err != nil {
@@ -73,9 +71,13 @@ func run() error {
 		schedJob.ID, schedJob.State, schedJob.Artifact)
 
 	// 3. Chain a simulation job against the schedule artifact.
-	simJob, err := submitAndWait(base, "plant-a", "simulate", map[string]any{
+	simJob, err := submitAndWait(ctx, c, "plant-a", wsanclient.KindSimulate, map[string]any{
 		"artifact": schedJob.Artifact, "hyperperiods": 50, "seed": 7,
 	})
+	if err != nil {
+		return err
+	}
+	raw, err := c.ArtifactPart(ctx, simJob.Artifact, "report.json")
 	if err != nil {
 		return err
 	}
@@ -87,8 +89,7 @@ func run() error {
 			Max    float64
 		} `json:"pdrSummary"`
 	}
-	err = call(base, "GET", "/artifacts/"+simJob.Artifact+"/report.json", nil, &report)
-	if err != nil {
+	if err := json.Unmarshal(raw, &report); err != nil {
 		return err
 	}
 	fmt.Printf("simulation: %d flows, PDR min/median/max %.4f/%.4f/%.4f\n",
@@ -96,7 +97,7 @@ func run() error {
 
 	// 4. Resubmit the identical schedule request: the content-addressed
 	// store answers without queueing a job.
-	again, err := submitAndWait(base, "plant-a", "schedule", map[string]any{
+	again, err := submitAndWait(ctx, c, "plant-a", wsanclient.KindSchedule, map[string]any{
 		"flows": 20, "alg": "rc", "seed": 7,
 	})
 	if err != nil {
@@ -107,58 +108,18 @@ func run() error {
 	return nil
 }
 
-// submitAndWait posts one job and polls until it leaves the queue/running
-// states.
-func submitAndWait(base, network, kind string, params map[string]any) (*server.JobView, error) {
-	var job server.JobView
-	err := call(base, "POST", "/networks/"+network+"/jobs", map[string]any{
-		"kind": kind, "params": params,
-	}, &job)
+// submitAndWait posts one job and waits for it to finish successfully.
+func submitAndWait(ctx context.Context, c *wsanclient.Client, network, kind string, params any) (wsanclient.Job, error) {
+	job, err := c.SubmitJob(ctx, network, kind, params)
 	if err != nil {
-		return nil, err
+		return job, err
 	}
-	for job.State == server.StateQueued || job.State == server.StateRunning {
-		time.Sleep(20 * time.Millisecond)
-		if err := call(base, "GET", "/jobs/"+job.ID, nil, &job); err != nil {
-			return nil, err
-		}
-	}
-	if job.State != server.StateDone {
-		return nil, fmt.Errorf("job %s (%s) finished %s: %s", job.ID, kind, job.State, job.Error)
-	}
-	return &job, nil
-}
-
-// call performs one JSON request/response round trip.
-func call(base, method, path string, body, out any) error {
-	var payload []byte
-	if body != nil {
-		var err error
-		if payload, err = json.Marshal(body); err != nil {
-			return err
-		}
-	}
-	req, err := http.NewRequest(method, base+path, bytes.NewReader(payload))
+	job, err = c.WaitJob(ctx, job.ID, 20*time.Millisecond)
 	if err != nil {
-		return err
+		return job, err
 	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
+	if job.State != wsanclient.StateDone {
+		return job, fmt.Errorf("job %s (%s) finished %s: %s", job.ID, kind, job.State, job.Error)
 	}
-	resp, err := http.DefaultClient.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 400 {
-		var e struct {
-			Error string `json:"error"`
-		}
-		_ = json.NewDecoder(resp.Body).Decode(&e)
-		return fmt.Errorf("%s %s: %s (%s)", method, path, resp.Status, e.Error)
-	}
-	if out == nil {
-		return nil
-	}
-	return json.NewDecoder(resp.Body).Decode(out)
+	return job, nil
 }

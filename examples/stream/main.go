@@ -1,0 +1,141 @@
+// Stream: drive a running daemon (`wsansim serve`) through the wsanclient
+// SDK and consume its live telemetry. The example registers a network,
+// produces a schedule artifact, subscribes to a manage job's event stream
+// BEFORE the job executes, and asserts that per-iteration health verdicts
+// arrive while the job is still running — the end-to-end smoke check of
+// the streaming subsystem (CI runs it against a freshly started daemon).
+//
+// Usage: stream -addr http://127.0.0.1:8080
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"wsan/wsanclient"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "daemon base URL")
+	timeout := flag.Duration("timeout", 2*time.Minute, "overall deadline")
+	flag.Parse()
+	if err := run(*addr, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "stream example:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, timeout time.Duration) error {
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	c := wsanclient.New(addr, wsanclient.Options{})
+
+	// Wait for the daemon to come up — CI starts it in the background just
+	// before running this.
+	startup := time.Now()
+	for {
+		_, err := c.Healthz(ctx)
+		if err == nil {
+			break
+		}
+		if ctx.Err() != nil || time.Since(startup) > 15*time.Second {
+			return fmt.Errorf("daemon not reachable at %s: %w", addr, err)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	// A throwaway network; tolerate an existing one so the example can be
+	// re-run against a long-lived daemon.
+	nw, err := c.CreateNetwork(ctx, wsanclient.CreateNetworkRequest{
+		Name: "stream-demo", Preset: "wustl", Channels: 4,
+	})
+	if wsanclient.IsConflict(err) {
+		nw, err = c.Network(ctx, "stream-demo")
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("network %s: %d nodes on %d channels\n", nw.Name, nw.Nodes, len(nw.Channels))
+
+	sched, err := c.SubmitJob(ctx, nw.Name, wsanclient.KindSchedule, map[string]any{
+		"flows": 10, "alg": "rc", "seed": 7,
+	})
+	if err != nil {
+		return err
+	}
+	sched, err = c.WaitJob(ctx, sched.ID, 0)
+	if err != nil {
+		return err
+	}
+	if sched.State != wsanclient.StateDone {
+		return fmt.Errorf("schedule job %s finished %s: %s", sched.ID, sched.State, sched.Error)
+	}
+	fmt.Printf("schedule artifact %.12s…\n", sched.Artifact)
+
+	// Subscribe BEFORE submitting: a subscription registered ahead of the
+	// job guarantees every one of its events is delivered live, however
+	// fast the job runs (the bus is inert — and retains nothing — until
+	// its first subscriber). The firehose is filtered by job ID below.
+	st, err := c.Subscribe(ctx, wsanclient.StreamOptions{Buffer: 1024})
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+
+	// The seed varies per run so a re-run never short-circuits on the
+	// content-addressed cache (a cached job completes instantly and
+	// streams nothing).
+	manage, err := c.SubmitJob(ctx, nw.Name, wsanclient.KindManage, map[string]any{
+		"artifact": sched.Artifact, "maxIterations": 2, "epochSlots": 9000,
+		"seed": time.Now().UnixNano()%100_000 + 1,
+	})
+	if err != nil {
+		return err
+	}
+	// Count health verdicts published before the terminal event. Sequence
+	// numbers are assigned at publish time, so seq(health) < seq(done)
+	// proves the verdicts streamed while the job executed.
+	var final wsanclient.Job
+	healthBeforeDone, doneSeq := 0, uint64(0)
+	for ev := range st.Events() {
+		if ev.Job != manage.ID {
+			continue
+		}
+		switch ev.Type {
+		case wsanclient.EventManageHealth:
+			mh, derr := ev.ManageHealthData()
+			if derr != nil {
+				return derr
+			}
+			healthBeforeDone++
+			fmt.Printf("  iter %d: %s (minPDR %.3f)\n", mh.Iteration, mh.Health, mh.MinPDR)
+		case wsanclient.EventJobRunning:
+			fmt.Printf("  job %s running\n", ev.Job)
+		}
+		if wsanclient.TerminalEvent(ev.Type) {
+			doneSeq = ev.Seq
+			if j, jerr := ev.JobData(); jerr == nil {
+				final = j
+			}
+			break
+		}
+	}
+	if err := st.Err(); err != nil {
+		return err
+	}
+	if doneSeq == 0 {
+		return fmt.Errorf("stream ended before job %s finished", manage.ID)
+	}
+	if final.State != wsanclient.StateDone {
+		return fmt.Errorf("manage job %s finished %s: %s", final.ID, final.State, final.Error)
+	}
+	if healthBeforeDone == 0 {
+		return fmt.Errorf("no manage.health events streamed before job completion")
+	}
+	fmt.Printf("manage job %s done: %d health events streamed live before seq %d\n",
+		final.ID, healthBeforeDone, doneSeq)
+	return nil
+}

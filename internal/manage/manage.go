@@ -50,6 +50,11 @@ type Config struct {
 	// event per cycle, and the counters of the simulator and repairer it
 	// drives. Nil disables observability at near-zero cost.
 	Metrics obs.Sink
+	// OnIteration, when non-nil, is invoked synchronously with each completed
+	// Iteration, in order, before the loop decides whether to continue — the
+	// hook live consumers (the daemon's event stream) attach to. It must not
+	// block: the loop stalls for as long as the hook runs.
+	OnIteration func(Iteration)
 	// Seed drives the simulations; each iteration advances it so repaired
 	// schedules face fresh noise.
 	Seed int64
@@ -257,6 +262,9 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 				it.Health = Recovered
 			}
 			observeIteration(cfg.Metrics, it, reports, time.Since(iterStart), false)
+			if cfg.OnIteration != nil {
+				cfg.OnIteration(it)
+			}
 			out = append(out, it)
 			return out, nil
 		}
@@ -322,6 +330,9 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 			}
 		}
 		observeIteration(cfg.Metrics, it, reports, time.Since(iterStart), !progress)
+		if cfg.OnIteration != nil {
+			cfg.OnIteration(it)
+		}
 		out = append(out, it)
 		if stalls >= cfg.MaxStalls {
 			// Out of ideas: report the degraded state instead of spinning.

@@ -11,6 +11,7 @@ import (
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
+	jobs := len(s.jobOrder)
 	s.mu.Unlock()
 	status := http.StatusOK
 	state := "ok"
@@ -21,7 +22,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, map[string]any{
 		"status":   state,
 		"networks": s.nets.size(),
-		"jobs":     len(s.JobViews()),
+		"jobs":     jobs,
 	})
 }
 
@@ -39,16 +40,16 @@ func (s *Server) handleCreateNetwork(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid request body: %v", err)
 		return
 	}
 	e, err := s.nets.create(req)
 	if err != nil {
-		status := http.StatusBadRequest
+		status, code := http.StatusBadRequest, codeInvalidRequest
 		if errors.Is(err, errExists) {
-			status = http.StatusConflict
+			status, code = http.StatusConflict, codeConflict
 		}
-		writeErr(w, status, "%v", err)
+		writeErr(w, status, code, "%v", err)
 		return
 	}
 	s.mets.Gauge("server.networks", float64(s.nets.size()))
@@ -64,7 +65,7 @@ func (s *Server) handleListNetworks(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetNetwork(w http.ResponseWriter, r *http.Request) {
 	e, ok := s.nets.get(r.PathValue("name"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "network %q not found", r.PathValue("name"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "network %q not found", r.PathValue("name"))
 		return
 	}
 	writeJSON(w, http.StatusOK, e.view())
@@ -74,14 +75,14 @@ func (s *Server) handleGetNetwork(w http.ResponseWriter, r *http.Request) {
 // references; artifacts stay addressable.
 func (s *Server) handleDeleteNetwork(w http.ResponseWriter, r *http.Request) {
 	if !s.nets.remove(r.PathValue("name")) {
-		writeErr(w, http.StatusNotFound, "network %q not found", r.PathValue("name"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "network %q not found", r.PathValue("name"))
 		return
 	}
 	s.mets.Gauge("server.networks", float64(s.nets.size()))
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// submitRequest is the POST /networks/{name}/jobs body.
+// submitRequest is the POST /v1/networks/{name}/jobs body.
 type submitRequest struct {
 	Kind   string          `json:"kind"`
 	Params json.RawMessage `json:"params,omitempty"`
@@ -93,27 +94,27 @@ type submitRequest struct {
 func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	if _, ok := s.nets.get(name); !ok {
-		writeErr(w, http.StatusNotFound, "network %q not found", name)
+		writeErr(w, http.StatusNotFound, codeNotFound, "network %q not found", name)
 		return
 	}
 	var req submitRequest
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "invalid request body: %v", err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid request body: %v", err)
 		return
 	}
 	j, err := s.SubmitJob(name, req.Kind, req.Params)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		w.Header().Set("Retry-After", strconv.Itoa(s.pool.RetryAfterSeconds()))
-		writeErr(w, http.StatusTooManyRequests, "%v", err)
+		writeErr(w, http.StatusTooManyRequests, codeQueueFull, "%v", err)
 		return
 	case errors.Is(err, ErrDraining):
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeErr(w, http.StatusServiceUnavailable, codeDraining, "%v", err)
 		return
 	case err != nil:
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, http.StatusBadRequest, codeInvalidRequest, "%v", err)
 		return
 	}
 	v := j.View()
@@ -124,16 +125,44 @@ func (s *Server) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, status, v)
 }
 
-// handleListJobs lists every job in submission order.
+// parsePage extracts the ?limit= / ?after= cursor-pagination parameters of
+// a list endpoint. limit 0 (the default) means "everything" — the
+// pre-pagination behaviour — and negative or non-numeric values are a 400.
+func parsePage(w http.ResponseWriter, r *http.Request) (after string, limit int, ok bool) {
+	after = r.URL.Query().Get("after")
+	if raw := r.URL.Query().Get("limit"); raw != "" {
+		n, err := strconv.Atoi(raw)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, codeInvalidRequest, "invalid limit %q", raw)
+			return "", 0, false
+		}
+		limit = n
+	}
+	return after, limit, true
+}
+
+// handleListJobs lists jobs in submission order (stable: job IDs are
+// assigned from a strictly increasing sequence and jobs are never removed).
+// ?limit= caps the page; ?after=<job-id> resumes past that job; a truncated
+// response carries nextAfter as the next page's cursor.
 func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.JobViews()})
+	after, limit, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
+	views, next := s.JobViews(after, limit)
+	body := map[string]any{"jobs": views}
+	if next != "" {
+		body["nextAfter"] = next
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleGetJob serves one job's state — the polling endpoint.
 func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "job %q not found", r.PathValue("id"))
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View())
@@ -145,19 +174,30 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.Job(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "job %q not found", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "job %q not found", r.PathValue("id"))
 		return
 	}
 	if !j.Cancel() {
-		writeErr(w, http.StatusConflict, "job %q already finished (%v)", j.ID, j.State())
+		writeErr(w, http.StatusConflict, codeConflict, "job %q already finished (%v)", j.ID, j.State())
 		return
 	}
 	writeJSON(w, http.StatusOK, j.View())
 }
 
-// handleListArtifacts lists the stored artifacts.
+// handleListArtifacts lists the stored artifacts sorted by ID (stable:
+// content addresses never change). Same ?limit=/?after=/nextAfter contract
+// as the jobs list.
 func (s *Server) handleListArtifacts(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"artifacts": s.ArtifactViews()})
+	after, limit, ok := parsePage(w, r)
+	if !ok {
+		return
+	}
+	views, next := s.ArtifactViews(after, limit)
+	body := map[string]any{"artifacts": views}
+	if next != "" {
+		body["nextAfter"] = next
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // handleGetArtifact serves one artifact with every part embedded — parts
@@ -165,7 +205,7 @@ func (s *Server) handleListArtifacts(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
 	a, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "artifact %q not found", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "artifact %q not found", r.PathValue("id"))
 		return
 	}
 	parts := make(map[string]json.RawMessage, len(a.PartNames()))
@@ -182,12 +222,12 @@ func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGetArtifactPart(w http.ResponseWriter, r *http.Request) {
 	a, ok := s.store.Get(r.PathValue("id"))
 	if !ok {
-		writeErr(w, http.StatusNotFound, "artifact %q not found", r.PathValue("id"))
+		writeErr(w, http.StatusNotFound, codeNotFound, "artifact %q not found", r.PathValue("id"))
 		return
 	}
 	part := a.Part(r.PathValue("part"))
 	if part == nil {
-		writeErr(w, http.StatusNotFound, "artifact %q has no part %q",
+		writeErr(w, http.StatusNotFound, codeNotFound, "artifact %q has no part %q",
 			r.PathValue("id"), r.PathValue("part"))
 		return
 	}

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"wsan"
+	"wsan/internal/obs"
 )
 
 // Job kinds. Each kind maps to one expensive pipeline operation; the
@@ -318,11 +319,11 @@ func (s *Server) runJob(ctx context.Context, j *Job) (string, error) {
 	case KindSchedule:
 		parts, err = s.runSchedule(ctx, nw, j.Params)
 	case KindSimulate:
-		parts, err = s.runSimulate(ctx, nw, j.Params)
+		parts, err = s.runSimulate(ctx, nw, j)
 	case KindConverge:
 		parts, err = s.runConverge(ctx, nw, j.Params)
 	case KindManage:
-		parts, err = s.runManage(ctx, nw, j.Params)
+		parts, err = s.runManage(ctx, nw, j)
 	case KindReschedule:
 		parts, err = s.runReschedule(ctx, nw, j.Params)
 	default:
@@ -465,10 +466,22 @@ func buildReport(res *wsan.SimResult, flows []*wsan.Flow, hyperperiods int) (*si
 	return rep, nil
 }
 
+// jobSink builds the observability sink for one job run: the server's
+// registry, plus — only while the event bus has ever had a subscriber — a
+// tap forwarding faults.* counter flushes to the stream as events. The gate
+// keeps the subscriber-free job path allocation-free; a consumer attaching
+// mid-job picks up fault events from the next job, not this one.
+func (s *Server) jobSink(j *Job) obs.Sink {
+	if !s.bus.Enabled() {
+		return s.mets
+	}
+	return obs.MultiSink(s.mets, &faultsTap{bus: s.bus, network: j.Network, job: j.ID})
+}
+
 // runSimulate executes a schedule bundle on the TSCH simulator.
-func (s *Server) runSimulate(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+func (s *Server) runSimulate(ctx context.Context, nw *netEntry, j *Job) (map[string][]byte, error) {
 	var p simulateParams
-	if err := json.Unmarshal(raw, &p); err != nil {
+	if err := json.Unmarshal(j.Params, &p); err != nil {
 		return nil, err
 	}
 	tb, flows, sched, err := s.loadBundle(p.Artifact)
@@ -484,7 +497,7 @@ func (s *Server) runSimulate(ctx context.Context, nw *netEntry, raw json.RawMess
 		FadingSigmaDB:      sigma(p.Fading),
 		SurveyDriftSigmaDB: sigma(p.Drift),
 		Retransmit:         true,
-		Metrics:            s.mets,
+		Metrics:            s.jobSink(j),
 		Seed:               p.Seed,
 		Faults:             p.Faults,
 	})
@@ -545,17 +558,18 @@ func (s *Server) runConverge(ctx context.Context, nw *netEntry, raw json.RawMess
 }
 
 // runManage runs management iterations over a bundle, producing the
-// iteration log and the repaired schedule.
-func (s *Server) runManage(ctx context.Context, nw *netEntry, raw json.RawMessage) (map[string][]byte, error) {
+// iteration log and the repaired schedule. While the event bus is enabled,
+// each completed iteration is also published live as a manage.health event.
+func (s *Server) runManage(ctx context.Context, nw *netEntry, j *Job) (map[string][]byte, error) {
 	var p manageParams
-	if err := json.Unmarshal(raw, &p); err != nil {
+	if err := json.Unmarshal(j.Params, &p); err != nil {
 		return nil, err
 	}
 	tb, flows, sched, err := s.loadBundle(p.Artifact)
 	if err != nil {
 		return nil, err
 	}
-	iters, err := wsan.ManageCtx(ctx, wsan.ManageConfig{
+	cfg := wsan.ManageConfig{
 		Testbed:            tb,
 		Flows:              flows,
 		Schedule:           sched.Schedule,
@@ -567,10 +581,32 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, raw json.RawMessag
 		SurveyDriftSigmaDB: defaultSigma,
 		MaxIterations:      p.MaxIterations,
 		CompactAfterRepair: true,
-		Metrics:            s.mets,
+		Metrics:            s.jobSink(j),
 		Seed:               p.Seed,
 		Faults:             p.Faults,
-	})
+	}
+	if s.bus.Enabled() {
+		network, jobID := j.Network, j.ID
+		cfg.OnIteration = func(it wsan.ManageIteration) {
+			s.bus.Publish(EventManageHealth, network, jobID, ManageHealth{
+				Iteration:       it.Index,
+				Health:          it.Health.String(),
+				MinPDR:          it.MinPDR,
+				MeanPDR:         it.MeanPDR,
+				DegradedLinks:   it.Degraded,
+				DegradedFlows:   it.DegradedFlows,
+				Moved:           it.Moved,
+				Unmovable:       it.Unmovable,
+				Rerouted:        it.Rerouted,
+				SuspectNodes:    it.SuspectNodes,
+				Blacklisted:     it.Blacklisted,
+				Channels:        it.Channels,
+				DeltaChanges:    it.DeltaChanges,
+				AffectedDevices: it.AffectedDevices,
+			})
+		}
+	}
+	iters, err := wsan.ManageCtx(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

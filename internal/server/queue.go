@@ -81,6 +81,10 @@ type Job struct {
 	ctx    context.Context
 	cancel context.CancelFunc
 
+	// onTransition, when set, is invoked (outside the job lock) after every
+	// lifecycle state change — the event bus's feed. Immutable after submit.
+	onTransition func(*Job)
+
 	mu         sync.Mutex
 	state      JobState
 	err        string
@@ -131,6 +135,14 @@ func (j *Job) View() JobView {
 		v.Finished = &t
 	}
 	return v
+}
+
+// notifyTransition fires the transition hook, if any. Callers must not hold
+// j.mu: the hook snapshots the job via View.
+func (j *Job) notifyTransition() {
+	if j.onTransition != nil {
+		j.onTransition(j)
+	}
 }
 
 // State returns the current lifecycle state.
@@ -185,6 +197,7 @@ func (j *Job) Cancel() bool {
 		j.finished = time.Now()
 		j.mu.Unlock()
 		j.cancel()
+		j.notifyTransition()
 		return true
 	case StateRunning:
 		j.mu.Unlock()
@@ -343,12 +356,14 @@ func (p *Pool) worker() {
 			// Cancelled while queued.
 			continue
 		}
+		j.notifyTransition()
 		if p.mets != nil {
 			p.mets.Observe("server.jobs.queue_seconds", time.Since(j.View().Created).Seconds())
 		}
 		start := time.Now()
 		art, err := p.runWithRetries(j)
 		state := j.finish(art, err)
+		j.notifyTransition()
 		if p.mets != nil {
 			p.mets.Observe("server.jobs.run_seconds", time.Since(start).Seconds())
 			switch state {

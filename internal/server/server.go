@@ -8,6 +8,7 @@ import (
 	"net/http/pprof"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -35,19 +36,34 @@ type Config struct {
 	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the server
 	// mux (the wsansim serve command turns this on).
 	EnablePprof bool
+	// EventBuffer is the per-subscriber event queue capacity; a subscriber
+	// whose queue is full has events dropped (counted in
+	// server.events.dropped) rather than ever blocking a worker
+	// (default 64).
+	EventBuffer int
+	// EventReplay bounds the replay ring backing Last-Event-ID resume
+	// (default 1024 events). Retention starts with the first subscriber.
+	EventReplay int
+	// MetricsInterval is the period of the metrics.delta firehose events
+	// (default 10s; negative disables them).
+	MetricsInterval time.Duration
 }
 
 // Server is the network-manager daemon: hosted networks, the artifact
-// store, the job queue, and the HTTP surface over them.
+// store, the job queue, the event bus, and the HTTP surface over them.
 type Server struct {
 	nets  *registry
 	store *Store
 	pool  *Pool
 	mets  *obs.Registry
+	bus   *Bus
 	mux   *http.ServeMux
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
+
+	metricsStop chan struct{}
+	metricsDone chan struct{}
 
 	mu       sync.Mutex
 	jobs     map[string]*Job
@@ -73,14 +89,20 @@ func New(cfg Config) *Server {
 	if cfg.Metrics == nil {
 		cfg.Metrics = obs.NewRegistry()
 	}
+	if cfg.MetricsInterval == 0 {
+		cfg.MetricsInterval = 10 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
-		nets:       newRegistry(),
-		store:      NewStore(cfg.Metrics),
-		mets:       cfg.Metrics,
-		baseCtx:    ctx,
-		baseCancel: cancel,
-		jobs:       make(map[string]*Job),
+		nets:        newRegistry(),
+		store:       NewStore(cfg.Metrics),
+		mets:        cfg.Metrics,
+		bus:         NewBus(cfg.EventBuffer, cfg.EventReplay, cfg.Metrics),
+		baseCtx:     ctx,
+		baseCancel:  cancel,
+		metricsStop: make(chan struct{}),
+		metricsDone: make(chan struct{}),
+		jobs:        make(map[string]*Job),
 	}
 	s.pool = NewPool(PoolConfig{
 		Workers:      cfg.Workers,
@@ -99,10 +121,17 @@ func New(cfg Config) *Server {
 		"server.jobs.panics", "server.jobs.watchdog_timeouts",
 		"server.cache.hits", "server.cache.misses", "server.cache.stored",
 		"server.cache.dup_writes",
+		"server.events.published", "server.events.dropped",
 	} {
 		s.mets.Count(name, 0)
 	}
 	s.mets.Gauge("server.queue.depth", 0)
+	s.mets.Gauge("server.events.subscribers", 0)
+	if cfg.MetricsInterval > 0 {
+		go s.metricsLoop(cfg.MetricsInterval)
+	} else {
+		close(s.metricsDone)
+	}
 	return s
 }
 
@@ -112,9 +141,15 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // Metrics returns the registry backing /metrics.
 func (s *Server) Metrics() *obs.Registry { return s.mets }
 
+// Events returns the daemon's event bus (tests and embedders subscribe
+// directly; HTTP clients use the /v1/events SSE endpoints).
+func (s *Server) Events() *Bus { return s.bus }
+
 // Shutdown drains the daemon: new jobs are rejected immediately, running
 // and queued jobs get until ctx expires to finish, then their contexts are
-// cancelled and the workers are awaited unconditionally.
+// cancelled and the workers are awaited unconditionally. The event bus
+// closes last, so subscribers observe the final transitions of drained
+// jobs before their streams end.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.mu.Lock()
 	s.draining = true
@@ -125,10 +160,17 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		// workers to observe the cancellation.
 		s.baseCancel()
 		s.pool.Wait()
-		return err
+	} else {
+		s.baseCancel()
 	}
-	s.baseCancel()
-	return nil
+	select {
+	case <-s.metricsDone:
+	default:
+		close(s.metricsStop)
+		<-s.metricsDone
+	}
+	s.bus.Close()
+	return err
 }
 
 // SubmitJob canonicalizes the request, probes the artifact cache, and
@@ -156,15 +198,16 @@ func (s *Server) SubmitJob(network, kind string, params json.RawMessage) (*Job, 
 
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j := &Job{
-		ID:      id,
-		Network: network,
-		Kind:    kind,
-		Key:     key,
-		Params:  canon,
-		ctx:     ctx,
-		cancel:  cancel,
-		state:   StateQueued,
-		created: time.Now(),
+		ID:           id,
+		Network:      network,
+		Kind:         kind,
+		Key:          key,
+		Params:       canon,
+		ctx:          ctx,
+		cancel:       cancel,
+		state:        StateQueued,
+		created:      time.Now(),
+		onTransition: s.jobTransition,
 	}
 	if art, ok := s.store.Lookup(key); ok {
 		// Cache hit: the artifact for this exact request already exists;
@@ -178,6 +221,7 @@ func (s *Server) SubmitJob(network, kind string, params json.RawMessage) (*Job, 
 		j.mu.Unlock()
 		cancel()
 		s.rememberJob(j)
+		j.notifyTransition()
 		return j, nil
 	}
 	if err := s.pool.Submit(j); err != nil {
@@ -185,6 +229,7 @@ func (s *Server) SubmitJob(network, kind string, params json.RawMessage) (*Job, 
 		return nil, err
 	}
 	s.rememberJob(j)
+	j.notifyTransition()
 	return j, nil
 }
 
@@ -204,56 +249,130 @@ func (s *Server) Job(id string) (*Job, bool) {
 	return j, ok
 }
 
-// JobViews snapshots every job in submission order.
-func (s *Server) JobViews() []JobView {
+// jobSeqNum extracts the numeric part of a job ID ("j42" → 42, ok). Job
+// IDs are assigned from a strictly increasing sequence, so the number
+// orders jobs by submission — the property cursor pagination binary
+// searches on.
+func jobSeqNum(id string) (int, bool) {
+	if len(id) < 2 || id[0] != 'j' {
+		return 0, false
+	}
+	n, err := strconv.Atoi(id[1:])
+	if err != nil || n < 0 {
+		return 0, false
+	}
+	return n, true
+}
+
+// JobViews snapshots jobs in submission order (the jobs list's stable
+// ordering). after, when non-empty, skips every job at or before that ID
+// in submission order; limit > 0 caps the page size. The second return is
+// the cursor of the next page ("" when this page exhausts the list).
+func (s *Server) JobViews(after string, limit int) ([]JobView, string) {
 	s.mu.Lock()
-	order := append([]string(nil), s.jobOrder...)
-	jobs := make([]*Job, 0, len(order))
-	for _, id := range order {
+	order := s.jobOrder
+	start := 0
+	if after != "" {
+		if seq, ok := jobSeqNum(after); ok {
+			// jobOrder is append-only with strictly increasing sequence
+			// numbers, so the resume point binary-searches in O(log n).
+			start = sort.Search(len(order), func(i int) bool {
+				n, _ := jobSeqNum(order[i])
+				return n > seq
+			})
+		}
+	}
+	end := len(order)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	jobs := make([]*Job, 0, end-start)
+	for _, id := range order[start:end] {
 		jobs = append(jobs, s.jobs[id])
 	}
+	more := end < len(order)
 	s.mu.Unlock()
 	views := make([]JobView, 0, len(jobs))
 	for _, j := range jobs {
 		views = append(views, j.View())
 	}
-	return views
+	var next string
+	if more && len(views) > 0 {
+		next = views[len(views)-1].ID
+	}
+	return views, next
 }
 
-// ArtifactViews lists the stored artifacts (ID, kind, parts), sorted by ID.
-func (s *Server) ArtifactViews() []map[string]any {
+// ArtifactView is the artifact description the list endpoint serves (the
+// parts are listed by name; fetch them via /v1/artifacts/{id}/{part}).
+type ArtifactView struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`
+	Created time.Time `json:"created"`
+	Parts   []string  `json:"parts"`
+}
+
+// ArtifactViews lists stored artifacts sorted by ID (the artifacts list's
+// stable ordering — content addresses, so the order is arbitrary but
+// stable). after resumes past that ID; limit > 0 caps the page. The second
+// return is the next page's cursor ("" when exhausted).
+func (s *Server) ArtifactViews(after string, limit int) ([]ArtifactView, string) {
 	s.store.mu.RLock()
-	arts := make([]*Artifact, 0, len(s.store.arts))
-	for _, a := range s.store.arts {
-		arts = append(arts, a)
+	ids := make([]string, 0, len(s.store.arts))
+	for id := range s.store.arts {
+		if after == "" || id > after {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	more := false
+	if limit > 0 && len(ids) > limit {
+		ids = ids[:limit]
+		more = true
+	}
+	out := make([]ArtifactView, 0, len(ids))
+	for _, id := range ids {
+		a := s.store.arts[id]
+		out = append(out, ArtifactView{ID: a.ID, Kind: a.Kind, Created: a.Created, Parts: a.PartNames()})
 	}
 	s.store.mu.RUnlock()
-	sort.Slice(arts, func(i, j int) bool { return arts[i].ID < arts[j].ID })
-	out := make([]map[string]any, 0, len(arts))
-	for _, a := range arts {
-		out = append(out, map[string]any{
-			"id": a.ID, "kind": a.Kind, "created": a.Created, "parts": a.PartNames(),
-		})
+	var next string
+	if more && len(out) > 0 {
+		next = out[len(out)-1].ID
 	}
-	return out
+	return out, next
 }
 
-// buildMux assembles the HTTP surface.
+// buildMux assembles the HTTP surface. Every route is mounted twice: under
+// /v1 (the versioned API clients should target) and at its original
+// unversioned path, kept as a deprecated alias that answers with a
+// "Deprecation: true" header.
 func (s *Server) buildMux(enablePprof bool) *http.ServeMux {
 	mux := http.NewServeMux()
-	s.handle(mux, "GET /healthz", "healthz", s.handleHealthz)
-	s.handle(mux, "GET /metrics", "metrics", s.handleMetrics)
-	s.handle(mux, "POST /networks", "networks_create", s.handleCreateNetwork)
-	s.handle(mux, "GET /networks", "networks_list", s.handleListNetworks)
-	s.handle(mux, "GET /networks/{name}", "networks_get", s.handleGetNetwork)
-	s.handle(mux, "DELETE /networks/{name}", "networks_delete", s.handleDeleteNetwork)
-	s.handle(mux, "POST /networks/{name}/jobs", "jobs_submit", s.handleSubmitJob)
-	s.handle(mux, "GET /jobs", "jobs_list", s.handleListJobs)
-	s.handle(mux, "GET /jobs/{id}", "jobs_get", s.handleGetJob)
-	s.handle(mux, "DELETE /jobs/{id}", "jobs_cancel", s.handleCancelJob)
-	s.handle(mux, "GET /artifacts", "artifacts_list", s.handleListArtifacts)
-	s.handle(mux, "GET /artifacts/{id}", "artifacts_get", s.handleGetArtifact)
-	s.handle(mux, "GET /artifacts/{id}/{part}", "artifacts_part", s.handleGetArtifactPart)
+	routes := []struct {
+		method, path, name string
+		h                  http.HandlerFunc
+	}{
+		{"GET", "/healthz", "healthz", s.handleHealthz},
+		{"GET", "/metrics", "metrics", s.handleMetrics},
+		{"POST", "/networks", "networks_create", s.handleCreateNetwork},
+		{"GET", "/networks", "networks_list", s.handleListNetworks},
+		{"GET", "/networks/{name}", "networks_get", s.handleGetNetwork},
+		{"DELETE", "/networks/{name}", "networks_delete", s.handleDeleteNetwork},
+		{"POST", "/networks/{name}/jobs", "jobs_submit", s.handleSubmitJob},
+		{"GET", "/jobs", "jobs_list", s.handleListJobs},
+		{"GET", "/jobs/{id}", "jobs_get", s.handleGetJob},
+		{"DELETE", "/jobs/{id}", "jobs_cancel", s.handleCancelJob},
+		{"GET", "/jobs/{id}/events", "jobs_events", s.handleJobEvents},
+		{"GET", "/events", "events", s.handleEvents},
+		{"GET", "/artifacts", "artifacts_list", s.handleListArtifacts},
+		{"GET", "/artifacts/{id}", "artifacts_get", s.handleGetArtifact},
+		{"GET", "/artifacts/{id}/{part}", "artifacts_part", s.handleGetArtifactPart},
+	}
+	for _, rt := range routes {
+		s.handle(mux, rt.method+" /v1"+rt.path, rt.name, rt.h, false)
+		s.handle(mux, rt.method+" "+rt.path, rt.name, rt.h, true)
+	}
 	if enablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -261,15 +380,27 @@ func (s *Server) buildMux(enablePprof bool) *http.ServeMux {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
+	// Catch-all: requests matching no route get the JSON error envelope
+	// instead of the mux's plain-text defaults, so every non-2xx response
+	// on the API surface has one shape.
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		writeErr(w, http.StatusNotFound, codeNotFound, "no route for %s %s", r.Method, r.URL.Path)
+	})
 	return mux
 }
 
 // handle registers a route with per-endpoint request counting and latency
 // histograms ("server.http.<name>.requests" / "server.http.<name>_seconds").
-func (s *Server) handle(mux *http.ServeMux, pattern, name string, h http.HandlerFunc) {
+// deprecated marks the unversioned alias of a /v1 route: it serves
+// identically but advertises the deprecation per draft-ietf-httpapi-deprecation.
+func (s *Server) handle(mux *http.ServeMux, pattern, name string, h http.HandlerFunc, deprecated bool) {
 	mux.HandleFunc(pattern, func(w http.ResponseWriter, r *http.Request) {
 		s.mets.Count("server.http."+name+".requests", 1)
 		defer obs.Timed(s.mets, "server.http."+name+"_seconds")()
+		if deprecated {
+			w.Header().Set("Deprecation", "true")
+			w.Header().Set("Link", `</v1`+r.URL.Path+`>; rel="successor-version"`)
+		}
 		h(w, r)
 	})
 }
@@ -283,7 +414,32 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// Error codes of the v1 error envelope. Every non-2xx API response is
+//
+//	{"error": {"code": "<one of these>", "message": "<human-readable>"}}
+//
+// so typed clients can branch on the code without parsing messages.
+const (
+	codeInvalidRequest = "invalid_request"
+	codeNotFound       = "not_found"
+	codeConflict       = "conflict"
+	codeQueueFull      = "queue_full"
+	codeDraining       = "draining"
+	codeInternal       = "internal"
+)
+
+// errorBody is the wire form of the v1 error envelope.
+type errorBody struct {
+	Error struct {
+		Code    string `json:"code"`
+		Message string `json:"message"`
+	} `json:"error"`
+}
+
 // writeErr serves one JSON error envelope.
-func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+func writeErr(w http.ResponseWriter, status int, code, format string, args ...any) {
+	var body errorBody
+	body.Error.Code = code
+	body.Error.Message = fmt.Sprintf(format, args...)
+	writeJSON(w, status, body)
 }

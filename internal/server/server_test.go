@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -47,6 +48,10 @@ func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 }
 
 // doJSON issues one request with a JSON body and decodes the JSON response.
+// Every non-2xx response is asserted to be the v1 error envelope (except
+// /healthz, whose 503 is a liveness report, not an error); pass out as
+// *errorBody to inspect the code. So every failure path any test exercises
+// doubles as an envelope-shape assertion.
 func doJSON(t *testing.T, method, url string, body any, out any) int {
 	t.Helper()
 	var rd io.Reader
@@ -69,6 +74,16 @@ func doJSON(t *testing.T, method, url string, body any, out any) int {
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if resp.StatusCode >= 400 && !strings.HasSuffix(url, "/healthz") {
+		var env errorBody
+		if err := json.Unmarshal(data, &env); err != nil || env.Error.Code == "" || env.Error.Message == "" {
+			t.Fatalf("%s %s: status %d body %q is not the error envelope", method, url, resp.StatusCode, data)
+		}
+		if e, ok := out.(*errorBody); ok {
+			*e = env
+		}
+		return resp.StatusCode
 	}
 	if out != nil && len(data) > 0 {
 		if err := json.Unmarshal(data, out); err != nil {

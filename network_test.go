@@ -263,14 +263,14 @@ func TestFacadeAnalysis(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	util, err := wsan.ComputeUtilization(flows, 4, true)
+	util, err := wsan.AnalyzeUtilization(flows, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if util.Channel <= 0 || util.BottleneckNode <= 0 {
 		t.Errorf("utilization = %+v", util)
 	}
-	bounds, err := wsan.DelayAnalysis(flows, 4, true)
+	bounds, err := wsan.DelayBounds(flows, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -218,19 +218,12 @@ func TestErrorPrefixExactlyOnce(t *testing.T) {
 	}
 }
 
-func TestDelayBoundsWrapperParity(t *testing.T) {
+func TestDelayBoundsAttemptDefaults(t *testing.T) {
 	_, flows := metricsWorkload(t)
 
 	newAPI, err := wsan.DelayBounds(flows, 4, 2)
 	if err != nil {
 		t.Fatal(err)
-	}
-	oldAPI, err := wsan.DelayAnalysis(flows, 4, true)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(newAPI, oldAPI) {
-		t.Error("DelayBounds(attempts=2) differs from DelayAnalysis(retransmit=true)")
 	}
 	defaulted, err := wsan.DelayBounds(flows, 4, 0) // 0 → default 2 attempts
 	if err != nil {
@@ -243,24 +236,20 @@ func TestDelayBoundsWrapperParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	noRetx, err := wsan.DelayAnalysis(flows, 4, false)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(single, noRetx) {
-		t.Error("DelayBounds(attempts=1) differs from DelayAnalysis(retransmit=false)")
+	if reflect.DeepEqual(newAPI, single) {
+		t.Error("DelayBounds(attempts=1) should differ from attempts=2 (retry slots change the bound)")
 	}
 
 	newUtil, err := wsan.AnalyzeUtilization(flows, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
-	oldUtil, err := wsan.ComputeUtilization(flows, 4, true)
+	defUtil, err := wsan.AnalyzeUtilization(flows, 4, 0) // 0 → default 2 attempts
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !reflect.DeepEqual(newUtil, oldUtil) {
-		t.Error("AnalyzeUtilization(attempts=2) differs from ComputeUtilization(retransmit=true)")
+	if !reflect.DeepEqual(newUtil, defUtil) {
+		t.Error("AnalyzeUtilization(attempts=0) should default to 2 attempts")
 	}
 }
 

@@ -50,7 +50,7 @@ func TestSoakPipeline(t *testing.T) {
 			if err != nil {
 				t.Skipf("workload generation failed on this draw: %v", err)
 			}
-			util, err := wsan.ComputeUtilization(flows, nch, true)
+			util, err := wsan.AnalyzeUtilization(flows, nch, 2)
 			if err != nil {
 				t.Fatal(err)
 			}

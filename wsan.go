@@ -348,6 +348,17 @@ type ManageConfig = manage.Config
 // ManageIteration reports one observe→classify→repair cycle.
 type ManageIteration = manage.Iteration
 
+// ManageHealth classifies the network at the end of a management iteration.
+type ManageHealth = manage.Health
+
+// ManageHealth values (the wire strings are "healthy", "degraded",
+// "recovered").
+const (
+	HealthHealthy   = manage.Healthy
+	HealthDegraded  = manage.Degraded
+	HealthRecovered = manage.Recovered
+)
+
 // Manage runs the closed loop — execute, detect reuse degradation, repair,
 // repeat — until the network is clean, repair stalls, or the iteration
 // budget is spent. The schedule in cfg is mutated by the applied repairs.
@@ -448,30 +459,4 @@ func AnalyzeUtilization(flows []*Flow, numChannels, attempts int) (NetworkUtiliz
 	}
 	u, err := analysis.ComputeUtilization(flows, numChannels, attempts)
 	return u, wrapErr(err)
-}
-
-// DelayAnalysis runs the worst-case delay bound with the retransmission
-// setting expressed as a boolean.
-//
-// Deprecated: the boolean trap obscures call sites ("true" means two
-// attempts per hop). Use DelayBounds with an explicit attempt count.
-func DelayAnalysis(flows []*Flow, numChannels int, retransmit bool) ([]DelayBound, error) {
-	return DelayBounds(flows, numChannels, boolAttempts(retransmit))
-}
-
-// ComputeUtilization accounts demand with the retransmission setting
-// expressed as a boolean.
-//
-// Deprecated: the boolean trap obscures call sites ("true" means two
-// attempts per hop). Use AnalyzeUtilization with an explicit attempt count.
-func ComputeUtilization(flows []*Flow, numChannels int, retransmit bool) (NetworkUtilization, error) {
-	return AnalyzeUtilization(flows, numChannels, boolAttempts(retransmit))
-}
-
-// boolAttempts maps the deprecated retransmit flag to an attempt count.
-func boolAttempts(retransmit bool) int {
-	if retransmit {
-		return 2
-	}
-	return 1
 }

@@ -1,0 +1,273 @@
+package wsanclient
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// envelope writes the v1 error envelope, as the daemon does.
+func envelope(w http.ResponseWriter, status int, code, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	fmt.Fprintf(w, `{"error":{"code":%q,"message":%q}}`, code, msg)
+}
+
+func testClient(ts *httptest.Server, opts Options) *Client {
+	if opts.RetryBackoff == 0 {
+		opts.RetryBackoff = time.Millisecond
+	}
+	return New(ts.URL, opts)
+}
+
+func TestRetryTransientThenSucceed(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j1" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		if attempts.Add(1) <= 2 {
+			envelope(w, http.StatusServiceUnavailable, "draining", "try later")
+			return
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: StateDone})
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, Options{MaxRetries: 3})
+	job, err := c.Job(context.Background(), "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j1" || job.State != StateDone {
+		t.Fatalf("job = %+v", job)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (two 503s then success)", n)
+	}
+}
+
+func TestRetryBudgetExhausted(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts.Add(1)
+		envelope(w, http.StatusBadGateway, "", "bad gateway")
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, Options{MaxRetries: 2})
+	_, err := c.Job(context.Background(), "j1")
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want APIError 502", err)
+	}
+	if n := attempts.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3 (initial + 2 retries)", n)
+	}
+}
+
+func TestNoRetryOnClientError(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		attempts.Add(1)
+		envelope(w, http.StatusNotFound, "not_found", "no job j9")
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, Options{})
+	_, err := c.Job(context.Background(), "j9")
+	if !IsNotFound(err) {
+		t.Fatalf("err = %v, want not_found", err)
+	}
+	var apiErr *APIError
+	if !asAPIError(err, &apiErr) || apiErr.Code != "not_found" || apiErr.Message != "no job j9" {
+		t.Fatalf("envelope not decoded: %v", err)
+	}
+	if n := attempts.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (4xx is permanent)", n)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	var attempts atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if attempts.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			envelope(w, http.StatusTooManyRequests, "queue_full", "queue full")
+			return
+		}
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: StateQueued})
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, Options{MaxRetries: 1})
+	start := time.Now()
+	if _, err := c.Job(context.Background(), "j1"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s from Retry-After", elapsed)
+	}
+}
+
+func TestSubmitRetryResubmitsBody(t *testing.T) {
+	var bodies atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req struct {
+			Kind   string          `json:"kind"`
+			Params json.RawMessage `json:"params"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.Kind != "schedule" {
+			t.Errorf("attempt %d: body not re-sent intact: %v (%+v)", bodies.Load()+1, err, req)
+		}
+		if bodies.Add(1) == 1 {
+			envelope(w, http.StatusServiceUnavailable, "draining", "busy")
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(Job{ID: "j1", State: StateQueued, Kind: req.Kind})
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, Options{MaxRetries: 2})
+	job, err := c.SubmitJob(context.Background(), "plant", KindSchedule, map[string]any{"flows": 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if job.ID != "j1" || bodies.Load() != 2 {
+		t.Fatalf("job %+v after %d attempts", job, bodies.Load())
+	}
+}
+
+// sseEvent frames one event the way the daemon does.
+func sseEvent(w http.ResponseWriter, seq uint64, typ, job string) {
+	ev := Event{Seq: seq, Type: typ, Job: job, Network: "plant"}
+	data, _ := json.Marshal(ev)
+	if seq > 0 {
+		fmt.Fprintf(w, "id: %d\n", seq)
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", typ, data)
+	w.(http.Flusher).Flush()
+}
+
+// TestStreamReconnectResume kills the SSE connection mid-stream and checks
+// the client transparently reconnects with Last-Event-ID so no retained
+// event is skipped or duplicated.
+func TestStreamReconnectResume(t *testing.T) {
+	var conns atomic.Int32
+	var resumedFrom atomic.Value // string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j1/events" {
+			envelope(w, http.StatusNotFound, "not_found", r.URL.Path)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		switch conns.Add(1) {
+		case 1:
+			if lid := r.Header.Get("Last-Event-ID"); lid != "" {
+				t.Errorf("first connection sent Last-Event-ID %q", lid)
+			}
+			sseEvent(w, 0, EventJobSnapshot, "j1")
+			sseEvent(w, 3, EventJobQueued, "j1")
+			sseEvent(w, 4, EventJobRunning, "j1")
+			// Drop the connection without a terminal event: the client must
+			// reconnect and resume after seq 4.
+		default:
+			resumedFrom.Store(r.Header.Get("Last-Event-ID"))
+			sseEvent(w, 0, EventJobSnapshot, "j1")
+			sseEvent(w, 7, EventManageHealth, "j1")
+			sseEvent(w, 9, EventJobDone, "j1")
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c := testClient(ts, Options{})
+	st, err := c.Watch(ctx, "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	var types []string
+	var seqs []uint64
+	for ev := range st.Events() {
+		types = append(types, ev.Type)
+		if ev.Seq > 0 {
+			seqs = append(seqs, ev.Seq)
+		}
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream err: %v (got %v)", err, types)
+	}
+	if conns.Load() != 2 {
+		t.Fatalf("server saw %d connections, want 2", conns.Load())
+	}
+	if got := resumedFrom.Load(); got != "4" {
+		t.Fatalf("reconnect resumed from %v, want \"4\"", got)
+	}
+	wantSeqs := []uint64{3, 4, 7, 9}
+	if len(seqs) != len(wantSeqs) {
+		t.Fatalf("sequenced events %v, want %v (types %v)", seqs, wantSeqs, types)
+	}
+	for i := range wantSeqs {
+		if seqs[i] != wantSeqs[i] {
+			t.Fatalf("sequenced events %v, want %v", seqs, wantSeqs)
+		}
+	}
+}
+
+// TestStreamGivesUpAfterMaxRetries ends the stream with an error once
+// consecutive reconnection attempts exhaust the budget.
+func TestStreamGivesUpAfterMaxRetries(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		if conns.Add(1) == 1 {
+			sseEvent(w, 0, EventJobSnapshot, "j1")
+			sseEvent(w, 1, EventJobQueued, "j1")
+		}
+		// Every connection drops without a terminal event; reconnections
+		// deliver nothing, so the failure budget is never reset.
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c := testClient(ts, Options{})
+	st, err := c.Subscribe(ctx, StreamOptions{Job: "j1", MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	for range st.Events() {
+	}
+	if err := st.Err(); err == nil {
+		t.Fatal("stream ended cleanly, want a reconnect-exhausted error")
+	}
+	if n := conns.Load(); n < 3 {
+		t.Fatalf("server saw %d connections, want initial + 2 retries", n)
+	}
+}
+
+func TestSubscribeRejectsBadTarget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		envelope(w, http.StatusNotFound, "not_found", "no job")
+	}))
+	defer ts.Close()
+
+	c := testClient(ts, Options{})
+	if _, err := c.Watch(context.Background(), "ghost"); !IsNotFound(err) {
+		t.Fatalf("Watch(ghost) = %v, want not_found at the call site", err)
+	}
+}

@@ -37,16 +37,28 @@ ci: lint
 	$(GO) test -race -short ./...
 
 # e2e starts a real daemon and drives it over the wire with the wsanclient
-# SDK (examples/stream): register a network, run a schedule job, then a
-# manage job whose per-iteration health verdicts must arrive on the SSE
-# stream before the job completes. The example waits for the daemon to
-# come up; the daemon is torn down whatever the outcome.
+# SDK. Phase 1 (examples/stream): register a network, run a schedule job,
+# then a manage job whose per-iteration health verdicts must arrive on the
+# SSE stream before the job completes. Phase 2 (examples/persist): prime a
+# schedule artifact into the durable store, RESTART the daemon over the
+# same -store-dir, and assert the resubmitted job is a disk-served cache
+# hit — same artifact, byte-identical part, server.cache.hits >= 1 and
+# server.cache.stored == 0 (no recompute). The examples wait for the
+# daemon to come up; daemons and the store are torn down whatever the
+# outcome.
 E2E_ADDR ?= 127.0.0.1:18080
 e2e:
 	@$(GO) build -o /tmp/wsansim-e2e ./cmd/wsansim
-	@/tmp/wsansim-e2e serve -addr $(E2E_ADDR) -workers 2 -queue 16 & \
-	pid=$$!; trap 'kill $$pid 2>/dev/null' EXIT; \
-	$(GO) run ./examples/stream -addr http://$(E2E_ADDR) -timeout 90s
+	@dir=$$(mktemp -d /tmp/wsansim-e2e.XXXXXX); \
+	trap 'kill $$pid 2>/dev/null; rm -rf $$dir' EXIT; \
+	/tmp/wsansim-e2e serve -addr $(E2E_ADDR) -workers 2 -queue 16 -store-dir $$dir/store & \
+	pid=$$!; \
+	$(GO) run ./examples/stream -addr http://$(E2E_ADDR) -timeout 90s || exit 1; \
+	$(GO) run ./examples/persist -addr http://$(E2E_ADDR) -mode prime -state $$dir/state.json -timeout 60s || exit 1; \
+	kill $$pid; wait $$pid 2>/dev/null; \
+	/tmp/wsansim-e2e serve -addr $(E2E_ADDR) -workers 2 -queue 16 -store-dir $$dir/store & \
+	pid=$$!; \
+	$(GO) run ./examples/persist -addr http://$(E2E_ADDR) -mode verify -state $$dir/state.json -timeout 60s
 
 # fuzz-smoke gives every fuzz target a short budget ($(FUZZTIME) each) —
 # enough to catch regressions in the decoder hardening without stalling CI.

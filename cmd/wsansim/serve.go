@@ -27,6 +27,10 @@ func runServe(args []string, mets obs.Sink) error {
 	jobTimeout := fs.Duration("job-timeout", 0, "per-job watchdog; a job running longer fails (0 = off)")
 	jobRetries := fs.Int("job-retries", 2, "retry budget for transiently failing jobs")
 	retryBackoff := fs.Duration("retry-backoff", 250*time.Millisecond, "delay before the first retry, doubling per attempt")
+	storeDir := fs.String("store-dir", "", "artifact store directory; set to persist artifacts across restarts (empty = in-memory only)")
+	storeMaxBytes := fs.Int64("store-max-bytes", 0, "artifact store byte budget; exceeding it evicts least-recently-used artifacts (0 = unbounded)")
+	storeTTL := fs.Duration("store-ttl", 0, "artifact expiry; artifacts older than this are evicted (0 = keep forever)")
+	storeMemBytes := fs.Int64("store-mem-bytes", 0, "memory front-tier budget of a durable store (0 = 256MiB; needs -store-dir)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -37,15 +41,22 @@ func runServe(args []string, mets obs.Sink) error {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
-	srv := server.New(server.Config{
-		Workers:      *workers,
-		QueueCap:     *queueCap,
-		JobTimeout:   *jobTimeout,
-		MaxRetries:   *jobRetries,
-		RetryBackoff: *retryBackoff,
-		Metrics:      reg,
-		EnablePprof:  true,
+	srv, err := server.New(server.Config{
+		Workers:       *workers,
+		QueueCap:      *queueCap,
+		JobTimeout:    *jobTimeout,
+		MaxRetries:    *jobRetries,
+		RetryBackoff:  *retryBackoff,
+		Metrics:       reg,
+		EnablePprof:   true,
+		StoreDir:      *storeDir,
+		StoreMaxBytes: *storeMaxBytes,
+		StoreTTL:      *storeTTL,
+		StoreMemBytes: *storeMemBytes,
 	})
+	if err != nil {
+		return fmt.Errorf("opening artifact store: %w", err)
+	}
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

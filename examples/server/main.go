@@ -32,7 +32,10 @@ func run() error {
 	// Start the daemon on a loopback listener, exactly as `wsansim serve`
 	// does (minus the signal handling).
 	mets := obs.NewRegistry()
-	srv := server.New(server.Config{Workers: 2, QueueCap: 16, Metrics: mets})
+	srv, err := server.New(server.Config{Workers: 2, QueueCap: 16, Metrics: mets})
+	if err != nil {
+		return err
+	}
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		return err

@@ -59,6 +59,10 @@ const (
 	// EventMetricsDelta is the periodic counter delta since the previous
 	// delta (MetricsDelta payload). Published on the firehose only.
 	EventMetricsDelta = "metrics.delta"
+	// EventCacheEvict reports one artifact evicted from the store — by the
+	// byte budget ("capacity") or by expiry ("ttl") — with a
+	// storage.Eviction payload. Published on the firehose only.
+	EventCacheEvict = "cache.evicted"
 )
 
 // TerminalEvent reports whether typ marks the end of a job's lifecycle —
@@ -370,6 +374,10 @@ func (s *Server) metricsLoop(interval time.Duration) {
 		case <-s.metricsStop:
 			return
 		case <-t.C:
+			// The metrics ticker doubles as the store's TTL sweep cadence
+			// (expired artifacts are also reclaimed lazily on access, so a
+			// disabled loop only defers reclamation, never serves stale data).
+			s.store.SweepExpired()
 			if !s.bus.HasSubscribers() {
 				continue
 			}

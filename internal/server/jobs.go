@@ -332,7 +332,12 @@ func (s *Server) runJob(ctx context.Context, j *Job) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	s.store.Put(j.Key, j.Kind, parts)
+	if _, err := s.store.Put(j.Key, j.Kind, parts); err != nil {
+		// The computation succeeded but the artifact cannot be persisted
+		// (e.g. the store directory's filesystem failed): the job fails
+		// rather than claiming an artifact that is not servable.
+		return "", fmt.Errorf("storing artifact: %w", err)
+	}
 	return j.Key, nil
 }
 

@@ -171,7 +171,10 @@ func TestRescheduleValidation(t *testing.T) {
 // find the stored artifact and return it, never recomputing the pipeline or
 // re-writing the store.
 func TestRetryIdempotentAfterStoreWrite(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueCap: 2})
+	srv, err := New(Config{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	t.Cleanup(func() {
 		ctx, cancel := contextWithTimeout(2 * time.Second)
 		defer cancel()

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"wsan/internal/obs"
+	"wsan/internal/server/storage"
 )
 
 // Config parameterizes the daemon.
@@ -45,15 +46,33 @@ type Config struct {
 	// (default 1024 events). Retention starts with the first subscriber.
 	EventReplay int
 	// MetricsInterval is the period of the metrics.delta firehose events
-	// (default 10s; negative disables them).
+	// (default 10s; negative disables them). The same ticker drives the
+	// periodic TTL sweep of the artifact store.
 	MetricsInterval time.Duration
+	// StoreDir, when set, makes the artifact store durable: artifacts are
+	// written to this directory (content-addressed, atomically published)
+	// behind a memory front tier, and a restarted daemon warm-scans the
+	// directory so previously computed artifacts are served from disk
+	// without recomputation. Empty keeps the process-lifetime memory store.
+	StoreDir string
+	// StoreMaxBytes bounds the artifact store's total part payload; when
+	// the budget is exceeded, least-recently-used artifacts are evicted
+	// (from both tiers of a durable store). 0 = unbounded.
+	StoreMaxBytes int64
+	// StoreTTL, when positive, expires artifacts that old: they are never
+	// served past the TTL and are reclaimed lazily on access plus
+	// periodically (see MetricsInterval). 0 = no expiry.
+	StoreTTL time.Duration
+	// StoreMemBytes bounds the memory front tier of a durable store
+	// (default 256 MiB). Ignored without StoreDir.
+	StoreMemBytes int64
 }
 
 // Server is the network-manager daemon: hosted networks, the artifact
 // store, the job queue, the event bus, and the HTTP surface over them.
 type Server struct {
 	nets  *registry
-	store *Store
+	store *storage.Evicting
 	pool  *Pool
 	mets  *obs.Registry
 	bus   *Bus
@@ -72,8 +91,9 @@ type Server struct {
 	draining bool
 }
 
-// New builds a ready-to-serve daemon. Call Shutdown to drain it.
-func New(cfg Config) *Server {
+// New builds a ready-to-serve daemon. It errors only when a configured
+// store directory cannot be opened. Call Shutdown to drain it.
+func New(cfg Config) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -95,7 +115,6 @@ func New(cfg Config) *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		nets:        newRegistry(),
-		store:       NewStore(cfg.Metrics),
 		mets:        cfg.Metrics,
 		bus:         NewBus(cfg.EventBuffer, cfg.EventReplay, cfg.Metrics),
 		baseCtx:     ctx,
@@ -104,6 +123,12 @@ func New(cfg Config) *Server {
 		metricsDone: make(chan struct{}),
 		jobs:        make(map[string]*Job),
 	}
+	store, err := buildStore(cfg, s.cacheEviction)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	s.store = store
 	s.pool = NewPool(PoolConfig{
 		Workers:      cfg.Workers,
 		QueueCap:     cfg.QueueCap,
@@ -120,7 +145,8 @@ func New(cfg Config) *Server {
 		"server.jobs.cancelled", "server.jobs.rejected", "server.jobs.retries",
 		"server.jobs.panics", "server.jobs.watchdog_timeouts",
 		"server.cache.hits", "server.cache.misses", "server.cache.stored",
-		"server.cache.dup_writes",
+		"server.cache.dup_writes", "server.cache.evictions",
+		"server.cache.quarantined",
 		"server.events.published", "server.events.dropped",
 	} {
 		s.mets.Count(name, 0)
@@ -132,7 +158,7 @@ func New(cfg Config) *Server {
 	} else {
 		close(s.metricsDone)
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the daemon's HTTP surface.
@@ -170,6 +196,12 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		<-s.metricsDone
 	}
 	s.bus.Close()
+	// The workers are drained, so nothing writes the store anymore; a disk
+	// backend releases its in-memory index here while the artifacts stay
+	// durable for the next daemon.
+	if cerr := s.store.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
 	return err
 }
 
@@ -314,33 +346,24 @@ type ArtifactView struct {
 
 // ArtifactViews lists stored artifacts sorted by ID (the artifacts list's
 // stable ordering — content addresses, so the order is arbitrary but
-// stable). after resumes past that ID; limit > 0 caps the page. The second
-// return is the next page's cursor ("" when exhausted).
+// stable). after resumes strictly past that ID — the cursor itself need
+// not still exist, so a page boundary evicted between requests resumes
+// correctly; limit > 0 caps the page. The second return is the next page's
+// cursor ("" when exhausted).
 func (s *Server) ArtifactViews(after string, limit int) ([]ArtifactView, string) {
-	s.store.mu.RLock()
-	ids := make([]string, 0, len(s.store.arts))
-	for id := range s.store.arts {
-		if after == "" || id > after {
-			ids = append(ids, id)
-		}
-	}
-	sort.Strings(ids)
-	more := false
-	if limit > 0 && len(ids) > limit {
-		ids = ids[:limit]
-		more = true
-	}
-	out := make([]ArtifactView, 0, len(ids))
-	for _, id := range ids {
-		a := s.store.arts[id]
-		out = append(out, ArtifactView{ID: a.ID, Kind: a.Kind, Created: a.Created, Parts: a.PartNames()})
-	}
-	s.store.mu.RUnlock()
-	var next string
-	if more && len(out) > 0 {
-		next = out[len(out)-1].ID
+	infos, next := s.store.List(after, limit)
+	out := make([]ArtifactView, 0, len(infos))
+	for _, info := range infos {
+		out = append(out, ArtifactView{ID: info.ID, Kind: info.Kind, Created: info.Created, Parts: info.Parts})
 	}
 	return out, next
+}
+
+// cacheEviction is the store's OnEvict hook: every evicted artifact is
+// counted by the store itself and announced on the event bus so `wsansim
+// watch` surfaces cache pressure live.
+func (s *Server) cacheEviction(ev storage.Eviction) {
+	s.bus.Publish(EventCacheEvict, "", "", ev)
 }
 
 // buildMux assembles the HTTP surface. Every route is mounted twice: under

@@ -36,7 +36,10 @@ func testTestbed(t *testing.T) *wsan.Testbed {
 // newTestServer starts a daemon on an httptest listener.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := New(cfg)
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -479,7 +482,10 @@ func TestNetworkLifecycle(t *testing.T) {
 // TestGracefulShutdown verifies that draining rejects new submissions and
 // that a shutdown deadline forcibly cancels a stuck job.
 func TestGracefulShutdown(t *testing.T) {
-	srv := New(Config{Workers: 1, QueueCap: 2})
+	srv, err := New(Config{Workers: 1, QueueCap: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(srv.Handler())
 	defer ts.Close()
 	createTestNetwork(t, ts, "plant")

@@ -1,0 +1,491 @@
+package storage
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"wsan/internal/obs"
+)
+
+// On-disk layout under the store root:
+//
+//	root/
+//	  objects/<id>/manifest.json   artifact metadata + part digests
+//	  objects/<id>/<part files>    exact part bytes, one file per part
+//	  tmp/<id>.<seq>/              write staging (never visible; cleared at open)
+//	  quarantine/<id>.<n>/         entries the warm-scan or a read refused to serve
+//
+// Writes stage the whole artifact — every part plus the manifest, each
+// fsynced — in a fresh tmp directory, then publish it with one
+// os.Rename(tmp, objects/<id>). Rename is atomic on POSIX, so a crash at
+// any point leaves either no visible artifact (staging debris in tmp/,
+// removed at next open) or a complete one. Nothing under objects/ is ever
+// written in place.
+
+// manifest is the artifact metadata document stored next to the parts.
+type manifest struct {
+	ID      string         `json:"id"`
+	Kind    string         `json:"kind"`
+	Created time.Time      `json:"created"`
+	Parts   []manifestPart `json:"parts"`
+}
+
+// manifestPart records one part's name, size, and content digest.
+type manifestPart struct {
+	Name   string `json:"name"`
+	Size   int64  `json:"size"`
+	SHA256 string `json:"sha256"`
+}
+
+// manifestName is the metadata file of each artifact directory. The name
+// is reserved: a part may not be called this.
+const manifestName = "manifest.json"
+
+// diskEntry is the in-memory index record of one on-disk artifact — the
+// manifest, pre-validated at warm-scan. Part contents stay on disk.
+type diskEntry struct {
+	man  manifest
+	size int64
+}
+
+// DiskOptions parameterizes OpenDisk.
+type DiskOptions struct {
+	// Metrics (nil to disable) receives server.cache.{quarantined,stored,
+	// dup_writes} plus hit/miss counters for direct Lookup calls.
+	Metrics obs.Sink
+	// NoSync skips the per-file fsync during writes. Crash durability is
+	// lost (atomicity via rename is kept on journaling filesystems);
+	// meant for bulk loads and benchmarks, not for serving daemons.
+	NoSync bool
+}
+
+// Disk is the durable Store backend. The part payloads live on disk; only
+// the manifests are resident, so capacity is bounded by the filesystem,
+// not the process. Safe for concurrent use.
+type Disk struct {
+	root   string
+	mets   obs.Sink
+	noSync bool
+
+	mu      sync.RWMutex
+	entries map[string]*diskEntry
+	size    int64
+	tmpSeq  int
+	qSeq    int
+	closed  bool
+
+	// Failure-injection points for crash-recovery tests: when non-nil they
+	// run before the real fsync / rename and abort the operation by
+	// returning an error (simulating a crash at that point).
+	failSync   func(path string) error
+	failRename func(oldpath, newpath string) error
+}
+
+// OpenDisk opens (creating if needed) a disk store rooted at dir and
+// warm-scans it: every artifact directory's manifest is loaded and every
+// part's size and SHA-256 digest verified. Entries that fail verification
+// — truncated parts, bit rot, missing files, unreadable manifests — are
+// moved to root/quarantine (counted in server.cache.quarantined) rather
+// than served. Staging debris from writes interrupted by a crash is
+// deleted: it was never visible.
+func OpenDisk(dir string, opts DiskOptions) (*Disk, error) {
+	d := &Disk{
+		root:    dir,
+		mets:    opts.Metrics,
+		noSync:  opts.NoSync,
+		entries: make(map[string]*diskEntry),
+	}
+	for _, sub := range []string{d.objectsDir(), d.tmpDir(), d.quarantineDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("storage: creating %s: %w", sub, err)
+		}
+	}
+	// Clear write staging left over from a crash mid-Put.
+	debris, err := os.ReadDir(d.tmpDir())
+	if err != nil {
+		return nil, fmt.Errorf("storage: scanning staging: %w", err)
+	}
+	for _, e := range debris {
+		_ = os.RemoveAll(filepath.Join(d.tmpDir(), e.Name()))
+	}
+	if err := d.warmScan(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+func (d *Disk) objectsDir() string    { return filepath.Join(d.root, "objects") }
+func (d *Disk) tmpDir() string        { return filepath.Join(d.root, "tmp") }
+func (d *Disk) quarantineDir() string { return filepath.Join(d.root, "quarantine") }
+func (d *Disk) artifactDir(id string) string {
+	return filepath.Join(d.objectsDir(), id)
+}
+
+// Root returns the store's root directory.
+func (d *Disk) Root() string { return d.root }
+
+// warmScan indexes and verifies every artifact directory.
+func (d *Disk) warmScan() error {
+	dirs, err := os.ReadDir(d.objectsDir())
+	if err != nil {
+		return fmt.Errorf("storage: scanning %s: %w", d.objectsDir(), err)
+	}
+	for _, de := range dirs {
+		id := de.Name()
+		if !de.IsDir() || !validID(id) {
+			d.quarantine(id)
+			continue
+		}
+		entry, err := d.verifyEntry(id)
+		if err != nil {
+			d.quarantine(id)
+			continue
+		}
+		d.entries[id] = entry
+		d.size += entry.size
+	}
+	return nil
+}
+
+// verifyEntry loads one artifact directory's manifest and checks every
+// part file against its recorded size and digest.
+func (d *Disk) verifyEntry(id string) (*diskEntry, error) {
+	raw, err := os.ReadFile(filepath.Join(d.artifactDir(id), manifestName))
+	if err != nil {
+		return nil, err
+	}
+	var man manifest
+	if err := json.Unmarshal(raw, &man); err != nil {
+		return nil, fmt.Errorf("storage: artifact %s: bad manifest: %w", id, err)
+	}
+	if man.ID != id {
+		return nil, fmt.Errorf("storage: artifact %s: manifest claims ID %s", id, man.ID)
+	}
+	entry := &diskEntry{man: man}
+	for _, p := range man.Parts {
+		if err := validPartName(p.Name); err != nil {
+			return nil, err
+		}
+		data, err := os.ReadFile(filepath.Join(d.artifactDir(id), p.Name))
+		if err != nil {
+			return nil, err
+		}
+		if int64(len(data)) != p.Size {
+			return nil, fmt.Errorf("storage: artifact %s part %s: %d bytes, manifest says %d",
+				id, p.Name, len(data), p.Size)
+		}
+		if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) != p.SHA256 {
+			return nil, fmt.Errorf("storage: artifact %s part %s: digest mismatch", id, p.Name)
+		}
+		entry.size += p.Size
+	}
+	return entry, nil
+}
+
+// quarantine moves an artifact directory aside so it is never served,
+// preserving the bytes for inspection.
+func (d *Disk) quarantine(id string) {
+	d.qSeq++
+	dst := filepath.Join(d.quarantineDir(), fmt.Sprintf("%s.%d", id, d.qSeq))
+	if err := os.Rename(d.artifactDir(id), dst); err != nil {
+		// A rename that fails (cross-device, permissions) must still get
+		// the entry out of serving position.
+		_ = os.RemoveAll(d.artifactDir(id))
+	}
+	if d.mets != nil {
+		d.mets.Count("server.cache.quarantined", 1)
+	}
+}
+
+// validID accepts hex content addresses (the only IDs the daemon writes).
+func validID(id string) bool {
+	if id == "" || len(id) > 128 {
+		return false
+	}
+	for _, c := range id {
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// validPartName rejects part names that cannot be one plain file inside
+// the artifact directory.
+func validPartName(name string) error {
+	switch {
+	case name == "" || name == "." || name == "..":
+		return fmt.Errorf("storage: invalid part name %q", name)
+	case name == manifestName:
+		return fmt.Errorf("storage: part name %q is reserved", name)
+	case strings.ContainsAny(name, "/\\") || strings.ContainsRune(name, 0):
+		return fmt.Errorf("storage: invalid part name %q", name)
+	}
+	return nil
+}
+
+// Lookup implements Store.
+func (d *Disk) Lookup(id string) (*Artifact, bool) {
+	a, ok := d.Get(id)
+	countProbe(d.mets, ok)
+	return a, ok
+}
+
+// Get implements Store: the parts are read from disk into fresh buffers
+// (never shared with another caller) and re-verified against the manifest
+// digests — an artifact corrupted after the warm-scan is quarantined at
+// read time instead of served.
+func (d *Disk) Get(id string) (*Artifact, bool) {
+	d.mu.RLock()
+	entry, ok := d.entries[id]
+	d.mu.RUnlock()
+	if !ok {
+		return nil, false
+	}
+	parts := make(map[string][]byte, len(entry.man.Parts))
+	for _, p := range entry.man.Parts {
+		data, err := os.ReadFile(filepath.Join(d.artifactDir(id), p.Name))
+		if err == nil && int64(len(data)) == p.Size {
+			if sum := sha256.Sum256(data); hex.EncodeToString(sum[:]) == p.SHA256 {
+				parts[p.Name] = data
+				continue
+			}
+		}
+		// The entry passed the warm-scan but fails now: quarantine it.
+		d.mu.Lock()
+		if cur, still := d.entries[id]; still && cur == entry {
+			delete(d.entries, id)
+			d.size -= entry.size
+			d.quarantine(id)
+		}
+		d.mu.Unlock()
+		return nil, false
+	}
+	return NewArtifact(id, entry.man.Kind, entry.man.Created, parts), true
+}
+
+// Put implements Store: stage every part plus the manifest in a fresh tmp
+// directory (each file fsynced unless NoSync), then publish atomically
+// with one rename. A crash anywhere before the rename leaves only staging
+// debris the next open removes.
+func (d *Disk) Put(id, kind string, parts map[string][]byte) (*Artifact, error) {
+	if !validID(id) {
+		return nil, fmt.Errorf("storage: invalid artifact ID %q", id)
+	}
+	names := make([]string, 0, len(parts))
+	for name := range parts {
+		if err := validPartName(name); err != nil {
+			return nil, err
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil, fmt.Errorf("storage: disk store closed")
+	}
+	if _, ok := d.entries[id]; ok {
+		d.mu.Unlock()
+		if d.mets != nil {
+			d.mets.Count("server.cache.dup_writes", 1)
+		}
+		a, ok := d.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("storage: artifact %s vanished during duplicate put", id)
+		}
+		return a, nil
+	}
+	d.tmpSeq++
+	staging := filepath.Join(d.tmpDir(), fmt.Sprintf("%s.%d", id, d.tmpSeq))
+	d.mu.Unlock()
+
+	created := time.Now().UTC()
+	man := manifest{ID: id, Kind: kind, Created: created}
+	if err := os.MkdirAll(staging, 0o755); err != nil {
+		return nil, fmt.Errorf("storage: staging %s: %w", id, err)
+	}
+	cleanup := func(err error) (*Artifact, error) {
+		_ = os.RemoveAll(staging)
+		return nil, err
+	}
+	for _, name := range names {
+		data := parts[name]
+		sum := sha256.Sum256(data)
+		man.Parts = append(man.Parts, manifestPart{
+			Name: name, Size: int64(len(data)), SHA256: hex.EncodeToString(sum[:]),
+		})
+		if err := d.writeFile(filepath.Join(staging, name), data); err != nil {
+			return cleanup(err)
+		}
+	}
+	manRaw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return cleanup(err)
+	}
+	if err := d.writeFile(filepath.Join(staging, manifestName), append(manRaw, '\n')); err != nil {
+		return cleanup(err)
+	}
+
+	entry := &diskEntry{man: man, size: partBytes(parts)}
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return cleanup(fmt.Errorf("storage: disk store closed"))
+	}
+	if _, ok := d.entries[id]; ok {
+		// A racing Put published this ID while we staged: keep the first.
+		d.mu.Unlock()
+		if d.mets != nil {
+			d.mets.Count("server.cache.dup_writes", 1)
+		}
+		_ = os.RemoveAll(staging)
+		a, ok := d.Get(id)
+		if !ok {
+			return nil, fmt.Errorf("storage: artifact %s vanished during duplicate put", id)
+		}
+		return a, nil
+	}
+	if err := d.rename(staging, d.artifactDir(id)); err != nil {
+		d.mu.Unlock()
+		return cleanup(fmt.Errorf("storage: publishing %s: %w", id, err))
+	}
+	d.entries[id] = entry
+	d.size += entry.size
+	d.mu.Unlock()
+	d.syncDir(d.objectsDir())
+	if d.mets != nil {
+		d.mets.Count("server.cache.stored", 1)
+	}
+	return NewArtifact(id, kind, created, copyParts(parts)), nil
+}
+
+// writeFile writes one staged file and fsyncs it (honoring NoSync and the
+// failSync injection point).
+func (d *Disk) writeFile(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if fail := d.failSync; fail != nil {
+		if err := fail(path); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if !d.noSync {
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// rename publishes a staged artifact (honoring the failRename injection
+// point).
+func (d *Disk) rename(oldpath, newpath string) error {
+	if fail := d.failRename; fail != nil {
+		if err := fail(oldpath, newpath); err != nil {
+			return err
+		}
+	}
+	return os.Rename(oldpath, newpath)
+}
+
+// syncDir best-effort fsyncs a directory so the published rename itself is
+// durable.
+func (d *Disk) syncDir(path string) {
+	if d.noSync {
+		return
+	}
+	if f, err := os.Open(path); err == nil {
+		_ = f.Sync()
+		f.Close()
+	}
+}
+
+// Delete implements Store.
+func (d *Disk) Delete(id string) bool {
+	d.mu.Lock()
+	entry, ok := d.entries[id]
+	if !ok {
+		d.mu.Unlock()
+		return false
+	}
+	delete(d.entries, id)
+	d.size -= entry.size
+	d.mu.Unlock()
+	_ = os.RemoveAll(d.artifactDir(id))
+	return true
+}
+
+// Len implements Store.
+func (d *Disk) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.entries)
+}
+
+// Bytes implements Store.
+func (d *Disk) Bytes() int64 {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return d.size
+}
+
+// List implements Store.
+func (d *Disk) List(after string, limit int) ([]Info, string) {
+	d.mu.RLock()
+	ids := make([]string, 0, len(d.entries))
+	for id := range d.entries {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	page, next := pageIDs(ids, after, limit)
+	infos := make([]Info, 0, len(page))
+	for _, id := range page {
+		e := d.entries[id]
+		names := make([]string, 0, len(e.man.Parts))
+		for _, p := range e.man.Parts {
+			names = append(names, p.Name)
+		}
+		sort.Strings(names)
+		infos = append(infos, Info{ID: id, Kind: e.man.Kind, Created: e.man.Created, Parts: names, Bytes: e.size})
+	}
+	d.mu.RUnlock()
+	return infos, next
+}
+
+// Close implements Store.
+func (d *Disk) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.closed = true
+	d.entries = make(map[string]*diskEntry)
+	d.size = 0
+	return nil
+}
+
+// Quarantined counts the entries currently under root/quarantine —
+// diagnostics for tests and the warm-scan bench.
+func (d *Disk) Quarantined() int {
+	dirs, err := os.ReadDir(d.quarantineDir())
+	if err != nil {
+		return 0
+	}
+	return len(dirs)
+}

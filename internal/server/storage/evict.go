@@ -1,0 +1,322 @@
+package storage
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+
+	"wsan/internal/obs"
+)
+
+// Eviction describes one artifact an Evicting store removed.
+type Eviction struct {
+	// ID and Kind identify the evicted artifact.
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Bytes is the artifact's part payload size.
+	Bytes int64 `json:"bytes"`
+	// Reason is "capacity" (byte-budget LRU) or "ttl".
+	Reason string `json:"reason"`
+}
+
+// EvictConfig parameterizes NewEvicting.
+type EvictConfig struct {
+	// MaxBytes is the byte budget over the inner store's part payload;
+	// exceeding it evicts least-recently-used artifacts until back within
+	// budget. 0 means unbounded.
+	MaxBytes int64
+	// TTL, when positive, evicts artifacts older than this — age measured
+	// from when this wrapper indexed the artifact (its Put), or from its
+	// Created timestamp for artifacts recovered by a warm-scan. Expired
+	// entries are never served: an access finding one evicts it and reports
+	// a miss; SweepExpired reclaims the rest.
+	TTL time.Duration
+	// Metrics (nil to disable) receives server.cache.evictions and the
+	// server.cache.{bytes,artifacts} gauges, plus hit/miss counters for
+	// Lookup calls made on this store. Leave nil when the wrapper bounds
+	// an internal tier (e.g. the memory front of a Tiered store), so tier
+	// trimming is not reported as cache eviction.
+	Metrics obs.Sink
+	// OnEvict, when non-nil, observes every eviction (after the artifact
+	// is gone). Called without internal locks held.
+	OnEvict func(Eviction)
+	// Now overrides the clock (tests); nil uses time.Now.
+	Now func() time.Time
+}
+
+// Evicting bounds any Store with a byte-budget LRU plus optional TTL. The
+// access-ordered index spans whatever the inner store holds — wrapped
+// around a Tiered store an eviction deletes the artifact from both tiers.
+// Safe for concurrent use.
+type Evicting struct {
+	inner Store
+	cfg   EvictConfig
+
+	mu   sync.Mutex
+	lru  *list.List // front = most recently used
+	idx  map[string]*list.Element
+	size int64
+}
+
+// lruEntry is one artifact's bookkeeping in the access-ordered index.
+type lruEntry struct {
+	id      string
+	kind    string
+	bytes   int64
+	created time.Time
+}
+
+// NewEvicting wraps inner with the eviction policy. The index is seeded
+// from the inner store's current contents (recency approximated by
+// creation time — all a warm-scanned disk store can know), and the budget
+// and TTL are enforced immediately, so reopening a daemon with a smaller
+// budget trims the store at startup.
+func NewEvicting(inner Store, cfg EvictConfig) *Evicting {
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	e := &Evicting{
+		inner: inner,
+		cfg:   cfg,
+		lru:   list.New(),
+		idx:   make(map[string]*list.Element),
+	}
+	infos, _ := inner.List("", 0)
+	sortInfosByCreated(infos)
+	for _, info := range infos {
+		// Oldest first, each pushed to the front: the newest artifact ends
+		// up most recently used.
+		elem := e.lru.PushFront(&lruEntry{id: info.ID, kind: info.Kind, bytes: info.Bytes, created: info.Created})
+		e.idx[info.ID] = elem
+		e.size += info.Bytes
+	}
+	e.mu.Lock()
+	evicted := e.enforceLocked()
+	evicted = append(evicted, e.sweepExpiredLocked()...)
+	e.gaugeLocked()
+	e.mu.Unlock()
+	e.report(evicted)
+	return e
+}
+
+// sortInfosByCreated orders infos oldest-first (ID tiebreak for
+// determinism).
+func sortInfosByCreated(infos []Info) {
+	sort.Slice(infos, func(i, j int) bool {
+		if !infos[i].Created.Equal(infos[j].Created) {
+			return infos[i].Created.Before(infos[j].Created)
+		}
+		return infos[i].ID < infos[j].ID
+	})
+}
+
+// Lookup implements Store.
+func (e *Evicting) Lookup(id string) (*Artifact, bool) {
+	a, ok := e.Get(id)
+	countProbe(e.cfg.Metrics, ok)
+	return a, ok
+}
+
+// Get implements Store: a hit refreshes the artifact's recency; an entry
+// past its TTL is evicted and reported as a miss.
+func (e *Evicting) Get(id string) (*Artifact, bool) {
+	e.mu.Lock()
+	elem, ok := e.idx[id]
+	if !ok {
+		e.mu.Unlock()
+		return nil, false
+	}
+	ent := elem.Value.(*lruEntry)
+	if e.expiredLocked(ent) {
+		ev := e.evictLocked(elem, "ttl")
+		e.gaugeLocked()
+		e.mu.Unlock()
+		e.report([]Eviction{ev})
+		return nil, false
+	}
+	a, ok := e.inner.Get(id)
+	if !ok {
+		// The inner store dropped it underneath us (e.g. a disk read
+		// quarantined the entry): fix the index.
+		e.removeLocked(elem)
+		e.gaugeLocked()
+		e.mu.Unlock()
+		return nil, false
+	}
+	e.lru.MoveToFront(elem)
+	e.mu.Unlock()
+	return a, true
+}
+
+// Put implements Store: store, index as most recently used, then evict
+// until back within the byte budget.
+func (e *Evicting) Put(id, kind string, parts map[string][]byte) (*Artifact, error) {
+	a, err := e.inner.Put(id, kind, parts)
+	if err != nil {
+		return nil, err
+	}
+	e.index(a)
+	return a, nil
+}
+
+// putArtifact installs an already-built immutable artifact (tier
+// promotion), avoiding a part copy when the inner store is a *Memory.
+func (e *Evicting) putArtifact(a *Artifact) {
+	if mem, ok := e.inner.(*Memory); ok {
+		mem.put(a)
+	} else if _, err := e.inner.Put(a.ID, a.Kind, a.parts); err != nil {
+		return
+	}
+	e.index(a)
+}
+
+// index records a stored artifact as most recently used and enforces the
+// budget.
+func (e *Evicting) index(a *Artifact) {
+	e.mu.Lock()
+	if elem, ok := e.idx[a.ID]; ok {
+		// Duplicate put: the inner store kept its first copy; refresh
+		// recency only.
+		e.lru.MoveToFront(elem)
+		e.mu.Unlock()
+		return
+	}
+	// The TTL clock for a fresh put is this wrapper's clock, not the
+	// artifact's Created stamp — the two agree in production, and the
+	// configured clock must stay authoritative under tests.
+	elem := e.lru.PushFront(&lruEntry{id: a.ID, kind: a.Kind, bytes: a.size, created: e.cfg.Now()})
+	e.idx[a.ID] = elem
+	e.size += a.size
+	evicted := e.enforceLocked()
+	e.gaugeLocked()
+	e.mu.Unlock()
+	e.report(evicted)
+}
+
+// expiredLocked reports whether an entry is past the TTL.
+func (e *Evicting) expiredLocked(ent *lruEntry) bool {
+	return e.cfg.TTL > 0 && e.cfg.Now().Sub(ent.created) > e.cfg.TTL
+}
+
+// enforceLocked evicts least-recently-used entries until the byte budget
+// is met. The entry just touched sits at the front, so it is evicted only
+// when it alone exceeds the budget.
+func (e *Evicting) enforceLocked() []Eviction {
+	if e.cfg.MaxBytes <= 0 {
+		return nil
+	}
+	var evicted []Eviction
+	for e.size > e.cfg.MaxBytes && e.lru.Len() > 0 {
+		evicted = append(evicted, e.evictLocked(e.lru.Back(), "capacity"))
+	}
+	return evicted
+}
+
+// sweepExpiredLocked evicts every TTL-expired entry.
+func (e *Evicting) sweepExpiredLocked() []Eviction {
+	if e.cfg.TTL <= 0 {
+		return nil
+	}
+	var evicted []Eviction
+	for elem := e.lru.Back(); elem != nil; {
+		prev := elem.Prev()
+		if ent := elem.Value.(*lruEntry); e.expiredLocked(ent) {
+			evicted = append(evicted, e.evictLocked(elem, "ttl"))
+		}
+		elem = prev
+	}
+	return evicted
+}
+
+// SweepExpired reclaims TTL-expired artifacts that have not been touched
+// since expiring (the daemon calls it periodically). It returns how many
+// artifacts were evicted.
+func (e *Evicting) SweepExpired() int {
+	e.mu.Lock()
+	evicted := e.sweepExpiredLocked()
+	e.gaugeLocked()
+	e.mu.Unlock()
+	e.report(evicted)
+	return len(evicted)
+}
+
+// evictLocked removes one entry from the index and the inner store.
+func (e *Evicting) evictLocked(elem *list.Element, reason string) Eviction {
+	ent := elem.Value.(*lruEntry)
+	e.removeLocked(elem)
+	e.inner.Delete(ent.id)
+	if e.cfg.Metrics != nil {
+		e.cfg.Metrics.Count("server.cache.evictions", 1)
+	}
+	return Eviction{ID: ent.id, Kind: ent.kind, Bytes: ent.bytes, Reason: reason}
+}
+
+// removeLocked drops an index entry without touching the inner store.
+func (e *Evicting) removeLocked(elem *list.Element) {
+	ent := elem.Value.(*lruEntry)
+	e.lru.Remove(elem)
+	delete(e.idx, ent.id)
+	e.size -= ent.bytes
+}
+
+// report fires the eviction callback outside the lock.
+func (e *Evicting) report(evicted []Eviction) {
+	if e.cfg.OnEvict == nil {
+		return
+	}
+	for _, ev := range evicted {
+		e.cfg.OnEvict(ev)
+	}
+}
+
+// gaugeLocked refreshes the cache size gauges.
+func (e *Evicting) gaugeLocked() {
+	if e.cfg.Metrics == nil {
+		return
+	}
+	e.cfg.Metrics.Gauge("server.cache.bytes", float64(e.size))
+	e.cfg.Metrics.Gauge("server.cache.artifacts", float64(e.lru.Len()))
+}
+
+// Delete implements Store.
+func (e *Evicting) Delete(id string) bool {
+	e.mu.Lock()
+	if elem, ok := e.idx[id]; ok {
+		e.removeLocked(elem)
+	}
+	ok := e.inner.Delete(id)
+	e.gaugeLocked()
+	e.mu.Unlock()
+	return ok
+}
+
+// Len implements Store.
+func (e *Evicting) Len() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lru.Len()
+}
+
+// Bytes implements Store.
+func (e *Evicting) Bytes() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.size
+}
+
+// List implements Store (delegated: the inner store holds exactly the
+// indexed artifacts).
+func (e *Evicting) List(after string, limit int) ([]Info, string) {
+	return e.inner.List(after, limit)
+}
+
+// Close implements Store.
+func (e *Evicting) Close() error {
+	e.mu.Lock()
+	e.lru.Init()
+	e.idx = make(map[string]*list.Element)
+	e.size = 0
+	e.mu.Unlock()
+	return e.inner.Close()
+}

@@ -1,0 +1,141 @@
+package storage
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"wsan/internal/obs"
+)
+
+// Memory is the in-memory Store backend: a map of resident artifacts.
+// Contents are lost when the process exits; capacity is bounded only by
+// RAM (wrap with NewEvicting for a byte budget). Safe for concurrent use.
+type Memory struct {
+	mu   sync.RWMutex
+	arts map[string]*Artifact
+	size int64
+	mets obs.Sink
+}
+
+// NewMemory returns an empty memory store. mets (nil to disable) receives
+// the stored/dup_writes counters and the hit/miss counters of Lookup calls
+// made directly on this store — pass nil when the store is an internal
+// tier of a composed Store.
+func NewMemory(mets obs.Sink) *Memory {
+	return &Memory{arts: make(map[string]*Artifact), mets: mets}
+}
+
+// Lookup implements Store.
+func (s *Memory) Lookup(id string) (*Artifact, bool) {
+	a, ok := s.Get(id)
+	countProbe(s.mets, ok)
+	return a, ok
+}
+
+// Get implements Store. The returned artifact's part slices are the
+// store's resident copies — read-only per the Artifact.Part aliasing rule.
+func (s *Memory) Get(id string) (*Artifact, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	a, ok := s.arts[id]
+	return a, ok
+}
+
+// Put implements Store. Parts are deep-copied, so the caller's buffers are
+// free to be reused afterwards.
+func (s *Memory) Put(id, kind string, parts map[string][]byte) (*Artifact, error) {
+	s.mu.Lock()
+	if a, ok := s.arts[id]; ok {
+		s.mu.Unlock()
+		if s.mets != nil {
+			s.mets.Count("server.cache.dup_writes", 1)
+		}
+		return a, nil
+	}
+	a := NewArtifact(id, kind, time.Now(), copyParts(parts))
+	s.arts[id] = a
+	s.size += a.size
+	s.mu.Unlock()
+	if s.mets != nil {
+		s.mets.Count("server.cache.stored", 1)
+	}
+	return a, nil
+}
+
+// put installs an already-built artifact (tier promotion: the artifact is
+// immutable and already store-owned, so no copy and no counters).
+func (s *Memory) put(a *Artifact) {
+	s.mu.Lock()
+	if _, ok := s.arts[a.ID]; !ok {
+		s.arts[a.ID] = a
+		s.size += a.size
+	}
+	s.mu.Unlock()
+}
+
+// Delete implements Store.
+func (s *Memory) Delete(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.arts[id]
+	if !ok {
+		return false
+	}
+	delete(s.arts, id)
+	s.size -= a.size
+	return true
+}
+
+// Len implements Store.
+func (s *Memory) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.arts)
+}
+
+// Bytes implements Store.
+func (s *Memory) Bytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.size
+}
+
+// List implements Store.
+func (s *Memory) List(after string, limit int) ([]Info, string) {
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.arts))
+	for id := range s.arts {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	page, next := pageIDs(ids, after, limit)
+	infos := make([]Info, 0, len(page))
+	for _, id := range page {
+		a := s.arts[id]
+		infos = append(infos, Info{ID: a.ID, Kind: a.Kind, Created: a.Created, Parts: a.PartNames(), Bytes: a.size})
+	}
+	s.mu.RUnlock()
+	return infos, next
+}
+
+// Close implements Store (releases the map).
+func (s *Memory) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.arts = make(map[string]*Artifact)
+	s.size = 0
+	return nil
+}
+
+// countProbe records one Lookup outcome.
+func countProbe(mets obs.Sink, hit bool) {
+	if mets == nil {
+		return
+	}
+	if hit {
+		mets.Count("server.cache.hits", 1)
+	} else {
+		mets.Count("server.cache.misses", 1)
+	}
+}

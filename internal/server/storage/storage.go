@@ -1,0 +1,160 @@
+// Package storage is the daemon's content-addressed artifact store behind
+// a pluggable Store interface. Three backends compose:
+//
+//   - Memory: the original in-memory map, now size-accounting. Fast, lost
+//     on restart.
+//   - Disk: one directory per artifact under a store root, parts written
+//     via temp-dir + os.Rename so a crash mid-write never leaves a visible
+//     artifact, and a startup warm-scan that verifies part digests and
+//     quarantines anything truncated or corrupt.
+//   - Tiered: memory front, write-through to disk, read-miss promotion —
+//     the layout `wsansim serve -store-dir` runs.
+//
+// An Evicting wrapper adds a byte-budget LRU plus optional TTL over any
+// backend; wrapped around a Tiered store the eviction spans both tiers
+// (a capacity or TTL eviction deletes the artifact from memory and disk).
+//
+// Metric ownership is split so composed stores never double-count: the
+// store the caller invokes Lookup on counts server.cache.{hits,misses};
+// the authoritative (deepest) backend counts server.cache.{stored,
+// dup_writes} and — disk only — server.cache.quarantined; the Evicting
+// wrapper counts server.cache.evictions and keeps the
+// server.cache.{bytes,artifacts} gauges. Internal tiers therefore get a
+// nil sink from composition code.
+package storage
+
+import (
+	"sort"
+	"time"
+)
+
+// Artifact is one completed job output: a bundle of named JSON documents
+// ("parts") under a content address. Artifacts are immutable snapshots —
+// once returned from a Store they stay valid even if the entry is
+// subsequently evicted or deleted.
+type Artifact struct {
+	// ID is the content address: the hex SHA-256 of the producing request.
+	ID string `json:"id"`
+	// Kind names the producing job kind ("schedule", "simulate", ...).
+	Kind string `json:"kind"`
+	// Created is when the artifact was first stored.
+	Created time.Time `json:"created"`
+	// parts maps a part name (e.g. "schedule.json") to its bytes.
+	parts map[string][]byte
+	// size is the total part payload in bytes.
+	size int64
+}
+
+// NewArtifact assembles an artifact value from loaded parts. The map and
+// its slices are owned by the artifact after the call.
+func NewArtifact(id, kind string, created time.Time, parts map[string][]byte) *Artifact {
+	return &Artifact{ID: id, Kind: kind, Created: created, parts: parts, size: partBytes(parts)}
+}
+
+// Part returns the named part's bytes (nil if absent).
+//
+// Aliasing rule: the returned slice may be shared with the store's own
+// retained copy (the memory backend returns its resident slice; the disk
+// backend returns bytes freshly read for this Artifact) — callers must
+// treat it as read-only. Stores, conversely, must never retain a caller's
+// Put input aliased: Put deep-copies, so mutating the map or slices passed
+// to Put never corrupts stored data.
+func (a *Artifact) Part(name string) []byte { return a.parts[name] }
+
+// PartNames returns the sorted part names.
+func (a *Artifact) PartNames() []string {
+	names := make([]string, 0, len(a.parts))
+	for n := range a.parts {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Bytes returns the total part payload size.
+func (a *Artifact) Bytes() int64 { return a.size }
+
+// Info describes a stored artifact without its part contents — what the
+// paginated List returns and the HTTP artifact index serves.
+type Info struct {
+	ID      string    `json:"id"`
+	Kind    string    `json:"kind"`
+	Created time.Time `json:"created"`
+	// Parts is the sorted part-name list.
+	Parts []string `json:"parts"`
+	// Bytes is the total part payload size.
+	Bytes int64 `json:"bytes"`
+}
+
+// Store is a content-addressed artifact store. Implementations are safe
+// for concurrent use.
+type Store interface {
+	// Lookup is the cache probe a job submission performs: Get plus
+	// server.cache.{hits,misses} accounting on the store it is called on.
+	Lookup(id string) (*Artifact, bool)
+	// Get fetches an artifact without touching the cache counters.
+	Get(id string) (*Artifact, bool)
+	// Put stores a completed artifact under its ID, deep-copying parts.
+	// Storing an ID twice keeps the first copy (content addressing
+	// guarantees both hold the same request's output) and returns it.
+	Put(id, kind string, parts map[string][]byte) (*Artifact, error)
+	// Delete removes an artifact, reporting whether it existed.
+	Delete(id string) bool
+	// Len returns the number of stored artifacts.
+	Len() int
+	// Bytes returns the total stored part payload.
+	Bytes() int64
+	// List pages the stored artifacts sorted by ID. The cursor contract is
+	// strictly-greater resume: every returned ID is > after (lexicographic
+	// over the hex content addresses), so a cursor naming an artifact that
+	// was deleted or evicted between pages still resumes at the right
+	// position. limit > 0 caps the page; the second return is the next
+	// page's cursor ("" when this page exhausts the listing).
+	List(after string, limit int) ([]Info, string)
+	// Close releases backend resources. The store is unusable afterwards.
+	Close() error
+}
+
+// partBytes sums a part map's payload sizes.
+func partBytes(parts map[string][]byte) int64 {
+	var n int64
+	for _, p := range parts {
+		n += int64(len(p))
+	}
+	return n
+}
+
+// copyParts deep-copies a part map — Put's defense against callers
+// mutating the buffers they handed in.
+func copyParts(parts map[string][]byte) map[string][]byte {
+	cp := make(map[string][]byte, len(parts))
+	for name, p := range parts {
+		buf := make([]byte, len(p))
+		copy(buf, p)
+		cp[name] = buf
+	}
+	return cp
+}
+
+// pageIDs applies the strictly-greater cursor contract to a sorted ID
+// slice, returning the page and the next cursor.
+func pageIDs(sorted []string, after string, limit int) (page []string, next string) {
+	start := 0
+	if after != "" {
+		start = sort.SearchStrings(sorted, after)
+		// SearchStrings finds the first ID >= after; strictly-greater
+		// resume skips the cursor itself when it still exists.
+		if start < len(sorted) && sorted[start] == after {
+			start++
+		}
+	}
+	end := len(sorted)
+	if limit > 0 && start+limit < end {
+		end = start + limit
+	}
+	page = sorted[start:end]
+	if end < len(sorted) && len(page) > 0 {
+		next = page[len(page)-1]
+	}
+	return page, next
+}

@@ -1,0 +1,355 @@
+package storage
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"wsan/internal/obs"
+)
+
+// testID derives a deterministic fake content address (valid hex).
+func testID(n int) string { return fmt.Sprintf("%064x", n+1) }
+
+// backends enumerates every Store composition under test with a fresh
+// instance per call.
+func backends(t *testing.T) map[string]func(t *testing.T) Store {
+	t.Helper()
+	return map[string]func(t *testing.T) Store{
+		"memory": func(t *testing.T) Store { return NewMemory(nil) },
+		"disk": func(t *testing.T) Store {
+			d, err := OpenDisk(t.TempDir(), DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return d
+		},
+		"tiered": func(t *testing.T) Store {
+			d, err := OpenDisk(t.TempDir(), DiskOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return NewTiered(NewMemory(nil), d, nil)
+		},
+		"evicting": func(t *testing.T) Store {
+			return NewEvicting(NewMemory(nil), EvictConfig{MaxBytes: 1 << 30})
+		},
+	}
+}
+
+func TestStoreConformance(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+
+			if _, ok := s.Lookup(testID(0)); ok {
+				t.Fatal("empty store should miss")
+			}
+			parts := map[string][]byte{"a.json": []byte(`{"x":1}`), "b.json": []byte(`[2]`)}
+			a, err := s.Put(testID(0), "schedule", parts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.ID != testID(0) || a.Kind != "schedule" {
+				t.Fatalf("artifact identity: %+v", a)
+			}
+			if got := a.Bytes(); got != int64(len(parts["a.json"])+len(parts["b.json"])) {
+				t.Fatalf("artifact bytes = %d", got)
+			}
+			got, ok := s.Get(testID(0))
+			if !ok {
+				t.Fatal("stored artifact should be readable")
+			}
+			if !bytes.Equal(got.Part("a.json"), parts["a.json"]) || !bytes.Equal(got.Part("b.json"), parts["b.json"]) {
+				t.Fatal("part bytes differ after round trip")
+			}
+			if names := got.PartNames(); len(names) != 2 || names[0] != "a.json" || names[1] != "b.json" {
+				t.Fatalf("part names = %v", names)
+			}
+			if got.Part("missing.json") != nil {
+				t.Fatal("absent part should be nil")
+			}
+			if s.Len() != 1 {
+				t.Fatalf("Len = %d, want 1", s.Len())
+			}
+			if s.Bytes() != a.Bytes() {
+				t.Fatalf("Bytes = %d, want %d", s.Bytes(), a.Bytes())
+			}
+
+			// Double put keeps the first copy.
+			again, err := s.Put(testID(0), "schedule", map[string][]byte{"a.json": []byte(`other`)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again.Part("a.json"), parts["a.json"]) {
+				t.Fatal("duplicate put must keep the first artifact's bytes")
+			}
+			if s.Len() != 1 || s.Bytes() != a.Bytes() {
+				t.Fatalf("after dup put: len=%d bytes=%d", s.Len(), s.Bytes())
+			}
+
+			if !s.Delete(testID(0)) {
+				t.Fatal("delete of present artifact should report true")
+			}
+			if s.Delete(testID(0)) {
+				t.Fatal("delete of absent artifact should report false")
+			}
+			if _, ok := s.Get(testID(0)); ok {
+				t.Fatal("deleted artifact should miss")
+			}
+			if s.Len() != 0 || s.Bytes() != 0 {
+				t.Fatalf("after delete: len=%d bytes=%d", s.Len(), s.Bytes())
+			}
+		})
+	}
+}
+
+func TestStoreListCursor(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			const n = 6
+			for i := 0; i < n; i++ {
+				if _, err := s.Put(testID(i), "schedule", map[string][]byte{"p.json": []byte(`{}`)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// Full listing, no cursor.
+			all, next := s.List("", 0)
+			if len(all) != n || next != "" {
+				t.Fatalf("full list: %d items, next %q", len(all), next)
+			}
+			for i := 1; i < len(all); i++ {
+				if all[i-1].ID >= all[i].ID {
+					t.Fatal("listing must be ID-sorted")
+				}
+			}
+			// Page through with limit 2.
+			var pages [][]Info
+			cursor := ""
+			for {
+				page, nx := s.List(cursor, 2)
+				if len(page) == 0 {
+					break
+				}
+				pages = append(pages, page)
+				if nx == "" {
+					break
+				}
+				cursor = nx
+			}
+			if len(pages) != 3 {
+				t.Fatalf("expected 3 pages, got %d", len(pages))
+			}
+			// Exact-boundary page: the next cursor of the final page is "".
+			last, nx := s.List(pages[1][1].ID, 2)
+			if len(last) != 2 || nx != "" {
+				t.Fatalf("final page: %d items, next %q", len(last), nx)
+			}
+		})
+	}
+}
+
+// TestStoreListCursorSurvivesEviction is the regression test for the
+// strictly-greater resume contract: an ?after= cursor naming an artifact
+// deleted (or evicted) between pages must resume at the right position
+// instead of erroring or restarting.
+func TestStoreListCursorSurvivesEviction(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			for i := 0; i < 6; i++ {
+				if _, err := s.Put(testID(i), "schedule", map[string][]byte{"p.json": []byte(`{}`)}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			page1, cursor := s.List("", 3)
+			if len(page1) != 3 || cursor != page1[2].ID {
+				t.Fatalf("page1: %d items, cursor %q", len(page1), cursor)
+			}
+			// The cursor artifact is evicted between page fetches.
+			if !s.Delete(cursor) {
+				t.Fatal("cursor artifact should exist")
+			}
+			page2, next := s.List(cursor, 3)
+			if len(page2) != 3 || next != "" {
+				t.Fatalf("page2 after evicted cursor: %d items, next %q", len(page2), next)
+			}
+			if page2[0].ID != testID(3) {
+				t.Fatalf("resume position: got %s, want %s", page2[0].ID, testID(3))
+			}
+			// Union of both pages covers everything except the evicted one,
+			// with no duplicates.
+			seen := map[string]bool{}
+			for _, info := range append(append([]Info{}, page1...), page2...) {
+				if seen[info.ID] {
+					t.Fatalf("duplicate %s across pages", info.ID)
+				}
+				seen[info.ID] = true
+			}
+			if len(seen) != 6 {
+				t.Fatalf("pages cover %d artifacts, want 6", len(seen))
+			}
+		})
+	}
+}
+
+// TestPutInputAliasing pins the Put half of the aliasing rule: every
+// backend deep-copies, so a caller mutating the buffers it passed in never
+// corrupts stored data.
+func TestPutInputAliasing(t *testing.T) {
+	for name, mk := range backends(t) {
+		t.Run(name, func(t *testing.T) {
+			s := mk(t)
+			defer s.Close()
+			buf := []byte(`{"v":1}`)
+			parts := map[string][]byte{"p.json": buf}
+			if _, err := s.Put(testID(0), "schedule", parts); err != nil {
+				t.Fatal(err)
+			}
+			buf[5] = '9'
+			parts["other.json"] = []byte(`x`)
+			a, ok := s.Get(testID(0))
+			if !ok {
+				t.Fatal("artifact missing")
+			}
+			if !bytes.Equal(a.Part("p.json"), []byte(`{"v":1}`)) {
+				t.Fatalf("stored part aliased the caller's buffer: %q", a.Part("p.json"))
+			}
+			if a.Part("other.json") != nil {
+				t.Fatal("stored part map aliased the caller's map")
+			}
+		})
+	}
+}
+
+// TestDiskPartCopies pins the Get half for the disk backend: each Get
+// reads fresh buffers, so mutating one returned part never leaks into
+// another read (the HTTP boundary serves these slices).
+func TestDiskPartCopies(t *testing.T) {
+	d, err := OpenDisk(t.TempDir(), DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	if _, err := d.Put(testID(0), "schedule", map[string][]byte{"p.json": []byte(`{"v":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	first, ok := d.Get(testID(0))
+	if !ok {
+		t.Fatal("artifact missing")
+	}
+	first.Part("p.json")[0] = 'X'
+	second, ok := d.Get(testID(0))
+	if !ok {
+		t.Fatal("artifact missing on re-read (mutated copy must not trigger quarantine)")
+	}
+	if !bytes.Equal(second.Part("p.json"), []byte(`{"v":1}`)) {
+		t.Fatal("disk Get returned a shared slice across calls")
+	}
+}
+
+// TestMemoryPartSharing documents the memory backend's read side of the
+// rule: Part returns the resident slice (no copy), which is why callers
+// must treat it as read-only.
+func TestMemoryPartSharing(t *testing.T) {
+	m := NewMemory(nil)
+	a, err := m.Put(testID(0), "schedule", map[string][]byte{"p.json": []byte(`{"v":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := m.Get(testID(0))
+	if &a.Part("p.json")[0] != &b.Part("p.json")[0] {
+		t.Fatal("memory backend is expected to share its resident slice across Gets")
+	}
+}
+
+func TestLookupCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMemory(reg)
+	if _, ok := m.Lookup(testID(0)); ok {
+		t.Fatal("empty store should miss")
+	}
+	if _, err := m.Put(testID(0), "schedule", map[string][]byte{"p.json": []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Lookup(testID(0)); !ok {
+		t.Fatal("stored key should hit")
+	}
+	if got := reg.CounterValue("server.cache.hits"); got != 1 {
+		t.Errorf("hits = %d, want 1", got)
+	}
+	if got := reg.CounterValue("server.cache.misses"); got != 1 {
+		t.Errorf("misses = %d, want 1", got)
+	}
+	if got := reg.CounterValue("server.cache.stored"); got != 1 {
+		t.Errorf("stored = %d, want 1", got)
+	}
+	// Get must not touch the probe counters.
+	if _, ok := m.Get(testID(0)); !ok {
+		t.Fatal("Get should find the artifact")
+	}
+	if got := reg.CounterValue("server.cache.hits"); got != 1 {
+		t.Errorf("hits after Get = %d, want 1", got)
+	}
+	// Duplicate put counts dup_writes, not stored.
+	if _, err := m.Put(testID(0), "schedule", map[string][]byte{"p.json": []byte(`{}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.CounterValue("server.cache.dup_writes"); got != 1 {
+		t.Errorf("dup_writes = %d, want 1", got)
+	}
+	if got := reg.CounterValue("server.cache.stored"); got != 1 {
+		t.Errorf("stored after dup = %d, want 1", got)
+	}
+}
+
+// TestTieredPromotion pins the read-miss promotion path: a disk-resident
+// artifact read through the tiered store lands in the memory front.
+func TestTieredPromotion(t *testing.T) {
+	dir := t.TempDir()
+	d, err := OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Put(testID(0), "schedule", map[string][]byte{"p.json": []byte(`{"v":1}`)}); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+
+	// Reopen: the memory front starts cold.
+	d, err = OpenDisk(dir, DiskOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := NewMemory(nil)
+	ts := NewTiered(mem, d, nil)
+	defer ts.Close()
+	if mem.Len() != 0 {
+		t.Fatal("front should start empty")
+	}
+	a, ok := ts.Get(testID(0))
+	if !ok || !bytes.Equal(a.Part("p.json"), []byte(`{"v":1}`)) {
+		t.Fatal("tiered read of disk-resident artifact failed")
+	}
+	if mem.Len() != 1 {
+		t.Fatal("read miss should promote into the memory front")
+	}
+	// Write-through: a fresh put lands in both tiers.
+	if _, err := ts.Put(testID(1), "schedule", map[string][]byte{"q.json": []byte(`2`)}); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 2 || d.Len() != 2 {
+		t.Fatalf("write-through: front=%d back=%d, want 2/2", mem.Len(), d.Len())
+	}
+	// Delete spans both tiers.
+	if !ts.Delete(testID(0)) {
+		t.Fatal("delete failed")
+	}
+	if mem.Len() != 1 || d.Len() != 1 {
+		t.Fatalf("delete left front=%d back=%d", mem.Len(), d.Len())
+	}
+}

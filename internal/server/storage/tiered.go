@@ -1,0 +1,100 @@
+package storage
+
+import "wsan/internal/obs"
+
+// Tiered composes a fast front store over a durable back store:
+//
+//   - Put writes through — the back (durable) tier first, then the front,
+//     so an artifact is never front-resident without being durable.
+//   - Get probes the front; a miss falls to the back and promotes the
+//     artifact into the front so the next read is memory-speed.
+//   - Delete, Len, Bytes, and List treat the back tier as authoritative
+//     (the front is a cache of it, never a superset).
+//
+// Bound the front tier's residency by building it as
+// NewEvicting(NewMemory(nil), ...): its evictions then drop only the
+// memory copy while the artifact stays durable below. Safe for concurrent
+// use.
+type Tiered struct {
+	front Store
+	back  Store
+	mets  obs.Sink
+}
+
+// NewTiered composes front over back. mets (nil to disable) receives the
+// hit/miss counters for Lookup calls made on the tiered store; build the
+// tiers themselves with nil sinks except the back tier's
+// stored/dup_writes/quarantined ownership.
+func NewTiered(front, back Store, mets obs.Sink) *Tiered {
+	return &Tiered{front: front, back: back, mets: mets}
+}
+
+// Lookup implements Store.
+func (t *Tiered) Lookup(id string) (*Artifact, bool) {
+	a, ok := t.Get(id)
+	countProbe(t.mets, ok)
+	return a, ok
+}
+
+// Get implements Store: front hit, else back read with promotion.
+func (t *Tiered) Get(id string) (*Artifact, bool) {
+	if a, ok := t.front.Get(id); ok {
+		return a, true
+	}
+	a, ok := t.back.Get(id)
+	if !ok {
+		return nil, false
+	}
+	t.promote(a)
+	return a, true
+}
+
+// promote installs a back-tier artifact into the front. The fast path — a
+// *Memory front, or one wrapped by *Evicting — installs the immutable
+// artifact without re-copying its parts; any other front re-Puts.
+func (t *Tiered) promote(a *Artifact) {
+	switch f := t.front.(type) {
+	case *Memory:
+		f.put(a)
+	case *Evicting:
+		f.putArtifact(a)
+	default:
+		_, _ = t.front.Put(a.ID, a.Kind, a.parts)
+	}
+}
+
+// Put implements Store: write-through, durable tier first.
+func (t *Tiered) Put(id, kind string, parts map[string][]byte) (*Artifact, error) {
+	a, err := t.back.Put(id, kind, parts)
+	if err != nil {
+		return nil, err
+	}
+	t.promote(a)
+	return a, nil
+}
+
+// Delete implements Store: the artifact leaves both tiers.
+func (t *Tiered) Delete(id string) bool {
+	inFront := t.front.Delete(id)
+	return t.back.Delete(id) || inFront
+}
+
+// Len implements Store (the durable tier is authoritative).
+func (t *Tiered) Len() int { return t.back.Len() }
+
+// Bytes implements Store (the durable tier is authoritative).
+func (t *Tiered) Bytes() int64 { return t.back.Bytes() }
+
+// List implements Store (the durable tier is authoritative).
+func (t *Tiered) List(after string, limit int) ([]Info, string) {
+	return t.back.List(after, limit)
+}
+
+// Close implements Store.
+func (t *Tiered) Close() error {
+	ferr := t.front.Close()
+	if berr := t.back.Close(); berr != nil {
+		return berr
+	}
+	return ferr
+}

@@ -3,45 +3,18 @@ package server
 import (
 	"crypto/sha256"
 	"encoding/hex"
-	"sort"
-	"sync"
-	"time"
 
-	"wsan/internal/obs"
+	"wsan/internal/server/storage"
 )
 
 // Artifact is one completed job output: a bundle of named JSON documents
 // ("parts"). The parts mirror the files the wsansim CLI writes — a schedule
 // job's survey.json, workload.json, and schedule.json are byte-identical to
 // the gen-schedule artifacts — so anything that consumes the CLI's output
-// can consume the daemon's.
-type Artifact struct {
-	// ID is the content address: the hex SHA-256 of the producing request
-	// (network identity, job kind, canonical parameters, seed). Two
-	// identical requests share one ID, which is what makes resubmissions
-	// cache hits.
-	ID string `json:"id"`
-	// Kind names the producing job kind ("schedule", "simulate", ...).
-	Kind string `json:"kind"`
-	// Created is when the artifact was stored.
-	Created time.Time `json:"created"`
-	// parts maps a part name (e.g. "schedule.json") to its exact bytes.
-	parts map[string][]byte
-}
-
-// Part returns the named part's bytes (nil if absent). The returned slice
-// is shared; callers must not mutate it.
-func (a *Artifact) Part(name string) []byte { return a.parts[name] }
-
-// PartNames returns the sorted part names.
-func (a *Artifact) PartNames() []string {
-	names := make([]string, 0, len(a.parts))
-	for n := range a.parts {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	return names
-}
+// can consume the daemon's. Storage and retrieval live in the
+// internal/server/storage package; the daemon composes its backends (see
+// Config.StoreDir and friends) behind the storage.Store interface.
+type Artifact = storage.Artifact
 
 // ArtifactKey derives the content address of a job request: the hex SHA-256
 // over the network identity hash, the job kind, and the canonical
@@ -57,75 +30,47 @@ func ArtifactKey(networkHash, kind string, canonicalParams []byte) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// Store is the in-memory content-addressed artifact store. It is safe for
-// concurrent use.
-type Store struct {
-	mu   sync.RWMutex
-	arts map[string]*Artifact
-	mets obs.Sink
-}
+// defaultStoreMemBytes bounds the memory front tier of a disk-backed store
+// when Config.StoreMemBytes is unset.
+const defaultStoreMemBytes = 256 << 20
 
-// NewStore returns an empty store reporting cache traffic to mets (nil
-// disables the metrics).
-func NewStore(mets obs.Sink) *Store {
-	return &Store{arts: make(map[string]*Artifact), mets: mets}
-}
-
-// Lookup checks whether the artifact for a request key already exists — the
-// cache probe a job submission performs. It counts server.cache.{hits,misses}.
-func (s *Store) Lookup(id string) (*Artifact, bool) {
-	s.mu.RLock()
-	a, ok := s.arts[id]
-	s.mu.RUnlock()
-	if ok {
-		if s.mets != nil {
-			s.mets.Count("server.cache.hits", 1)
+// buildStore assembles the daemon's artifact store from the Config:
+//
+//   - no StoreDir: a process-lifetime memory backend;
+//   - StoreDir set: a tiered store — byte-bounded memory front over the
+//     durable disk backend (warm-scanned at open, so a restarted daemon
+//     serves its previous artifacts without recomputing).
+//
+// Either way the result is wrapped in an Evicting store enforcing
+// StoreMaxBytes/StoreTTL and owning the server.cache.{bytes,artifacts}
+// gauges and eviction accounting; onEvict receives every eviction (the
+// daemon forwards them to the event bus).
+func buildStore(cfg Config, onEvict func(storage.Eviction)) (*storage.Evicting, error) {
+	var base storage.Store
+	if cfg.StoreDir == "" {
+		// The authoritative backend owns stored/dup_writes and, as the
+		// store Lookup is called on, the hit/miss probe counters.
+		base = storage.NewMemory(cfg.Metrics)
+	} else {
+		disk, err := storage.OpenDisk(cfg.StoreDir, storage.DiskOptions{Metrics: cfg.Metrics})
+		if err != nil {
+			return nil, err
 		}
-		return a, true
-	}
-	if s.mets != nil {
-		s.mets.Count("server.cache.misses", 1)
-	}
-	return nil, false
-}
-
-// Get fetches an artifact without touching the cache counters (the
-// /artifacts endpoints use it).
-func (s *Store) Get(id string) (*Artifact, bool) {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	a, ok := s.arts[id]
-	return a, ok
-}
-
-// Put stores a completed artifact under its ID. Storing an ID twice (two
-// racing identical submissions, or a retried job recomputing output a prior
-// attempt already stored) keeps the first copy: content addressing
-// guarantees both hold the same request's output. Duplicate writes count
-// server.cache.dup_writes — a nonzero value means some job recomputed work
-// whose artifact already existed, which the runJob idempotency probe is
-// supposed to prevent.
-func (s *Store) Put(id, kind string, parts map[string][]byte) *Artifact {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if a, ok := s.arts[id]; ok {
-		if s.mets != nil {
-			s.mets.Count("server.cache.dup_writes", 1)
+		memBytes := cfg.StoreMemBytes
+		if memBytes <= 0 {
+			memBytes = defaultStoreMemBytes
 		}
-		return a
+		// The front tier trims itself with a nil sink: dropping a memory
+		// copy of a still-durable artifact is not a cache eviction.
+		front := storage.NewEvicting(storage.NewMemory(nil), storage.EvictConfig{MaxBytes: memBytes})
+		// Probe counting happens on the outer Evicting wrapper (the store
+		// Lookup is called on); the tier composition itself needs no sink.
+		base = storage.NewTiered(front, disk, nil)
 	}
-	a := &Artifact{ID: id, Kind: kind, Created: time.Now(), parts: parts}
-	s.arts[id] = a
-	if s.mets != nil {
-		s.mets.Count("server.cache.stored", 1)
-		s.mets.Gauge("server.cache.artifacts", float64(len(s.arts)))
-	}
-	return a
-}
-
-// Len returns the number of stored artifacts.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.arts)
+	return storage.NewEvicting(base, storage.EvictConfig{
+		MaxBytes: cfg.StoreMaxBytes,
+		TTL:      cfg.StoreTTL,
+		Metrics:  cfg.Metrics,
+		OnEvict:  onEvict,
+	}), nil
 }

@@ -5,7 +5,7 @@ import (
 	"testing"
 
 	"wsan"
-	"wsan/internal/obs"
+	"wsan/internal/server/storage"
 )
 
 func TestArtifactKeyDeterminism(t *testing.T) {
@@ -26,41 +26,20 @@ func TestArtifactKeyDeterminism(t *testing.T) {
 	}
 }
 
-func TestStoreLookupCounters(t *testing.T) {
-	reg := obs.NewRegistry()
-	s := NewStore(reg)
-	if _, ok := s.Lookup("missing"); ok {
-		t.Fatal("empty store should miss")
-	}
-	s.Put("k1", "schedule", map[string][]byte{"a.json": []byte(`{}`)})
-	if _, ok := s.Lookup("k1"); !ok {
-		t.Fatal("stored key should hit")
-	}
-	if got := reg.CounterValue("server.cache.hits"); got != 1 {
-		t.Errorf("hits = %d, want 1", got)
-	}
-	if got := reg.CounterValue("server.cache.misses"); got != 1 {
-		t.Errorf("misses = %d, want 1", got)
-	}
-	// Get must not touch the cache counters.
-	if _, ok := s.Get("k1"); !ok {
-		t.Fatal("Get should find k1")
-	}
-	if got := reg.CounterValue("server.cache.hits"); got != 1 {
-		t.Errorf("hits after Get = %d, want 1", got)
-	}
+// testStore is the memory backend behind the Store interface — the
+// configuration a daemon without -store-dir runs.
+func testStore(t *testing.T) storage.Store {
+	t.Helper()
+	return storage.NewMemory(nil)
 }
 
-func TestStorePutIdempotent(t *testing.T) {
-	s := NewStore(nil)
-	first := s.Put("k", "schedule", map[string][]byte{"a.json": []byte(`1`)})
-	second := s.Put("k", "schedule", map[string][]byte{"a.json": []byte(`2`)})
-	if first != second {
-		t.Fatal("double Put of one key must keep the first artifact")
+func mustPut(t *testing.T, s storage.Store, id, kind string, parts map[string][]byte) *Artifact {
+	t.Helper()
+	a, err := s.Put(id, kind, parts)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if s.Len() != 1 {
-		t.Fatalf("store holds %d artifacts, want 1", s.Len())
-	}
+	return a
 }
 
 // TestTopologyRoundTripUnderStore pins the property the HTTP artifact
@@ -72,9 +51,9 @@ func TestTopologyRoundTripUnderStore(t *testing.T) {
 	if err := wsan.SaveTestbed(tb, &buf); err != nil {
 		t.Fatal(err)
 	}
-	s := NewStore(nil)
-	s.Put("k", KindSchedule, map[string][]byte{"survey.json": buf.Bytes()})
-	a, ok := s.Get("k")
+	s := testStore(t)
+	mustPut(t, s, "6b", KindSchedule, map[string][]byte{"survey.json": buf.Bytes()})
+	a, ok := s.Get("6b")
 	if !ok {
 		t.Fatal("artifact missing")
 	}
@@ -116,12 +95,12 @@ func TestScheduleRoundTripUnderStore(t *testing.T) {
 	if err := wsan.SaveSchedule(res, &sched); err != nil {
 		t.Fatal(err)
 	}
-	s := NewStore(nil)
-	s.Put("k", KindSchedule, map[string][]byte{
+	s := testStore(t)
+	mustPut(t, s, "6b", KindSchedule, map[string][]byte{
 		"workload.json": workload.Bytes(),
 		"schedule.json": sched.Bytes(),
 	})
-	a, _ := s.Get("k")
+	a, _ := s.Get("6b")
 
 	gotFlows, err := wsan.LoadWorkload(bytes.NewReader(a.Part("workload.json")))
 	if err != nil {

@@ -281,6 +281,29 @@ func (c *Client) Jobs(ctx context.Context, after string, limit int) (JobPage, er
 	return page, err
 }
 
+// AllJobs fetches the complete jobs list by following nextAfter cursors.
+// pageSize ≤ 0 uses 200 per request. The daemon's cursor resumes strictly
+// past the last seen ID, so the walk is duplicate-free even while jobs are
+// being submitted concurrently.
+func (c *Client) AllJobs(ctx context.Context, pageSize int) ([]Job, error) {
+	if pageSize <= 0 {
+		pageSize = defaultPageSize
+	}
+	var all []Job
+	after := ""
+	for {
+		page, err := c.Jobs(ctx, after, pageSize)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, page.Jobs...)
+		if page.NextAfter == "" {
+			return all, nil
+		}
+		after = page.NextAfter
+	}
+}
+
 // CancelJob cancels a queued or running job.
 func (c *Client) CancelJob(ctx context.Context, id string) (Job, error) {
 	var j Job
@@ -314,6 +337,29 @@ func (c *Client) Artifacts(ctx context.Context, after string, limit int) (Artifa
 	var page ArtifactPage
 	err := c.do(ctx, http.MethodGet, u, nil, &page)
 	return page, err
+}
+
+// AllArtifacts fetches the complete artifacts list by following nextAfter
+// cursors. pageSize ≤ 0 uses 200 per request. The cursor resumes strictly
+// past the last seen ID, so an artifact evicted between pages never breaks
+// or duplicates the walk.
+func (c *Client) AllArtifacts(ctx context.Context, pageSize int) ([]ArtifactInfo, error) {
+	if pageSize <= 0 {
+		pageSize = defaultPageSize
+	}
+	var all []ArtifactInfo
+	after := ""
+	for {
+		page, err := c.Artifacts(ctx, after, pageSize)
+		if err != nil {
+			return all, err
+		}
+		all = append(all, page.Artifacts...)
+		if page.NextAfter == "" {
+			return all, nil
+		}
+		after = page.NextAfter
+	}
 }
 
 // Artifact fetches one artifact bundle with all parts embedded.
@@ -350,6 +396,17 @@ func (c *Client) Healthz(ctx context.Context) (map[string]any, error) {
 	}
 	return out, nil
 }
+
+// Metrics fetches the daemon's live metrics snapshot — the same document
+// /v1/metrics serves and `wsansim -metrics` prints.
+func (c *Client) Metrics(ctx context.Context) (MetricsSnapshot, error) {
+	var snap MetricsSnapshot
+	err := c.do(ctx, http.MethodGet, c.url("metrics"), nil, &snap)
+	return snap, err
+}
+
+// defaultPageSize is the per-request page size of the All* helpers.
+const defaultPageSize = 200
 
 // pageQuery encodes the cursor-pagination query parameters.
 func pageQuery(after string, limit int) string {

@@ -271,3 +271,121 @@ func TestSubscribeRejectsBadTarget(t *testing.T) {
 		t.Fatalf("Watch(ghost) = %v, want not_found at the call site", err)
 	}
 }
+
+// pagingStub serves a cursor-paginated artifact/job list from fixed ID
+// sets, implementing the daemon's strictly-greater resume semantics.
+func pagingStub(t *testing.T, artifactIDs, jobIDs []string) http.Handler {
+	page := func(ids []string, after string, limit int) (out []string, next string) {
+		start := 0
+		for start < len(ids) && ids[start] <= after {
+			start++
+		}
+		end := len(ids)
+		if limit > 0 && start+limit < end {
+			end = start + limit
+		}
+		out = ids[start:end]
+		if end < len(ids) && len(out) > 0 {
+			next = out[len(out)-1]
+		}
+		return out, next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		after := r.URL.Query().Get("after")
+		limit := 0
+		if raw := r.URL.Query().Get("limit"); raw != "" {
+			fmt.Sscanf(raw, "%d", &limit)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		switch r.URL.Path {
+		case "/v1/artifacts":
+			ids, next := page(artifactIDs, after, limit)
+			p := ArtifactPage{NextAfter: next}
+			for _, id := range ids {
+				p.Artifacts = append(p.Artifacts, ArtifactInfo{ID: id, Kind: "schedule"})
+			}
+			json.NewEncoder(w).Encode(p)
+		case "/v1/jobs":
+			ids, next := page(jobIDs, after, limit)
+			p := JobPage{NextAfter: next}
+			for _, id := range ids {
+				p.Jobs = append(p.Jobs, Job{ID: id, State: StateDone})
+			}
+			json.NewEncoder(w).Encode(p)
+		default:
+			t.Errorf("unexpected path %s", r.URL.Path)
+			envelope(w, http.StatusNotFound, "not_found", "no route")
+		}
+	})
+}
+
+func TestAllArtifactsFollowsCursors(t *testing.T) {
+	ids := make([]string, 7)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("%02x", i+1)
+	}
+	ts := httptest.NewServer(pagingStub(t, ids, nil))
+	defer ts.Close()
+
+	all, err := testClient(ts, Options{}).AllArtifacts(context.Background(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ids) {
+		t.Fatalf("walked %d artifacts, want %d", len(all), len(ids))
+	}
+	for i, a := range all {
+		if a.ID != ids[i] {
+			t.Fatalf("artifact %d = %s, want %s", i, a.ID, ids[i])
+		}
+	}
+}
+
+func TestAllJobsFollowsCursors(t *testing.T) {
+	ids := []string{"j1", "j2", "j3", "j4", "j5"}
+	ts := httptest.NewServer(pagingStub(t, nil, ids))
+	defer ts.Close()
+
+	all, err := testClient(ts, Options{}).AllJobs(context.Background(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ids) {
+		t.Fatalf("walked %d jobs, want %d", len(all), len(ids))
+	}
+	for i, j := range all {
+		if j.ID != ids[i] {
+			t.Fatalf("job %d = %s, want %s", i, j.ID, ids[i])
+		}
+	}
+}
+
+func TestMetricsSnapshot(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/metrics" {
+			t.Errorf("unexpected path %s", r.URL.Path)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"counters":{"server.cache.hits":4},"gauges":{"server.cache.bytes":123.0}}`)
+	}))
+	defer ts.Close()
+
+	snap, err := testClient(ts, Options{}).Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Counters["server.cache.hits"] != 4 || snap.Gauges["server.cache.bytes"] != 123 {
+		t.Fatalf("snapshot = %+v", snap)
+	}
+}
+
+func TestCacheEvictionDecode(t *testing.T) {
+	e := Event{Type: EventCacheEvict, Data: json.RawMessage(`{"id":"ab","kind":"schedule","bytes":64,"reason":"capacity"}`)}
+	ev, err := e.CacheEvictionData()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.ID != "ab" || ev.Bytes != 64 || ev.Reason != "capacity" {
+		t.Fatalf("eviction = %+v", ev)
+	}
+}

@@ -137,6 +137,7 @@ const (
 	EventManageHealth = "manage.health"
 	EventFaultCounts  = "faults.applied"
 	EventMetricsDelta = "metrics.delta"
+	EventCacheEvict   = "cache.evicted"
 )
 
 // TerminalEvent reports whether typ marks the end of a job's lifecycle.
@@ -157,6 +158,42 @@ func (e Event) ManageHealthData() (ManageHealth, error) {
 	var m ManageHealth
 	err := json.Unmarshal(e.Data, &m)
 	return m, err
+}
+
+// CacheEviction is the Data of an EventCacheEvict event: one artifact the
+// daemon's store evicted, by the byte budget ("capacity") or by expiry
+// ("ttl").
+type CacheEviction struct {
+	ID     string `json:"id"`
+	Kind   string `json:"kind"`
+	Bytes  int64  `json:"bytes"`
+	Reason string `json:"reason"`
+}
+
+// CacheEvictionData decodes the event's Data as a cache.evicted payload.
+func (e Event) CacheEvictionData() (CacheEviction, error) {
+	var ev CacheEviction
+	err := json.Unmarshal(e.Data, &ev)
+	return ev, err
+}
+
+// MetricsSnapshot is the daemon's /v1/metrics document: monotonic counters,
+// point-in-time gauges, and histogram summaries.
+type MetricsSnapshot struct {
+	Counters   map[string]int64            `json:"counters"`
+	Gauges     map[string]float64          `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSummary `json:"histograms,omitempty"`
+	Events     map[string]int64            `json:"events,omitempty"`
+}
+
+// HistogramSummary is the serialized summary of one metrics histogram.
+type HistogramSummary struct {
+	Count  int64   `json:"count"`
+	Sum    float64 `json:"sum"`
+	Min    float64 `json:"min"`
+	Mean   float64 `json:"mean"`
+	Max    float64 `json:"max"`
+	Stddev float64 `json:"stddev"`
 }
 
 // ManageHealth is one manage-loop iteration's health verdict plus the

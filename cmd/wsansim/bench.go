@@ -36,9 +36,10 @@ import (
 // iteration count.
 
 const (
-	benchScheduleFile = "BENCH_schedule.json"
-	benchSimulateFile = "BENCH_simulate.json"
-	benchStoreFile    = "BENCH_store.json"
+	benchScheduleFile    = "BENCH_schedule.json"
+	benchSimulateFile    = "BENCH_simulate.json"
+	benchStoreFile       = "BENCH_store.json"
+	benchReliabilityFile = "BENCH_reliability.json"
 )
 
 // storeBenchArtifacts is the artifact-store population for BENCH_store.json.
@@ -90,7 +91,7 @@ func runBench(args []string, mets obs.Sink) error {
 		return err
 	}
 
-	sched, sim, err := buildBenchCases(mets)
+	sched, sim, rel, err := buildBenchCases(mets)
 	if err != nil {
 		return err
 	}
@@ -107,6 +108,7 @@ func runBench(args []string, mets obs.Sink) error {
 		{benchScheduleFile, "scheduler hot paths: Fig 1 pipeline + Fig 6 operating point (100 flows, 5 channels, Indriya)", sched},
 		{benchSimulateFile, "TSCH network simulator: 50-flow WUSTL schedule, one hyperperiod per op", sim},
 		{benchStoreFile, "artifact store at 10k artifacts: cold-start warm-scan, and disk lookup where ns_per_op is the p99 latency", store},
+		{benchReliabilityFile, "reliability-target budgeting: the planning pass over the Fig 6 Indriya workload, and a budgeted RC schedule of the 50-flow WUSTL operating point", rel},
 	}
 
 	failed := false
@@ -191,12 +193,12 @@ func measureCase(c benchCase, short bool) (benchEntry, error) {
 // buildBenchCases constructs the schedule-side and simulate-side workloads.
 // Everything is seeded, so each case's output — and therefore its checksum —
 // is reproducible.
-func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
+func buildBenchCases(mets obs.Sink) (sched, sim, rel []benchCase, err error) {
 	// Fig 1 pipeline at benchmark scale: same code path as `wsansim fig1`,
 	// two trials per data point.
 	ind, err := experiment.NewIndriyaEnv(1)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	ind.Metrics = mets
 	opt := experiment.Options{Trials: 2, Seed: 1, TopoSeed: 1}
@@ -220,11 +222,11 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 	// flows on Indriya with 5 channels, the workload the paper times.
 	tb, err := wsan.GenerateIndriya(1)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	net, err := wsan.NewNetwork(tb, 5)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	flows, err := net.GenerateWorkload(wsan.WorkloadConfig{
 		NumFlows:     100,
@@ -234,7 +236,7 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 		Seed:         3,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	for _, alg := range []wsan.Algorithm{wsan.NR, wsan.RA, wsan.RC} {
 		alg := alg
@@ -260,10 +262,10 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 	churn := flows[99]
 	baseRes, err := net.Schedule(base, wsan.RC, wsan.ScheduleConfig{})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if !baseRes.Schedulable {
-		return nil, nil, fmt.Errorf("bench: 99-flow incremental base not schedulable")
+		return nil, nil, nil, fmt.Errorf("bench: 99-flow incremental base not schedulable")
 	}
 	sched = append(sched, benchCase{
 		name:        "scheduler/incremental",
@@ -295,17 +297,17 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 	// a fixed simulation seed.
 	wtb, err := wsan.GenerateWUSTL(1)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	wnet, err := wsan.NewNetwork(wtb, 4)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	var simFlows []*wsan.Flow
 	var simRes *wsan.ScheduleResult
 	for seed := int64(0); ; seed++ {
 		if seed > 50 {
-			return nil, nil, fmt.Errorf("bench: no schedulable 50-flow WUSTL workload in seeds 0..50")
+			return nil, nil, nil, fmt.Errorf("bench: no schedulable 50-flow WUSTL workload in seeds 0..50")
 		}
 		simFlows, err = wnet.GenerateWorkload(wsan.WorkloadConfig{
 			NumFlows:     50,
@@ -315,11 +317,11 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 			Seed:         seed,
 		})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		simRes, err = wnet.Schedule(simFlows, wsan.RC, wsan.ScheduleConfig{})
 		if err != nil {
-			return nil, nil, err
+			return nil, nil, nil, err
 		}
 		if simRes.Schedulable {
 			break
@@ -339,7 +341,57 @@ func buildBenchCases(mets obs.Sink) (sched, sim []benchCase, err error) {
 			return deliveryDigest(res), nil
 		},
 	})
-	return sched, sim, nil
+
+	// The reliability-budgeting pass over the Fig. 6 Indriya workload: plan
+	// per-hop retransmission budgets for all 100 flows at a 0.99 target.
+	// Each run re-plans from clean clones so iterations are identical.
+	rel = append(rel, benchCase{
+		name:        "budget/apply-100f",
+		iters:       500,
+		warmupIters: 2,
+		run: func() ([]byte, error) {
+			fs := experiment.CloneFlows(flows)
+			assigns, err := net.ApplyReliabilityTargets(fs, 0.99, 0, mets)
+			if err != nil {
+				return nil, err
+			}
+			return budgetDigest(assigns), nil
+		},
+	})
+
+	// A budgeted RC schedule at the simulator operating point: the 50-flow
+	// WUSTL workload with 0.99-target budgets, scheduled with per-hop
+	// retransmission multiplicities.
+	bflows := experiment.CloneFlows(simFlows)
+	if _, err := wnet.ApplyReliabilityTargets(bflows, 0.99, 0, mets); err != nil {
+		return nil, nil, nil, err
+	}
+	rel = append(rel, benchCase{
+		name:        "scheduler/budget",
+		iters:       50,
+		warmupIters: 2,
+		run: func() ([]byte, error) {
+			res, err := wnet.Schedule(bflows, wsan.RC, wsan.ScheduleConfig{Metrics: mets})
+			if err != nil {
+				return nil, err
+			}
+			if !res.Schedulable {
+				return nil, fmt.Errorf("bench: budgeted 50-flow WUSTL workload not schedulable")
+			}
+			return scheduleDigest(res), nil
+		},
+	})
+	return sched, sim, rel, nil
+}
+
+// budgetDigest serializes budget assignments for checksumming: flow ID,
+// per-hop attempts, feasibility, and the predicted delivery probability.
+func budgetDigest(assigns []wsan.BudgetAssignment) []byte {
+	var buf []byte
+	for _, a := range assigns {
+		buf = fmt.Appendf(buf, "%d:%v/%.6f/%v;", a.FlowID, a.Plan.Attempts, a.Plan.Prob, a.Plan.Feasible)
+	}
+	return buf
 }
 
 // storeBenchID derives the deterministic content address of the i-th

@@ -220,6 +220,7 @@ func dispatch(cmd string, fs *flag.FlagSet, opt experiment.Options, mets obs.Sin
 		{"ext-diversity", "indriya", experiment.ExtDiversity},
 		{"ext-bursty", "wustl", experiment.ExtBursty},
 		{"ext-balance", "indriya", experiment.ExtBalance},
+		{"ext-reliability", "wustl", experiment.ExtReliability},
 	}
 	envs := make(map[string]*experiment.Env, 2)
 	getEnv := func(name string) (*experiment.Env, error) {

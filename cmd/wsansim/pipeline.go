@@ -41,6 +41,7 @@ func runGenSchedule(args []string, mets obs.Sink) error {
 	alg := fs.String("alg", "rc", "scheduler (nr|ra|rc)")
 	minExp := fs.Int("minperiod", 0, "minimum period exponent (2^x s)")
 	maxExp := fs.Int("maxperiod", 2, "maximum period exponent (2^y s)")
+	targetPDR := fs.Float64("target-pdr", 0, "per-flow delivery-probability target; plans per-hop retransmission budgets (0 = uniform retries)")
 	out := fs.String("out", ".", "output directory for the JSON artifacts")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +71,21 @@ func runGenSchedule(args []string, mets obs.Sink) error {
 	})
 	if err != nil {
 		return err
+	}
+	if *targetPDR > 0 {
+		assigns, err := net.ApplyReliabilityTargets(flows, *targetPDR, 0, mets)
+		if err != nil {
+			return err
+		}
+		slots, infeasible := 0, 0
+		for _, a := range assigns {
+			slots += a.Plan.TotalSlots
+			if !a.Plan.Feasible {
+				infeasible++
+			}
+		}
+		fmt.Printf("reliability target %.4f: budgeted %d flows over %d tx slots (%d infeasible, best-effort)\n",
+			*targetPDR, len(assigns), slots, infeasible)
 	}
 	res, err := net.Schedule(flows, algorithm, wsan.ScheduleConfig{Metrics: mets})
 	if err != nil {
@@ -108,6 +124,7 @@ func runSimulate(args []string, mets obs.Sink) error {
 	channels := fs.Int("channels", 4, "number of channels the schedule uses")
 	tracePath := fs.String("trace", "", "write a JSONL event trace to this file")
 	faultsPath := fs.String("faults", "", "fault-scenario JSON to inject during the run")
+	targetPDR := fs.Float64("target-pdr", 0, "report achieved PDR against this target (0 = use per-flow targets from workload.json)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -160,6 +177,30 @@ func runSimulate(args []string, mets obs.Sink) error {
 	fmt.Printf("per-flow PDR: %s\n", fn)
 	if scenario != nil {
 		fmt.Printf("fault events applied: %d\n", res.FaultEvents.Total())
+	}
+	pdrs := res.PDRs()
+	targeted, met := 0, 0
+	var misses []string
+	for i, f := range flows {
+		target := f.TargetPDR
+		if *targetPDR > 0 {
+			target = *targetPDR
+		}
+		if target <= 0 || i >= len(pdrs) {
+			continue
+		}
+		targeted++
+		if pdrs[i] >= target {
+			met++
+		} else {
+			misses = append(misses, fmt.Sprintf("flow %d: %.4f < %.4f", f.ID, pdrs[i], target))
+		}
+	}
+	if targeted > 0 {
+		fmt.Printf("reliability targets: %d/%d flows met their target PDR\n", met, targeted)
+		for _, m := range misses {
+			fmt.Printf("  miss  %s\n", m)
+		}
 	}
 	return nil
 }
@@ -362,6 +403,8 @@ func runManage(args []string, mets obs.Sink) error {
 	epochSlots := fs.Int("epoch", 90_000, "observation slots per iteration")
 	seed := fs.Int64("seed", 1, "simulation seed")
 	faultsPath := fs.String("faults", "", "fault-scenario JSON to inject during the loop")
+	targetPDR := fs.Float64("target-pdr", 0, "per-flow delivery-probability target driving runtime re-budgeting (0 = targets from workload.json)")
+	parole := fs.Int("parole", 0, "clean iterations before a blacklisted channel is rehabilitated (0 = permanent blacklist)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -381,30 +424,52 @@ func runManage(args []string, mets obs.Sink) error {
 	if err != nil {
 		return err
 	}
+	if *targetPDR > 0 {
+		for _, f := range flows {
+			f.TargetPDR = *targetPDR
+		}
+	}
+	chs := topology.Channels(*channels)
+	linkPRR := func(l flow.Link) float64 {
+		sum := 0.0
+		for _, ch := range chs {
+			sum += tb.PRR(l.From, l.To, ch)
+		}
+		return sum / float64(len(chs))
+	}
 	iters, err := manage.Loop(manage.Config{
-		Testbed:            tb,
-		Flows:              flows,
-		Schedule:           sched,
-		Channels:           topology.Channels(*channels),
-		EpochSlots:         *epochSlots,
-		SampleWindowSlots:  *epochSlots / 18,
-		ProbeEverySlots:    250,
-		FadingSigmaDB:      2.5,
-		SurveyDriftSigmaDB: 2.5,
-		MaxIterations:      *iterations,
-		CompactAfterRepair: true,
-		Metrics:            mets,
-		Seed:               *seed,
-		Faults:             scenario,
+		Testbed:                        tb,
+		Flows:                          flows,
+		Schedule:                       sched,
+		Channels:                       chs,
+		EpochSlots:                     *epochSlots,
+		SampleWindowSlots:              *epochSlots / 18,
+		ProbeEverySlots:                250,
+		FadingSigmaDB:                  2.5,
+		SurveyDriftSigmaDB:             2.5,
+		MaxIterations:                  *iterations,
+		CompactAfterRepair:             true,
+		BlacklistParoleCleanIterations: *parole,
+		LinkPRR:                        linkPRR,
+		Metrics:                        mets,
+		Seed:                           *seed,
+		Faults:                         scenario,
 	})
 	if err != nil {
 		return err
 	}
-	fmt.Println("iter  health     degraded  moved  rerouted  blacklist  delta  devices  minPDR  meanPDR")
+	fmt.Println("iter  health     degraded  moved  rerouted  blacklist  rehab  rebudget  shed  shortfall  delta  devices  minPDR  meanPDR")
 	for _, it := range iters {
-		fmt.Printf("%4d  %-9s  %8d  %5d  %8d  %9d  %5d  %7d  %.3f   %.3f\n",
+		fmt.Printf("%4d  %-9s  %8d  %5d  %8d  %9d  %5d  %8d  %4d  %9d  %5d  %7d  %.3f   %.3f\n",
 			it.Index+1, it.Health, it.Degraded, it.Moved, it.Rerouted,
-			len(it.Blacklisted), it.DeltaChanges, it.AffectedDevices, it.MinPDR, it.MeanPDR)
+			len(it.Blacklisted), len(it.Rehabilitated), it.Rebudgeted, it.RetriesShed,
+			len(it.Shortfalls), it.DeltaChanges, it.AffectedDevices, it.MinPDR, it.MeanPDR)
+	}
+	for _, it := range iters {
+		for _, sf := range it.Shortfalls {
+			fmt.Printf("shortfall (iter %d): flow %d predicted %.4f < target %.4f\n",
+				it.Index+1, sf.FlowID, sf.Predicted, sf.Target)
+		}
 	}
 	// Persist the managed schedule.
 	if err := writeArtifact(*dir, "schedule.json", sched.Encode); err != nil {

@@ -59,8 +59,26 @@ func FuzzLoadWorkload(f *testing.F) {
 		f.Fatal(err)
 	}
 	f.Add(buf.Bytes())
+	// A reliability-annotated workload: delivery-probability target plus a
+	// per-hop retransmission budget parallel to the route.
+	budgeted := []*wsan.Flow{{ID: 0, Src: 0, Dst: 2, Period: 20, Deadline: 20,
+		Route:     []wsan.Link{{From: 0, To: 1}, {From: 1, To: 2}},
+		TargetPDR: 0.99, TxBudget: []int{3, 2}}}
+	var bbuf bytes.Buffer
+	if err := wsan.SaveWorkload(budgeted, &bbuf); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bbuf.Bytes())
 	f.Add([]byte(`{"flows":[]}`))
 	f.Add([]byte(`{"flows":[{"id":0,"src":0,"dst":1,"period":-5}]}`))
+	// Malformed reliability annotations: target out of range, budget length
+	// not matching the route, and a non-positive per-hop entry.
+	f.Add([]byte(`{"flows":[{"id":0,"src":0,"dst":1,"period":20,"deadline":20,
+	  "route":[{"from":0,"to":1}],"targetPDR":1.5}]}`))
+	f.Add([]byte(`{"flows":[{"id":0,"src":0,"dst":1,"period":20,"deadline":20,
+	  "route":[{"from":0,"to":1}],"txBudget":[2,2]}]}`))
+	f.Add([]byte(`{"flows":[{"id":0,"src":0,"dst":1,"period":20,"deadline":20,
+	  "route":[{"from":0,"to":1}],"targetPDR":0.9,"txBudget":[0]}]}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		fs, err := wsan.LoadWorkload(bytes.NewReader(data))
@@ -77,6 +95,16 @@ func FuzzLoadWorkload(f *testing.F) {
 		}
 		if len(again) != len(fs) {
 			t.Fatalf("round trip changed flow count: %d → %d", len(fs), len(again))
+		}
+		for i, fl := range fs {
+			if fl.TargetPDR != again[i].TargetPDR {
+				t.Fatalf("round trip changed flow %d targetPDR: %v → %v",
+					fl.ID, fl.TargetPDR, again[i].TargetPDR)
+			}
+			if len(fl.TxBudget) != len(again[i].TxBudget) {
+				t.Fatalf("round trip changed flow %d txBudget length: %d → %d",
+					fl.ID, len(fl.TxBudget), len(again[i].TxBudget))
+			}
 		}
 	})
 }

@@ -47,7 +47,10 @@ type DelayBound struct {
 
 // DelayAnalysis runs the bound for every flow of a routed, priority-ordered
 // (lowest ID = highest priority) flow set on m channels without channel
-// reuse. attempts is the number of dedicated slots per hop.
+// reuse. attempts is the uniform number of dedicated slots per hop; flows
+// carrying an explicit per-hop TxBudget contribute their budgeted slot
+// counts instead, so reliability-budgeted workloads are analyzed with
+// their true per-release demand.
 func DelayAnalysis(flows []*flow.Flow, m, attempts int) ([]DelayBound, error) {
 	if m <= 0 || attempts <= 0 {
 		return nil, fmt.Errorf("delay analysis: channels %d and attempts %d must be positive", m, attempts)
@@ -67,7 +70,7 @@ func DelayAnalysis(flows []*flow.Flow, m, attempts int) ([]DelayBound, error) {
 	// responses[j] is R_j for already-analyzed higher-priority flows.
 	responses := make([]int, len(flows))
 	for i, fi := range flows {
-		ci := len(fi.Route) * attempts
+		ci := fi.TotalAttempts(attempts)
 		nodesI := routeNodes(fi)
 		r := ci
 		for {
@@ -75,7 +78,7 @@ func DelayAnalysis(flows []*flow.Flow, m, attempts int) ([]DelayBound, error) {
 			contention := 0
 			for j := 0; j < i; j++ {
 				fj := flows[j]
-				cj := len(fj.Route) * attempts
+				cj := fj.TotalAttempts(attempts)
 				// Carry-in window: releases of j that can overlap a window
 				// of length r.
 				instances := ceilDiv(r+responses[j], fj.Period)
@@ -134,12 +137,12 @@ func routeNodes(f *flow.Flow) map[int]bool {
 }
 
 // conflictingTx counts flow j's per-release transmissions that share a node
-// with the given node set.
+// with the given node set, honoring j's per-hop budget when present.
 func conflictingTx(fj *flow.Flow, nodes map[int]bool, attempts int) int {
 	count := 0
-	for _, l := range fj.Route {
+	for h, l := range fj.Route {
 		if nodes[l.From] || nodes[l.To] {
-			count += attempts
+			count += fj.HopAttempts(h, attempts)
 		}
 	}
 	return count

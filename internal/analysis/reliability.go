@@ -1,0 +1,77 @@
+package analysis
+
+import (
+	"fmt"
+
+	"wsan/internal/budget"
+	"wsan/internal/flow"
+)
+
+// This file adds the delivery-probability axis to the analysis verdict:
+// alongside the worst-case delay bound, each flow gets an end-to-end
+// delivery-probability lower bound computed from per-link packet reception
+// ratios and the flow's per-hop retransmission budget. Under the standard
+// independent-loss model a hop with PRR p and k dedicated attempt slots
+// succeeds with probability 1-(1-p)^k, and the end-to-end bound is the
+// product over the route. The bound is conservative in the same sense the
+// budgeting pass is: it ignores ACK-loss duplicates (which only waste
+// slots, never lose delivered packets) and assumes every loss source is
+// captured by the per-link PRR.
+
+// ReliabilityBound is the delivery-probability verdict for one flow.
+type ReliabilityBound struct {
+	FlowID int
+	// Prob is the end-to-end delivery-probability lower bound under the
+	// flow's retransmission budget (uniform attempts when no budget set).
+	Prob float64
+	// Target echoes the flow's TargetPDR (0 when the flow has none).
+	Target float64
+	// Meets reports Prob ≥ Target; vacuously true for untargeted flows.
+	Meets bool
+}
+
+// ReliabilityAnalysis bounds every flow's end-to-end delivery probability.
+// linkPRR supplies the per-link packet reception ratio (survey estimate or
+// observed); defaultAttempts is the uniform per-hop slot count used for
+// flows without an explicit TxBudget.
+func ReliabilityAnalysis(flows []*flow.Flow, linkPRR func(flow.Link) float64, defaultAttempts int) ([]ReliabilityBound, error) {
+	if linkPRR == nil {
+		return nil, fmt.Errorf("reliability analysis: nil linkPRR")
+	}
+	if defaultAttempts <= 0 {
+		return nil, fmt.Errorf("reliability analysis: attempts %d must be positive", defaultAttempts)
+	}
+	if len(flows) == 0 {
+		return nil, fmt.Errorf("reliability analysis: empty flow set")
+	}
+	bounds := make([]ReliabilityBound, len(flows))
+	for i, f := range flows {
+		if len(f.Route) == 0 {
+			return nil, fmt.Errorf("reliability analysis: flow %d has no route", f.ID)
+		}
+		prrs := budget.RoutePRRs(f, linkPRR)
+		attempts := make([]int, len(f.Route))
+		for h := range attempts {
+			attempts[h] = f.HopAttempts(h, defaultAttempts)
+		}
+		prob := budget.DeliveryProb(prrs, attempts)
+		bounds[i] = ReliabilityBound{
+			FlowID: f.ID,
+			Prob:   prob,
+			Target: f.TargetPDR,
+			Meets:  f.TargetPDR <= 0 || prob >= f.TargetPDR,
+		}
+	}
+	return bounds, nil
+}
+
+// AllMeetTargets reports whether every targeted flow's bound clears its
+// TargetPDR.
+func AllMeetTargets(bounds []ReliabilityBound) bool {
+	for _, b := range bounds {
+		if !b.Meets {
+			return false
+		}
+	}
+	return true
+}

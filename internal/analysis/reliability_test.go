@@ -1,0 +1,120 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"wsan/internal/flow"
+)
+
+func reliabilityFlows() []*flow.Flow {
+	f0 := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 100, Deadline: 100,
+		Route:     []flow.Link{{From: 0, To: 1}, {From: 1, To: 2}},
+		TargetPDR: 0.99, TxBudget: []int{3, 3}}
+	f1 := &flow.Flow{ID: 1, Src: 3, Dst: 5, Period: 100, Deadline: 100,
+		Route: []flow.Link{{From: 3, To: 4}, {From: 4, To: 5}}}
+	return []*flow.Flow{f0, f1}
+}
+
+func TestReliabilityAnalysis(t *testing.T) {
+	flows := reliabilityFlows()
+	prr := func(flow.Link) float64 { return 0.9 }
+	bounds, err := ReliabilityAnalysis(flows, prr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flow 0: budgeted 3 attempts per hop → (1-0.1³)² = 0.999².
+	want0 := math.Pow(1-math.Pow(0.1, 3), 2)
+	if math.Abs(bounds[0].Prob-want0) > 1e-12 {
+		t.Errorf("flow 0 prob = %v, want %v", bounds[0].Prob, want0)
+	}
+	if !bounds[0].Meets || bounds[0].Target != 0.99 {
+		t.Errorf("flow 0 should meet its 0.99 target: %+v", bounds[0])
+	}
+	// Flow 1: uniform 2 attempts → (1-0.01)², untargeted → vacuously meets.
+	want1 := math.Pow(0.99, 2)
+	if math.Abs(bounds[1].Prob-want1) > 1e-12 {
+		t.Errorf("flow 1 prob = %v, want %v", bounds[1].Prob, want1)
+	}
+	if !bounds[1].Meets || bounds[1].Target != 0 {
+		t.Errorf("flow 1 untargeted bound: %+v", bounds[1])
+	}
+	if !AllMeetTargets(bounds) {
+		t.Error("all bounds meet targets")
+	}
+}
+
+func TestReliabilityAnalysisMiss(t *testing.T) {
+	flows := reliabilityFlows()
+	// PRR 0.5 with 3 attempts per hop: (1-0.125)² = 0.7656 < 0.99.
+	prr := func(flow.Link) float64 { return 0.5 }
+	bounds, err := ReliabilityAnalysis(flows, prr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bounds[0].Meets {
+		t.Errorf("flow 0 cannot meet 0.99 over PRR-0.5 links: %+v", bounds[0])
+	}
+	if AllMeetTargets(bounds) {
+		t.Error("set should miss targets")
+	}
+}
+
+func TestReliabilityAnalysisValidation(t *testing.T) {
+	flows := reliabilityFlows()
+	prr := func(flow.Link) float64 { return 0.9 }
+	if _, err := ReliabilityAnalysis(nil, prr, 2); err == nil {
+		t.Error("empty flow set should fail")
+	}
+	if _, err := ReliabilityAnalysis(flows, nil, 2); err == nil {
+		t.Error("nil linkPRR should fail")
+	}
+	if _, err := ReliabilityAnalysis(flows, prr, 0); err == nil {
+		t.Error("zero attempts should fail")
+	}
+	noRoute := []*flow.Flow{{ID: 0, Src: 0, Dst: 1, Period: 10, Deadline: 10}}
+	if _, err := ReliabilityAnalysis(noRoute, prr, 2); err == nil {
+		t.Error("unrouted flow should fail")
+	}
+}
+
+// TestDelayAnalysisBudgetAware proves the delay bound charges a budgeted
+// flow its true per-release demand: deepening one hop's budget raises the
+// flow's own response bound and the interference it imposes below it.
+func TestDelayAnalysisBudgetAware(t *testing.T) {
+	mk := func(budget []int) []*flow.Flow {
+		f0 := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 50, Deadline: 50,
+			Route:    []flow.Link{{From: 0, To: 1}, {From: 1, To: 2}},
+			TxBudget: budget}
+		f1 := &flow.Flow{ID: 1, Src: 2, Dst: 3, Period: 50, Deadline: 50,
+			Route: []flow.Link{{From: 2, To: 3}}}
+		return []*flow.Flow{f0, f1}
+	}
+	base, err := DelayAnalysis(mk(nil), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deep, err := DelayAnalysis(mk([]int{4, 4}), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if deep[0].ResponseSlots <= base[0].ResponseSlots {
+		t.Errorf("deeper budget should raise flow 0's bound: %d vs %d",
+			deep[0].ResponseSlots, base[0].ResponseSlots)
+	}
+	if deep[1].ResponseSlots <= base[1].ResponseSlots {
+		t.Errorf("deeper budget should raise interference on flow 1: %d vs %d",
+			deep[1].ResponseSlots, base[1].ResponseSlots)
+	}
+	// A budget equal to the uniform default must not move the verdict.
+	same, err := DelayAnalysis(mk([]int{2, 2}), 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range base {
+		if same[i] != base[i] {
+			t.Errorf("explicit default budget changed bound %d: %+v vs %+v",
+				i, same[i], base[i])
+		}
+	}
+}

@@ -1,0 +1,219 @@
+// Package budget converts per-link packet reception ratios into per-hop
+// transmission-attempt budgets that meet a flow's end-to-end
+// delivery-probability target — the reliability-target scheduling mode of
+// Dobslaw et al. (SchedEx, arxiv 1412.2546) adapted to this repo's
+// fixed-priority TSCH schedulers.
+//
+// A hop with link PRR p and k scheduled attempts succeeds with probability
+// 1-(1-p)^k; a route delivers end to end with the product of its per-hop
+// success probabilities. Plan allocates the smallest total number of
+// attempts whose product meets the target, by greedy marginal-gain ascent:
+// every step adds one attempt to the hop whose log-probability gain is
+// largest. The per-hop terms log(1-(1-p)^k) have decreasing marginal gains
+// in k, so the greedy allocation maximizes the product at every total
+// count — the first total that reaches the target is therefore the minimum
+// (see TestPlanMatchesNaiveReference for the exhaustive-enumeration proof).
+package budget
+
+import (
+	"fmt"
+	"math"
+
+	"wsan/internal/flow"
+	"wsan/internal/obs"
+)
+
+// DefaultMaxAttemptsPerHop caps the attempts one hop may be budgeted. Four
+// dedicated slots per hop is already twice the WirelessHART source-routing
+// convention; past that, capacity is better spent rerouting than retrying.
+const DefaultMaxAttemptsPerHop = 4
+
+// MinLinkPRR floors the PRR a budget is planned against. A link measured
+// below this is treated as unusable rather than budgeted around: no
+// realistic attempt count rescues a 10% link, and 1/p blow-ups would
+// otherwise dominate the allocation.
+const MinLinkPRR = 0.1
+
+// Plan is one flow's budget allocation.
+type Plan struct {
+	// Attempts holds the per-hop attempt counts, parallel to the route.
+	Attempts []int
+	// Prob is the end-to-end delivery probability the budget predicts.
+	Prob float64
+	// Feasible reports whether Prob meets the target within the per-hop
+	// cap. When false, Attempts holds the capped best effort and Prob its
+	// (insufficient) probability.
+	Feasible bool
+	// TotalSlots is the sum of Attempts.
+	TotalSlots int
+}
+
+// HopSuccess returns the probability a hop with link PRR p succeeds within
+// k attempts: 1-(1-p)^k, clamped to [0,1].
+func HopSuccess(p float64, k int) float64 {
+	if k <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	return 1 - math.Pow(1-p, float64(k))
+}
+
+// DeliveryProb returns the end-to-end delivery probability of a route with
+// per-hop PRRs prrs under the per-hop budget attempts. The slices must have
+// equal length.
+func DeliveryProb(prrs []float64, attempts []int) float64 {
+	prob := 1.0
+	for i, p := range prrs {
+		k := 1
+		if i < len(attempts) {
+			k = attempts[i]
+		}
+		prob *= HopSuccess(p, k)
+	}
+	return prob
+}
+
+// Compute allocates the minimal per-hop attempt budget meeting target over
+// a route with the given per-hop PRRs. target must be in (0, 1); maxPerHop
+// (≤0 selects DefaultMaxAttemptsPerHop) caps each hop. A PRR below
+// MinLinkPRR marks the plan infeasible outright. The allocation is
+// deterministic: marginal-gain ties go to the earliest hop.
+func Compute(prrs []float64, target float64, maxPerHop int) (Plan, error) {
+	if len(prrs) == 0 {
+		return Plan{}, fmt.Errorf("budget: empty route")
+	}
+	if target <= 0 || target >= 1 {
+		return Plan{}, fmt.Errorf("budget: target %v must be in (0, 1)", target)
+	}
+	if maxPerHop <= 0 {
+		maxPerHop = DefaultMaxAttemptsPerHop
+	}
+	attempts := make([]int, len(prrs))
+	for i := range attempts {
+		attempts[i] = 1
+	}
+	pl := Plan{Attempts: attempts, TotalSlots: len(prrs)}
+	for _, p := range prrs {
+		if p < MinLinkPRR {
+			pl.Prob = DeliveryProb(prrs, attempts)
+			return pl, nil // infeasible: a hop below the usable floor
+		}
+	}
+	// Greedy ascent on the log-probability sum. logTerm(i) is this hop's
+	// current contribution; each step adds one attempt where the gain
+	// logTerm'(k+1) - logTerm(k) is largest.
+	logs := make([]float64, len(prrs))
+	sum := 0.0
+	for i, p := range prrs {
+		logs[i] = math.Log(HopSuccess(p, 1))
+		sum += logs[i]
+	}
+	logTarget := math.Log(target)
+	for sum < logTarget {
+		best, bestGain := -1, 0.0
+		for i, p := range prrs {
+			if attempts[i] >= maxPerHop {
+				continue
+			}
+			gain := math.Log(HopSuccess(p, attempts[i]+1)) - logs[i]
+			if best < 0 || gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			pl.Prob = DeliveryProb(prrs, attempts)
+			return pl, nil // every hop at the cap and still short
+		}
+		attempts[best]++
+		pl.TotalSlots++
+		logs[best] += bestGain
+		sum += bestGain
+	}
+	pl.Prob = DeliveryProb(prrs, attempts)
+	// The log-domain loop can exit within float noise of the target; the
+	// verdict uses the directly computed product.
+	pl.Feasible = pl.Prob >= target
+	for !pl.Feasible {
+		// Pathological rounding gap: add attempts until the product agrees
+		// or the cap is hit. In practice this loop does not run.
+		best := -1
+		bestGain := 0.0
+		for i, p := range prrs {
+			if attempts[i] >= maxPerHop {
+				continue
+			}
+			gain := HopSuccess(p, attempts[i]+1) - HopSuccess(p, attempts[i])
+			if best < 0 || gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return pl, nil
+		}
+		attempts[best]++
+		pl.TotalSlots++
+		pl.Prob = DeliveryProb(prrs, attempts)
+		pl.Feasible = pl.Prob >= target
+	}
+	return pl, nil
+}
+
+// Assignment reports one flow's budgeting outcome.
+type Assignment struct {
+	FlowID int
+	Plan   Plan
+	// Target echoes the flow's TargetPDR.
+	Target float64
+}
+
+// RoutePRRs evaluates linkPRR over a flow's route, flooring each value at 0.
+func RoutePRRs(f *flow.Flow, linkPRR func(flow.Link) float64) []float64 {
+	prrs := make([]float64, len(f.Route))
+	for i, l := range f.Route {
+		if p := linkPRR(l); p > 0 {
+			prrs[i] = p
+		}
+	}
+	return prrs
+}
+
+// Apply plans and installs a TxBudget on every flow with a TargetPDR,
+// reading per-link PRRs through linkPRR (survey estimates or observed
+// statistics). Flows without a target keep an empty TxBudget and are
+// skipped. The returned assignments are in flow order; infeasible flows
+// still receive their capped best-effort budget (the scheduler places what
+// reliability the network can offer, and the analysis layer reports the
+// shortfall). Metrics go under "sched.budget." when mets is non-nil.
+func Apply(flows []*flow.Flow, linkPRR func(flow.Link) float64, maxPerHop int, mets obs.Sink) ([]Assignment, error) {
+	var out []Assignment
+	var slots, infeasible int64
+	for _, f := range flows {
+		if f.TargetPDR <= 0 {
+			continue
+		}
+		if len(f.Route) == 0 {
+			return nil, fmt.Errorf("budget: flow %d has a target but no route", f.ID)
+		}
+		pl, err := Compute(RoutePRRs(f, linkPRR), f.TargetPDR, maxPerHop)
+		if err != nil {
+			return nil, fmt.Errorf("budget: flow %d: %w", f.ID, err)
+		}
+		f.TxBudget = append([]int(nil), pl.Attempts...)
+		out = append(out, Assignment{FlowID: f.ID, Plan: pl, Target: f.TargetPDR})
+		slots += int64(pl.TotalSlots)
+		if !pl.Feasible {
+			infeasible++
+		}
+	}
+	if mets != nil && len(out) > 0 {
+		mets.Count("sched.budget.flows", int64(len(out)))
+		mets.Count("sched.budget.slots", slots)
+		mets.Count("sched.budget.infeasible", infeasible)
+	}
+	return out, nil
+}

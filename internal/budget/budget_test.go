@@ -1,0 +1,178 @@
+package budget
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/obs"
+)
+
+// naivePlan enumerates every budget vector with per-hop attempts in
+// [1, maxPerHop] and returns the minimal total slot count whose delivery
+// probability meets target, or ok=false when none does. It is the oracle
+// Compute's greedy allocation is checked against.
+func naivePlan(prrs []float64, target float64, maxPerHop int) (minTotal int, ok bool) {
+	attempts := make([]int, len(prrs))
+	for i := range attempts {
+		attempts[i] = 1
+	}
+	minTotal = math.MaxInt
+	for {
+		if DeliveryProb(prrs, attempts) >= target {
+			total := 0
+			for _, k := range attempts {
+				total += k
+			}
+			if total < minTotal {
+				minTotal = total
+			}
+		}
+		// Odometer increment over [1, maxPerHop]^n.
+		i := 0
+		for ; i < len(attempts); i++ {
+			if attempts[i] < maxPerHop {
+				attempts[i]++
+				break
+			}
+			attempts[i] = 1
+		}
+		if i == len(attempts) {
+			break
+		}
+	}
+	if minTotal == math.MaxInt {
+		return 0, false
+	}
+	return minTotal, true
+}
+
+func TestPlanMatchesNaiveReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const cases = 300
+	for c := 0; c < cases; c++ {
+		hops := 1 + rng.Intn(4)
+		cap := 2 + rng.Intn(3) // 2..4
+		prrs := make([]float64, hops)
+		for i := range prrs {
+			// Mostly usable links, occasionally one near or below the floor.
+			prrs[i] = 0.05 + 0.95*rng.Float64()
+		}
+		target := 0.5 + 0.499*rng.Float64()
+		pl, err := Compute(prrs, target, cap)
+		if err != nil {
+			t.Fatalf("case %d: Compute(%v, %v, %d): %v", c, prrs, target, cap, err)
+		}
+		belowFloor := false
+		for _, p := range prrs {
+			if p < MinLinkPRR {
+				belowFloor = true
+			}
+		}
+		naiveTotal, naiveOK := naivePlan(prrs, target, cap)
+		if belowFloor {
+			if pl.Feasible {
+				t.Fatalf("case %d: prrs %v below floor but plan feasible", c, prrs)
+			}
+			continue
+		}
+		if pl.Feasible != naiveOK {
+			t.Fatalf("case %d: Compute(%v, %v, %d) feasible=%v, naive says %v",
+				c, prrs, target, cap, pl.Feasible, naiveOK)
+		}
+		if !pl.Feasible {
+			continue
+		}
+		if pl.TotalSlots != naiveTotal {
+			t.Fatalf("case %d: Compute(%v, %v, %d) used %d slots, naive minimum is %d (budget %v)",
+				c, prrs, target, cap, pl.TotalSlots, naiveTotal, pl.Attempts)
+		}
+		if got := DeliveryProb(prrs, pl.Attempts); got < target {
+			t.Fatalf("case %d: plan %v delivers %v < target %v", c, pl.Attempts, got, target)
+		}
+		for i, k := range pl.Attempts {
+			if k < 1 || k > cap {
+				t.Fatalf("case %d: hop %d budget %d outside [1, %d]", c, i, k, cap)
+			}
+		}
+	}
+}
+
+func TestComputeDeterministic(t *testing.T) {
+	prrs := []float64{0.8, 0.8, 0.95}
+	a, err := Compute(prrs, 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Compute(prrs, 0.99, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Attempts {
+		if a.Attempts[i] != b.Attempts[i] {
+			t.Fatalf("non-deterministic plans: %v vs %v", a.Attempts, b.Attempts)
+		}
+	}
+}
+
+func TestComputeValidation(t *testing.T) {
+	if _, err := Compute(nil, 0.9, 2); err == nil {
+		t.Fatal("empty route accepted")
+	}
+	if _, err := Compute([]float64{0.9}, 0, 2); err == nil {
+		t.Fatal("target 0 accepted")
+	}
+	if _, err := Compute([]float64{0.9}, 1, 2); err == nil {
+		t.Fatal("target 1 accepted")
+	}
+}
+
+func TestComputeInfeasibleAtCap(t *testing.T) {
+	// Two 50% hops capped at 1 attempt each deliver 25% — far from 0.99.
+	pl, err := Compute([]float64{0.5, 0.5}, 0.99, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Feasible {
+		t.Fatalf("capped plan reported feasible: %+v", pl)
+	}
+	if pl.TotalSlots != 2 {
+		t.Fatalf("best-effort plan should keep 1 attempt per hop, got %v", pl.Attempts)
+	}
+}
+
+func TestApplySetsBudgets(t *testing.T) {
+	flows := []*flow.Flow{
+		{ID: 0, Src: 0, Dst: 2, Period: 100, Deadline: 100, TargetPDR: 0.99,
+			Route: []flow.Link{{From: 0, To: 1}, {From: 1, To: 2}}},
+		{ID: 1, Src: 2, Dst: 0, Period: 100, Deadline: 100,
+			Route: []flow.Link{{From: 2, To: 1}, {From: 1, To: 0}}},
+	}
+	reg := obs.NewRegistry()
+	asn, err := Apply(flows, func(flow.Link) float64 { return 0.9 }, 0, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(asn) != 1 || asn[0].FlowID != 0 {
+		t.Fatalf("assignments = %+v, want exactly flow 0", asn)
+	}
+	if len(flows[0].TxBudget) != 2 {
+		t.Fatalf("flow 0 TxBudget = %v, want per-hop budget", flows[0].TxBudget)
+	}
+	if len(flows[1].TxBudget) != 0 {
+		t.Fatalf("untargeted flow 1 got budget %v", flows[1].TxBudget)
+	}
+	// 0.9 per hop needs 3 attempts on both hops for 0.99 end to end:
+	// k=2 gives 0.99² ≈ 0.9801 and even (4,2) only 0.98999; (3,3) reaches
+	// 0.999² ≈ 0.998.
+	for i, k := range flows[0].TxBudget {
+		if k != 3 {
+			t.Fatalf("hop %d budget %d, want 3 (budget %v)", i, k, flows[0].TxBudget)
+		}
+	}
+	snap := reg.Snapshot()
+	if snap.Counters["sched.budget.flows"] != 1 {
+		t.Fatalf("sched.budget.flows = %d, want 1", snap.Counters["sched.budget.flows"])
+	}
+}

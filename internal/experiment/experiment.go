@@ -255,6 +255,7 @@ func CloneFlows(fs []*flow.Flow) []*flow.Flow {
 	for i, f := range fs {
 		cp := *f
 		cp.Route = append([]flow.Link(nil), f.Route...)
+		cp.TxBudget = append([]int(nil), f.TxBudget...)
 		out[i] = &cp
 	}
 	return out

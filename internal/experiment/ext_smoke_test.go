@@ -81,3 +81,39 @@ func TestExtRepairSmoke(t *testing.T) {
 		t.Errorf("repair clearly worsened min PDR: before=%v after=%v", beforeMin, afterMin)
 	}
 }
+
+// TestExtReliabilitySmoke exercises the reliability-target study at reduced
+// scale and checks the strict target buys a higher simulated PDR floor than
+// a clearly infeasible budget would explain — i.e. budgets were applied.
+func TestExtReliabilitySmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("reliability-target smoke skipped in -short mode")
+	}
+	opt := Options{Trials: 1, Seed: 1}
+	wustl, err := NewWUSTLEnv(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := DefaultReliabilityTargetParams()
+	p.Targets = []float64{0, 0.99}
+	p.Hyperperiods = 20
+	tables, err := ExtReliabilityScaled(wustl, opt, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Log("\n" + tables[0].String())
+	rows := tables[0].Rows
+	if len(rows) != len(p.Targets)*3 {
+		t.Fatalf("got %d rows, want %d", len(rows), len(p.Targets)*3)
+	}
+	// The baseline rows carry no budget; the targeted rows must.
+	for _, row := range rows {
+		budgeted := row[0] != "off"
+		if budgeted && row[2] == "0" {
+			t.Fatalf("targeted row has no budget slots: %v", row)
+		}
+		if !budgeted && row[2] != "0" {
+			t.Fatalf("baseline row has budget slots: %v", row)
+		}
+	}
+}

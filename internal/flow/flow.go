@@ -50,6 +50,39 @@ type Flow struct {
 	// downlink path from a (possibly different) access point, with the wired
 	// gateway segment in between taking no radio slots.
 	Route []Link `json:"route"`
+	// TargetPDR, when positive, is the flow's end-to-end
+	// delivery-probability target (reliability-target scheduling). Zero
+	// means no target: the flow is scheduled with the network's uniform
+	// retransmission policy.
+	TargetPDR float64 `json:"targetPDR,omitempty"`
+	// TxBudget, when non-empty, holds the per-hop transmission-attempt
+	// counts (parallel to Route, each ≥ 1) the budgeting pass allocated to
+	// meet TargetPDR; see internal/budget. An empty budget falls back to
+	// the scheduler's uniform attempt count.
+	TxBudget []int `json:"txBudget,omitempty"`
+}
+
+// HopAttempts returns the number of transmission attempts budgeted for one
+// hop: the TxBudget entry when a budget is installed, fallback otherwise.
+func (f *Flow) HopAttempts(hop, fallback int) int {
+	if len(f.TxBudget) > 0 {
+		return f.TxBudget[hop]
+	}
+	return fallback
+}
+
+// TotalAttempts returns the number of transmissions one release of the flow
+// occupies: the TxBudget sum when a budget is installed, hops × fallback
+// otherwise.
+func (f *Flow) TotalAttempts(fallback int) int {
+	if len(f.TxBudget) == 0 {
+		return len(f.Route) * fallback
+	}
+	total := 0
+	for _, k := range f.TxBudget {
+		total += k
+	}
+	return total
 }
 
 // PeriodSlots converts a period exponent (period = 2^exp seconds) to slots.
@@ -78,6 +111,20 @@ func (f *Flow) Validate() error {
 	if f.Phase > 0 && f.Phase+f.Deadline > f.Period {
 		return fmt.Errorf("flow %d: phase %d + deadline %d exceeds period %d",
 			f.ID, f.Phase, f.Deadline, f.Period)
+	}
+	if f.TargetPDR < 0 || f.TargetPDR >= 1 {
+		return fmt.Errorf("flow %d: target PDR %v must be in [0, 1)", f.ID, f.TargetPDR)
+	}
+	if len(f.TxBudget) > 0 {
+		if len(f.TxBudget) != len(f.Route) {
+			return fmt.Errorf("flow %d: tx budget covers %d hops but route has %d",
+				f.ID, len(f.TxBudget), len(f.Route))
+		}
+		for hop, k := range f.TxBudget {
+			if k < 1 {
+				return fmt.Errorf("flow %d: tx budget for hop %d is %d, must be ≥ 1", f.ID, hop, k)
+			}
+		}
 	}
 	return nil
 }

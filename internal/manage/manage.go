@@ -9,8 +9,10 @@ package manage
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
+	"wsan/internal/budget"
 	"wsan/internal/detect"
 	"wsan/internal/faults"
 	"wsan/internal/flow"
@@ -87,6 +89,31 @@ type Config struct {
 	// blacklistChannels). Defaults: 50 attempts, rate 0.5.
 	BlacklistMinAttempts int
 	BlacklistFailureRate float64
+	// BlacklistParoleCleanIterations, when positive, un-blacklists a
+	// condemned channel after that many consecutive clean iterations: the
+	// channel returns to its hopping-list positions and its replacement
+	// goes back to the spare pool. A channel that relapses after parole is
+	// condemned permanently. Zero (the default) keeps the classic
+	// permanent-blacklist behavior, which is the right call under
+	// persistent interference — parole is for deployments whose
+	// interference comes in bursts.
+	BlacklistParoleCleanIterations int
+
+	// LinkPRR, when non-nil, supplies the planning-time packet reception
+	// ratio of a link; the re-budgeting pass falls back to it for links
+	// the observation window did not sample enough. Optional.
+	LinkPRR func(flow.Link) float64
+	// MaxAttemptsPerHop caps per-hop retransmission budgets during
+	// re-budgeting (default budget.DefaultMaxAttemptsPerHop).
+	MaxAttemptsPerHop int
+	// RebudgetMinSamples is the observed-attempt evidence a link needs
+	// before its measured PRR overrides the planning-time estimate
+	// (default 20).
+	RebudgetMinSamples int
+	// RebudgetTolerance shades observed PRRs down before re-planning,
+	// providing both conservatism and hysteresis against budget flapping
+	// (default 0.02).
+	RebudgetTolerance float64
 }
 
 // WithMetricsSink returns a copy of the config with the observability sink
@@ -145,6 +172,19 @@ type Iteration struct {
 	// (and for the next iteration).
 	Blacklisted []int
 	Channels    []int
+	// Rehabilitated lists blacklisted channels restored to the hopping
+	// list this iteration after their parole (see
+	// Config.BlacklistParoleCleanIterations).
+	Rehabilitated []int
+	// Rebudgeted counts targeted flows whose retransmission budget was
+	// re-planned and re-placed this iteration; RetriesShed and ShedFlows
+	// report the retry slots surrendered by lower-criticality flows to
+	// make room, and Shortfalls lists the targeted flows whose
+	// TargetPDR the network cannot meet under the observed link PRRs.
+	Rebudgeted  int
+	RetriesShed int
+	ShedFlows   []int
+	Shortfalls  []FlowShortfall
 	// Backoff is the delay slept after this stalled iteration (zero when
 	// the iteration made progress or RetryBackoff is unset).
 	Backoff time.Duration
@@ -198,6 +238,15 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 	if cfg.BlacklistFailureRate <= 0 {
 		cfg.BlacklistFailureRate = 0.5
 	}
+	if cfg.MaxAttemptsPerHop <= 0 {
+		cfg.MaxAttemptsPerHop = budget.DefaultMaxAttemptsPerHop
+	}
+	if cfg.RebudgetMinSamples <= 0 {
+		cfg.RebudgetMinSamples = 20
+	}
+	if cfg.RebudgetTolerance <= 0 {
+		cfg.RebudgetTolerance = 0.02
+	}
 	hyper := cfg.Schedule.NumSlots()
 	reps := (cfg.EpochSlots + hyper - 1) / hyper
 	// The hopping list is copied so blacklisting never mutates the caller's
@@ -210,6 +259,17 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 	}
 	stalls := 0
 	everDegraded := false
+	targeted := hasTargets(cfg.Flows)
+	// paroles tracks blacklisted channels eligible for rehabilitation:
+	// channel → (its replacement, consecutive clean iterations seen).
+	// paroled remembers channels that already served one parole; a relapse
+	// condemns them permanently.
+	type parole struct {
+		replacement int
+		clean       int
+	}
+	paroles := make(map[int]*parole)
+	paroled := make(map[int]bool)
 	var out []Iteration
 	for iter := 0; iter < cfg.MaxIterations; iter++ {
 		if err := ctx.Err(); err != nil {
@@ -256,21 +316,79 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 		degraded := detect.Links(reports, detect.ReuseDegraded)
 		it.Degraded = len(degraded)
 		it.Channels = append([]int(nil), channels...)
-		if len(degraded) == 0 && len(it.DegradedFlows) == 0 {
+		before := cfg.Schedule.Clone()
+		// Reliability re-budgeting runs on every window the moment any flow
+		// carries a target: drift below a TargetPDR is actionable even when
+		// no flow has fallen under the (much looser) detection threshold.
+		if targeted {
+			if err := rebudgetPass(&cfg, res, &it); err != nil {
+				return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+			}
+		}
+		// healthy reflects delivery state only; a re-budget on an otherwise
+		// healthy window keeps the loop alive one more iteration to verify
+		// the new budget, but is not degradation.
+		healthy := len(degraded) == 0 && len(it.DegradedFlows) == 0 &&
+			len(it.Shortfalls) == 0
+		if healthy {
 			it.Health = Healthy
 			if everDegraded {
 				it.Health = Recovered
+			}
+			// Advance paroles; channels whose parole completes return to
+			// their hopping-list positions and free their replacements.
+			var rehabbed []int
+			for ch, p := range paroles {
+				p.clean++
+				if p.clean < cfg.BlacklistParoleCleanIterations {
+					continue
+				}
+				delete(paroles, ch)
+				paroled[ch] = true
+				restored := false
+				for i, c := range channels {
+					if c == p.replacement {
+						channels[i] = ch
+						restored = true
+					}
+				}
+				if restored {
+					delete(used, p.replacement)
+					rehabbed = append(rehabbed, ch)
+				}
+			}
+			if len(rehabbed) > 0 {
+				sort.Ints(rehabbed)
+				it.Rehabilitated = rehabbed
+				it.Channels = append([]int(nil), channels...)
+			}
+			if it.Rebudgeted > 0 {
+				delta, err := schedule.Diff(before, cfg.Schedule)
+				if err != nil {
+					return out, fmt.Errorf("manage: iteration %d: %w", iter, err)
+				}
+				it.DeltaChanges = len(delta)
+				it.AffectedDevices = len(schedule.AffectedDevices(delta))
 			}
 			observeIteration(cfg.Metrics, it, reports, time.Since(iterStart), false)
 			if cfg.OnIteration != nil {
 				cfg.OnIteration(it)
 			}
 			out = append(out, it)
-			return out, nil
+			if it.Rebudgeted == 0 && len(paroles) == 0 && len(it.Rehabilitated) == 0 {
+				return out, nil
+			}
+			// Budget just changed, parole pending, or channels restored:
+			// keep observing. This is progress, not a stall.
+			stalls = 0
+			continue
 		}
 		everDegraded = true
 		it.Health = Degraded
-		before := cfg.Schedule.Clone()
+		// A degraded window is not a clean verdict: paroles start over.
+		for _, p := range paroles {
+			p.clean = 0
+		}
 		if len(degraded) > 0 {
 			rep, err := repair.RescheduleObserved(cfg.Schedule, cfg.Flows, degraded, cfg.Metrics)
 			if err != nil {
@@ -301,12 +419,22 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 		// otherwise never trigger it; the per-channel contrast test inside
 		// blacklistChannels still separates interference from crashes.
 		if len(detect.Links(reports, detect.OtherCause)) > 0 || len(it.DegradedFlows) > 0 {
+			prev := append([]int(nil), channels...)
 			var removed []int
 			channels, removed = blacklistChannels(channels, res,
 				int64(cfg.BlacklistMinAttempts), cfg.BlacklistFailureRate, used)
 			if len(removed) > 0 {
 				it.Blacklisted = removed
 				it.Channels = append([]int(nil), channels...)
+				// First offenders earn parole; relapsed channels stay out
+				// for good.
+				if cfg.BlacklistParoleCleanIterations > 0 {
+					for i := range prev {
+						if prev[i] != channels[i] && !paroled[prev[i]] {
+							paroles[prev[i]] = &parole{replacement: channels[i]}
+						}
+					}
+				}
 			}
 		}
 		delta, err := schedule.Diff(before, cfg.Schedule)
@@ -315,7 +443,8 @@ func LoopCtx(ctx context.Context, cfg Config) ([]Iteration, error) {
 		}
 		it.DeltaChanges = len(delta)
 		it.AffectedDevices = len(schedule.AffectedDevices(delta))
-		progress := it.Moved > 0 || it.Rerouted > 0 || len(it.Blacklisted) > 0
+		progress := it.Moved > 0 || it.Rerouted > 0 || len(it.Blacklisted) > 0 ||
+			it.Rebudgeted > 0
 		if progress {
 			stalls = 0
 		} else {
@@ -375,6 +504,19 @@ func observeIteration(m obs.Sink, it Iteration, reports []detect.Report, elapsed
 	if len(it.Blacklisted) > 0 {
 		m.Count("manage.recovery.blacklisted_channels", int64(len(it.Blacklisted)))
 	}
+	if len(it.Rehabilitated) > 0 {
+		m.Count("manage.recovery.rehabilitated_channels", int64(len(it.Rehabilitated)))
+	}
+	if it.Rebudgeted > 0 {
+		m.Count("manage.rebudget.flows", int64(it.Rebudgeted))
+	}
+	if it.RetriesShed > 0 {
+		m.Count("manage.rebudget.shed_retries", int64(it.RetriesShed))
+		m.Count("manage.rebudget.shed_flows", int64(len(it.ShedFlows)))
+	}
+	if len(it.Shortfalls) > 0 {
+		m.Count("manage.rebudget.shortfalls", int64(len(it.Shortfalls)))
+	}
 	if stalled {
 		m.Count("manage.recovery.stalls", 1)
 	}
@@ -396,5 +538,9 @@ func observeIteration(m obs.Sink, it Iteration, reports []detect.Report, elapsed
 		"rerouted":         float64(it.Rerouted),
 		"suspect_nodes":    float64(len(it.SuspectNodes)),
 		"blacklisted":      float64(len(it.Blacklisted)),
+		"rehabilitated":    float64(len(it.Rehabilitated)),
+		"rebudgeted":       float64(it.Rebudgeted),
+		"retries_shed":     float64(it.RetriesShed),
+		"shortfalls":       float64(len(it.Shortfalls)),
 	})
 }

@@ -1,0 +1,193 @@
+package netsim
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/obs"
+	"wsan/internal/schedule"
+	"wsan/internal/topology"
+)
+
+// budgetFlowSchedule builds a line flow 0→1→…→len(budget) whose hop h is
+// scheduled with budget[h] consecutive attempt slots, mirroring what the
+// scheduler emits for a reliability-budgeted flow.
+func budgetFlowSchedule(t testing.TB, period int, budget []int) ([]*flow.Flow, *schedule.Schedule) {
+	t.Helper()
+	hops := len(budget)
+	f := &flow.Flow{ID: 0, Src: 0, Dst: hops, Period: period, Deadline: period,
+		TxBudget: append([]int(nil), budget...)}
+	for i := 0; i < hops; i++ {
+		f.Route = append(f.Route, flow.Link{From: i, To: i + 1})
+	}
+	sched, err := schedule.New(period, 4, hops+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slot := 0
+	for h := 0; h < hops; h++ {
+		for a := 0; a < budget[h]; a++ {
+			if err := sched.Place(schedule.Tx{
+				FlowID: 0, Hop: h, Attempt: a,
+				Link: f.Route[h], Slot: slot, Offset: 0,
+			}); err != nil {
+				t.Fatal(err)
+			}
+			slot++
+		}
+	}
+	return []*flow.Flow{f}, sched
+}
+
+// TestBudgetedEnergyAccounting extends the uniform-retransmit energy test
+// to a non-uniform k>1 budget: on a perfect network the primary of every
+// hop fires, and each of the hop's remaining k-1 retry slots charges its
+// receiver exactly one idle-listen.
+func TestBudgetedEnergyAccounting(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := budgetFlowSchedule(t, 100, []int{3, 2})
+	em := DefaultEnergyModel()
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 10,
+		Energy: &em, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.PDR(0); got != 1 {
+		t.Fatalf("PDR = %v, want 1 on a perfect network", got)
+	}
+	// Node 0 sends hop 0's primary; its two unfired retries cost the sender
+	// nothing. Node 1 receives hop 0 (Rx), idle-listens hop 0's two retry
+	// slots, and sends hop 1's primary. Node 2 receives hop 1 and
+	// idle-listens its single retry slot.
+	want0 := 10 * em.TxFrameMJ
+	want1 := 10 * (em.RxFrameMJ + 2*em.IdleListenMJ + em.TxFrameMJ)
+	want2 := 10 * (em.RxFrameMJ + em.IdleListenMJ)
+	for node, want := range map[int]float64{0: want0, 1: want1, 2: want2} {
+		if got := res.EnergyMJ[node]; math.Abs(got-want) > 1e-9 {
+			t.Errorf("node %d energy = %v, want %v", node, got, want)
+		}
+	}
+}
+
+// TestBudgetedRetxAccounting proves the drop rule and retransmission
+// counters follow the schedule's per-hop attempt depth rather than the
+// legacy uniform policy: with a k=3 budget under heavy fading the third
+// attempt actually fires, and the netsim.retransmissions counters agree
+// with the trace across channels.
+func TestBudgetedRetxAccounting(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := budgetFlowSchedule(t, 100, []int{3, 3, 3})
+	reg := obs.NewRegistry()
+	var trace bytes.Buffer
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 400,
+		FadingSigmaDB: 22, Seed: 3, Metrics: reg, Trace: &trace,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []TraceEvent
+	dec := json.NewDecoder(&trace)
+	for dec.More() {
+		var ev TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			t.Fatal(err)
+		}
+		events = append(events, ev)
+	}
+	maxAttempt := 0
+	tracedRetx, tracedDup := int64(0), int64(0)
+	for _, ev := range events {
+		if ev.Attempt > 2 {
+			t.Fatalf("attempt %d fired beyond the scheduled budget", ev.Attempt)
+		}
+		if ev.Attempt > maxAttempt {
+			maxAttempt = ev.Attempt
+		}
+		if ev.Attempt > 0 {
+			tracedRetx++
+		}
+		if ev.Duplicate {
+			tracedDup++
+		}
+	}
+	if maxAttempt != 2 {
+		t.Fatalf("max fired attempt = %d, want 2 (third slot must be usable)", maxAttempt)
+	}
+	snap := reg.Snapshot()
+	retx := snap.Counters["netsim.retransmissions"]
+	if retx != tracedRetx {
+		t.Errorf("netsim.retransmissions = %d, trace says %d", retx, tracedRetx)
+	}
+	if retx == 0 {
+		t.Error("heavy fading should force some retransmissions")
+	}
+	if dup := snap.Counters["netsim.dup_retransmissions"]; dup != tracedDup {
+		t.Errorf("netsim.dup_retransmissions = %d, trace says %d", dup, tracedDup)
+	}
+	var perCh int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "netsim.retransmissions.ch") {
+			perCh += v
+		}
+	}
+	if perCh != retx {
+		t.Errorf("per-channel retx sum %d != total %d", perCh, retx)
+	}
+	// Every loss the budget could not absorb is a drop, never a stall: the
+	// flow's released instances all resolve.
+	if res.Released[0] != 400 {
+		t.Fatalf("released = %d, want 400", res.Released[0])
+	}
+
+	// The deeper budget must not hurt: with the same seed and fading, a
+	// k=1 schedule delivers strictly less.
+	flows1, sched1 := budgetFlowSchedule(t, 100, []int{1, 1, 1})
+	res1, err := Run(Config{
+		Testbed: tb, Flows: flows1, Schedule: sched1,
+		Channels: topology.Channels(4), Hyperperiods: 400,
+		FadingSigmaDB: 22, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PDR(0) <= res1.PDR(0) {
+		t.Errorf("k=3 PDR %v should beat k=1 PDR %v", res.PDR(0), res1.PDR(0))
+	}
+}
+
+// TestLinkPRRs exercises the observed-PRR aggregation the manage loop's
+// re-budgeting consumes: on a perfect network every observed link reports
+// PRR 1; the minAttempts floor filters thin samples.
+func TestLinkPRRs(t *testing.T) {
+	tb := denseTestbed(t, 4)
+	flows, sched := budgetFlowSchedule(t, 100, []int{2, 2})
+	res, err := Run(Config{
+		Testbed: tb, Flows: flows, Schedule: sched,
+		Channels: topology.Channels(4), Hyperperiods: 20, Seed: 1,
+		EpochSlots: 1000, SampleWindowSlots: 500,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prrs := res.LinkPRRs(1)
+	if len(prrs) != 2 {
+		t.Fatalf("observed %d links, want 2: %v", len(prrs), prrs)
+	}
+	for link, p := range prrs {
+		if p != 1 {
+			t.Errorf("link %v PRR = %v, want 1 on a perfect network", link, p)
+		}
+	}
+	if got := res.LinkPRRs(1_000_000); len(got) != 0 {
+		t.Errorf("minAttempts floor should filter all links, got %v", got)
+	}
+}

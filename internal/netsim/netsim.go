@@ -107,7 +107,11 @@ type Config struct {
 	// guarantees a PRR_DIST_cf distribution even for links whose scheduled
 	// transmissions always share a channel. Zero disables probing.
 	ProbeEverySlots int
-	// Retransmit must match the scheduler configuration.
+	// Retransmit documents the scheduler's uniform retransmission policy.
+	// The simulator itself reads each hop's retry depth from the schedule
+	// (the highest Attempt index placed for that flow and hop), so
+	// variable per-hop budgets execute correctly regardless of this flag;
+	// it is retained for configuration symmetry with the scheduler.
 	Retransmit bool
 	// Trace, when non-nil, receives a JSONL TraceEvent per fired
 	// transmission. Voluminous; for debugging and external analysis.
@@ -196,6 +200,26 @@ func (r *Result) ChannelFailureRate(ch int) float64 {
 		return -1
 	}
 	return float64(r.ChannelFailures[ch]) / float64(r.ChannelAttempts[ch])
+}
+
+// LinkPRRs aggregates each scheduled link's observed packet reception
+// ratio across every epoch and condition of the run, keeping only links
+// with at least minAttempts observed transmissions. This is the
+// measured-PRR input the manage loop's re-budgeting pass compares against
+// the survey estimates a reliability budget was planned from.
+func (r *Result) LinkPRRs(minAttempts int) map[flow.Link]float64 {
+	out := make(map[flow.Link]float64, len(r.LinkEpochs))
+	for link, epochs := range r.LinkEpochs {
+		att, succ := 0, 0
+		for _, ep := range epochs {
+			att += ep.Reuse.Attempts + ep.CF.Attempts
+			succ += ep.Reuse.Successes + ep.CF.Successes
+		}
+		if att >= minAttempts && att > 0 {
+			out[link] = float64(succ) / float64(att)
+		}
+	}
+	return out
 }
 
 // PDR returns the packet delivery ratio of one flow, or -1 if it released

@@ -53,6 +53,12 @@ type simulator struct {
 
 	bySlot [][]txRef
 
+	// lastAttempt maps (flowID, hop) to the highest Attempt index the
+	// schedule holds for that hop. The drop rule reads the retry depth from
+	// the schedule itself, so variable per-hop budgets (reliability-target
+	// scheduling) and the uniform Retransmit policy follow one code path.
+	lastAttempt map[[2]int]int
+
 	// interferer state and precomputed interferer→node gains (dBm).
 	interfOn   []bool
 	interfGain [][]float64
@@ -164,8 +170,12 @@ func (s *simulator) buildSlotIndex() {
 	if s.cfg.EpochSlots > 0 {
 		s.linkWins = make(map[flow.Link]map[int]*[2]condAcc)
 	}
+	s.lastAttempt = make(map[[2]int]int)
 	seen := make(map[flow.Link]bool)
 	for _, tx := range sched.Txs() {
+		if k := [2]int{tx.FlowID, tx.Hop}; tx.Attempt > s.lastAttempt[k] {
+			s.lastAttempt[k] = tx.Attempt
+		}
 		if !seen[tx.Link] {
 			seen[tx.Link] = true
 			s.links = append(s.links, tx.Link)
@@ -321,10 +331,6 @@ func (s *simulator) runHyperperiod(rep int) {
 			s.packets[[2]int{id, inst}] = &packetState{}
 		}
 	}
-	attempts := 1
-	if s.cfg.Retransmit {
-		attempts = 2
-	}
 	extra := s.externalInterference()
 	for slot := 0; slot < hyper; slot++ {
 		asn := rep*hyper + slot
@@ -448,7 +454,10 @@ func (s *simulator) runHyperperiod(rep int) {
 							s.res.Latencies[f.ref.tx.FlowID], slot-release+1)
 					}
 				}
-			} else if f.ref.tx.Attempt == attempts-1 {
+			} else if f.ref.tx.Attempt == s.lastAttempt[[2]int{f.ref.tx.FlowID, f.ref.tx.Hop}] {
+				// The hop's last scheduled attempt failed — read from the
+				// schedule, so k>1 retry budgets drop exactly after their
+				// final slot, not after the uniform policy's second.
 				st.dropped = true
 			}
 		}

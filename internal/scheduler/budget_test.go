@@ -1,0 +1,144 @@
+package scheduler
+
+import (
+	"testing"
+
+	"wsan/internal/flow"
+	"wsan/internal/schedule"
+)
+
+// budgetFlows builds a two-flow workload on a 6-node line with explicit
+// per-hop budgets: flow 0 gets [3, 2], flow 1 keeps the uniform policy.
+func budgetFlows() []*flow.Flow {
+	f0 := &flow.Flow{ID: 0, Src: 0, Dst: 2, Period: 100, Deadline: 100,
+		TargetPDR: 0.99, TxBudget: []int{3, 2}}
+	routeThrough(f0, 0, 1, 2)
+	f1 := &flow.Flow{ID: 1, Src: 3, Dst: 5, Period: 100, Deadline: 100}
+	routeThrough(f1, 3, 4, 5)
+	return []*flow.Flow{f0, f1}
+}
+
+// TestBudgetedPlacement proves every algorithm places exactly the budgeted
+// attempt multiplicity per hop, numbered 0..k-1 in slot order, while
+// unbudgeted flows keep the uniform retransmission count.
+func TestBudgetedPlacement(t *testing.T) {
+	_, hop := lineGraph(6)
+	for _, alg := range []Algorithm{NR, RA, RC} {
+		flows := budgetFlows()
+		res, err := Run(flows, Config{
+			Algorithm: alg, NumChannels: 4, RhoT: 2, HopGR: hop, Retransmit: true,
+		})
+		if err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if !res.Schedulable {
+			t.Fatalf("%v: budgeted workload unschedulable", alg)
+		}
+		type key struct{ flowID, hop int }
+		count := make(map[key]int)
+		lastSlot := -1
+		var seq []schedule.Tx
+		for _, tx := range res.Schedule.Txs() {
+			count[key{tx.FlowID, tx.Hop}]++
+			if tx.FlowID == 0 {
+				seq = append(seq, tx)
+			}
+		}
+		want := map[key]int{
+			{0, 0}: 3, {0, 1}: 2, // the explicit budget
+			{1, 0}: 2, {1, 1}: 2, // uniform Retransmit default
+		}
+		for k, n := range want {
+			if count[k] != n {
+				t.Fatalf("%v: flow %d hop %d has %d transmissions, want %d",
+					alg, k.flowID, k.hop, count[k], n)
+			}
+		}
+		// Flow 0's transmissions must advance strictly in slot order with
+		// attempts numbered within each hop.
+		attempt, hopIdx := 0, 0
+		for _, tx := range seq {
+			if tx.Hop != hopIdx || tx.Attempt != attempt {
+				t.Fatalf("%v: got hop %d attempt %d, want hop %d attempt %d",
+					alg, tx.Hop, tx.Attempt, hopIdx, attempt)
+			}
+			if tx.Slot <= lastSlot {
+				t.Fatalf("%v: slot %d does not advance past %d", alg, tx.Slot, lastSlot)
+			}
+			lastSlot = tx.Slot
+			attempt++
+			if (hopIdx == 0 && attempt == 3) || (hopIdx == 1 && attempt == 2) {
+				hopIdx++
+				attempt = 0
+			}
+		}
+	}
+}
+
+// TestBudgetedDeltaReroute proves the delta scheduler preserves a flow's
+// per-hop budget through a reroute (same hop count) and through the
+// full-reschedule rung.
+func TestBudgetedDeltaReroute(t *testing.T) {
+	_, hop := lineGraph(6)
+	flows := budgetFlows()
+	res, err := Run(flows, Config{
+		Algorithm: NR, NumChannels: 4, RhoT: 2, HopGR: hop, Retransmit: true,
+	})
+	if err != nil || !res.Schedulable {
+		t.Fatalf("base schedule: %v schedulable=%v", err, res != nil && res.Schedulable)
+	}
+	// Reroute flow 0 over the same nodes (a no-op route change exercises the
+	// full remove+place path).
+	newRoute := []flow.Link{{From: 0, To: 1}, {From: 1, To: 2}}
+	dr, err := RerouteFlowDelta(res.Schedule, flows, 0, newRoute, Config{
+		Algorithm: NR, NumChannels: 4, Retransmit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !dr.Schedulable {
+		t.Fatal("budgeted reroute infeasible")
+	}
+	count := make(map[int]int)
+	for _, tx := range res.Schedule.Txs() {
+		if tx.FlowID == 0 {
+			count[tx.Hop]++
+		}
+	}
+	if count[0] != 3 || count[1] != 2 {
+		t.Fatalf("budget lost through reroute: per-hop counts %v, want [3 2]", count)
+	}
+}
+
+// TestUnbudgetedIdentical proves a workload without budgets schedules
+// byte-identically whether or not the TxBudget code paths exist: an
+// explicit all-defaults budget must yield exactly the same placements as an
+// empty one.
+func TestUnbudgetedIdentical(t *testing.T) {
+	_, hop := lineGraph(6)
+	for _, alg := range []Algorithm{NR, RA, RC} {
+		plain := budgetFlows()
+		plain[0].TxBudget = nil
+		plain[0].TargetPDR = 0
+		explicit := budgetFlows()
+		explicit[0].TxBudget = []int{2, 2} // == uniform Retransmit default
+		explicit[0].TargetPDR = 0
+		a, err := Run(plain, Config{Algorithm: alg, NumChannels: 4, RhoT: 2, HopGR: hop, Retransmit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(explicit, Config{Algorithm: alg, NumChannels: 4, RhoT: 2, HopGR: hop, Retransmit: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ta, tb := a.Schedule.Txs(), b.Schedule.Txs()
+		if len(ta) != len(tb) {
+			t.Fatalf("%v: %d vs %d transmissions", alg, len(ta), len(tb))
+		}
+		for i := range ta {
+			if ta[i] != tb[i] {
+				t.Fatalf("%v: placement %d differs: %+v vs %+v", alg, i, ta[i], tb[i])
+			}
+		}
+	}
+}

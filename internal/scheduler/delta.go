@@ -486,7 +486,7 @@ func (d *deltaOp) fullReschedule(mutated []*flow.Flow, res *DeltaResult) (*Delta
 	hyper := d.sched.NumSlots()
 	total := 0
 	for _, g := range mutated {
-		total += (hyper / g.Period) * len(g.Route) * d.cfg.attempts()
+		total += (hyper / g.Period) * g.TotalAttempts(d.cfg.attempts())
 	}
 	fresh.Reserve(total)
 	eng := newEngine(d.cfg, fresh, d.eng.lambdaR)

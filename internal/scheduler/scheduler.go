@@ -170,7 +170,7 @@ func Run(flows []*flow.Flow, cfg Config) (*Result, error) {
 	}
 	total := 0
 	for _, f := range flows {
-		total += (hyper / f.Period) * len(f.Route) * cfg.attempts()
+		total += (hyper / f.Period) * f.TotalAttempts(cfg.attempts())
 	}
 	sched.Reserve(total)
 
@@ -306,6 +306,13 @@ func (e *engine) flushMetrics(elapsed time.Duration) {
 	m.Observe(p+"elapsed_seconds", elapsed.Seconds())
 }
 
+// hopAttempts returns the attempt count for one hop of f: the flow's
+// per-hop TxBudget entry when reliability-target budgeting installed one,
+// the uniform policy attempt count otherwise.
+func (e *engine) hopAttempts(f *flow.Flow, hop int) int {
+	return f.HopAttempts(hop, e.cfg.attempts())
+}
+
 // scheduleInstance places every transmission of one release of flow f,
 // returning false on a deadline miss.
 func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
@@ -313,10 +320,10 @@ func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
 	release := f.Release(inst)
 	deadline := release + f.Deadline - 1 // last usable slot index
 	prevSlot := release - 1
-	attempts := e.cfg.attempts()
-	total := len(f.Route) * attempts
+	total := f.TotalAttempts(e.cfg.attempts())
 	seq := 0 // transmissions placed so far in this instance
 	for hop, link := range f.Route {
+		attempts := e.hopAttempts(f, hop)
 		for attempt := 0; attempt < attempts; attempt++ {
 			tx := schedule.Tx{
 				FlowID:   f.ID,
@@ -586,16 +593,16 @@ func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int
 	}
 	// Remaining transmissions of the same hop share their conflict pair, so
 	// each pair is queried once and weighted by its multiplicity: the current
-	// hop's leftover attempts, then a full attempt count per later hop.
-	attempts := e.cfg.attempts()
-	curCnt := attempts - tx.Attempt - 1
+	// hop's leftover attempts, then a full per-hop attempt count per later
+	// hop.
+	curCnt := e.hopAttempts(f, tx.Hop) - tx.Attempt - 1
 	if !e.laxDeadOK {
 		sum := 0
 		if curCnt > 0 {
 			sum = curCnt * e.routePairs[tx.Hop].CountThrough(deadline)
 		}
 		for h := tx.Hop + 1; h < len(f.Route); h++ {
-			sum += attempts * e.routePairs[h].CountThrough(deadline)
+			sum += e.hopAttempts(f, h) * e.routePairs[h].CountThrough(deadline)
 		}
 		e.laxDeadSum, e.laxDeadOK = sum, true
 	}
@@ -606,7 +613,7 @@ func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int
 		conflictSum -= curCnt * e.routePairs[tx.Hop].CountThrough(s)
 	}
 	for h := tx.Hop + 1; h < len(f.Route); h++ {
-		conflictSum -= attempts * e.routePairs[h].CountThrough(s)
+		conflictSum -= e.hopAttempts(f, h) * e.routePairs[h].CountThrough(s)
 	}
 	return lax - conflictSum
 }
@@ -618,12 +625,17 @@ func (e *engine) laxityScan(f *flow.Flow, tx schedule.Tx, s, deadline, remaining
 	if lax < 0 {
 		return lax
 	}
-	attempts := e.cfg.attempts()
-	seq := tx.Hop*attempts + tx.Attempt
 	conflictSum := 0
-	for next := seq + 1; next < len(f.Route)*attempts; next++ {
-		link := f.Route[next/attempts]
-		conflictSum += e.sched.BusyUnionCount(link.From, link.To, s+1, deadline)
+	for h := tx.Hop; h < len(f.Route); h++ {
+		cnt := e.hopAttempts(f, h)
+		if h == tx.Hop {
+			cnt -= tx.Attempt + 1 // only the hop's leftover attempts remain
+		}
+		if cnt <= 0 {
+			continue
+		}
+		link := f.Route[h]
+		conflictSum += cnt * e.sched.BusyUnionCount(link.From, link.To, s+1, deadline)
 	}
 	return lax - conflictSum
 }

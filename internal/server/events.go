@@ -85,9 +85,26 @@ type ManageHealth struct {
 	Rerouted        int     `json:"rerouted"`
 	SuspectNodes    []int   `json:"suspectNodes,omitempty"`
 	Blacklisted     []int   `json:"blacklisted,omitempty"`
+	Rehabilitated   []int   `json:"rehabilitated,omitempty"`
 	Channels        []int   `json:"channels"`
 	DeltaChanges    int     `json:"deltaChanges"`
 	AffectedDevices int     `json:"affectedDevices"`
+
+	// Reliability re-budgeting outcome of the iteration (zero values when
+	// the workload carries no delivery-probability targets).
+	Rebudgeted  int              `json:"rebudgeted,omitempty"`
+	RetriesShed int              `json:"retriesShed,omitempty"`
+	ShedFlows   []int            `json:"shedFlows,omitempty"`
+	Shortfalls  []ShortfallEvent `json:"shortfalls,omitempty"`
+}
+
+// ShortfallEvent is the wire form of one reliability shortfall: a targeted
+// flow whose best-effort retransmission budget cannot reach its TargetPDR
+// under the observed link PRRs.
+type ShortfallEvent struct {
+	Flow      int     `json:"flow"`
+	Target    float64 `json:"target"`
+	Predicted float64 `json:"predicted"`
 }
 
 // FaultCountsDelta is the Data payload of an EventFaultCounts event: one

@@ -44,6 +44,10 @@ type scheduleParams struct {
 	Seed              int64  `json:"seed"`
 	RhoT              int    `json:"rhoT"`
 	DisableRetransmit bool   `json:"disableRetransmit,omitempty"`
+	// TargetPDR, when positive, sets a per-flow delivery-probability target
+	// and plans per-hop retransmission budgets from the survey PRRs before
+	// scheduling.
+	TargetPDR float64 `json:"targetPDR,omitempty"`
 }
 
 // simulateParams is the canonical KindSimulate parameter document.
@@ -75,6 +79,13 @@ type manageParams struct {
 	EpochSlots    int                 `json:"epochSlots"`
 	Seed          int64               `json:"seed"`
 	Faults        *wsan.FaultScenario `json:"faults,omitempty"`
+	// TargetPDR, when positive, overrides every flow's delivery-probability
+	// target so the loop re-budgets retransmissions at runtime. Zero keeps
+	// whatever targets the workload artifact already carries.
+	TargetPDR float64 `json:"targetPDR,omitempty"`
+	// ParoleCleanIterations, when positive, rehabilitates blacklisted
+	// channels after that many consecutive clean iterations.
+	ParoleCleanIterations int `json:"paroleCleanIterations,omitempty"`
 }
 
 // rescheduleParams is the canonical KindReschedule parameter document.
@@ -158,6 +169,9 @@ func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage)
 		if p.RhoT == 0 {
 			p.RhoT = 2
 		}
+		if p.TargetPDR < 0 || p.TargetPDR >= 1 {
+			return nil, fmt.Errorf("targetPDR must be in [0, 1)")
+		}
 		return json.Marshal(p)
 	case KindSimulate:
 		var p simulateParams
@@ -217,6 +231,12 @@ func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage)
 		}
 		if p.Seed == 0 {
 			p.Seed = 1
+		}
+		if p.TargetPDR < 0 || p.TargetPDR >= 1 {
+			return nil, fmt.Errorf("targetPDR must be in [0, 1)")
+		}
+		if p.ParoleCleanIterations < 0 {
+			return nil, fmt.Errorf("paroleCleanIterations must be non-negative")
 		}
 		if err := p.Faults.Validate(0); err != nil {
 			return nil, err
@@ -369,6 +389,19 @@ func (s *Server) runSchedule(ctx context.Context, nw *netEntry, raw json.RawMess
 	if err != nil {
 		return nil, err
 	}
+	var budgetSlots, budgetInfeasible int
+	if p.TargetPDR > 0 {
+		assigns, err := nw.Net.ApplyReliabilityTargets(flows, p.TargetPDR, 0, s.mets)
+		if err != nil {
+			return nil, err
+		}
+		for _, a := range assigns {
+			budgetSlots += a.Plan.TotalSlots
+			if !a.Plan.Feasible {
+				budgetInfeasible++
+			}
+		}
+	}
 	res, err := nw.Net.Schedule(flows, alg, wsan.ScheduleConfig{
 		RhoT:              p.RhoT,
 		DisableRetransmit: p.DisableRetransmit,
@@ -391,14 +424,20 @@ func (s *Server) runSchedule(ctx context.Context, nw *netEntry, raw json.RawMess
 	if err := wsan.SaveSchedule(res, &sched); err != nil {
 		return nil, err
 	}
-	summary, err := json.Marshal(map[string]any{
+	summaryDoc := map[string]any{
 		"algorithm":     p.Alg,
 		"flows":         len(flows),
 		"transmissions": res.Schedule.Len(),
 		"slots":         res.Schedule.NumSlots(),
 		"channels":      len(nw.Channels),
 		"lambdaR":       res.LambdaR,
-	})
+	}
+	if p.TargetPDR > 0 {
+		summaryDoc["targetPDR"] = p.TargetPDR
+		summaryDoc["budgetSlots"] = budgetSlots
+		summaryDoc["budgetInfeasible"] = budgetInfeasible
+	}
+	summary, err := json.Marshal(summaryDoc)
 	if err != nil {
 		return nil, err
 	}
@@ -574,6 +613,11 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, j *Job) (map[strin
 	if err != nil {
 		return nil, err
 	}
+	if p.TargetPDR > 0 {
+		for _, f := range flows {
+			f.TargetPDR = p.TargetPDR
+		}
+	}
 	cfg := wsan.ManageConfig{
 		Testbed:            tb,
 		Flows:              flows,
@@ -586,13 +630,22 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, j *Job) (map[strin
 		SurveyDriftSigmaDB: defaultSigma,
 		MaxIterations:      p.MaxIterations,
 		CompactAfterRepair: true,
+		LinkPRR:            nw.Net.LinkPRR,
 		Metrics:            s.jobSink(j),
 		Seed:               p.Seed,
 		Faults:             p.Faults,
+
+		BlacklistParoleCleanIterations: p.ParoleCleanIterations,
 	}
 	if s.bus.Enabled() {
 		network, jobID := j.Network, j.ID
 		cfg.OnIteration = func(it wsan.ManageIteration) {
+			var shortfalls []ShortfallEvent
+			for _, sf := range it.Shortfalls {
+				shortfalls = append(shortfalls, ShortfallEvent{
+					Flow: sf.FlowID, Target: sf.Target, Predicted: sf.Predicted,
+				})
+			}
 			s.bus.Publish(EventManageHealth, network, jobID, ManageHealth{
 				Iteration:       it.Index,
 				Health:          it.Health.String(),
@@ -605,9 +658,14 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, j *Job) (map[strin
 				Rerouted:        it.Rerouted,
 				SuspectNodes:    it.SuspectNodes,
 				Blacklisted:     it.Blacklisted,
+				Rehabilitated:   it.Rehabilitated,
 				Channels:        it.Channels,
 				DeltaChanges:    it.DeltaChanges,
 				AffectedDevices: it.AffectedDevices,
+				Rebudgeted:      it.Rebudgeted,
+				RetriesShed:     it.RetriesShed,
+				ShedFlows:       it.ShedFlows,
+				Shortfalls:      shortfalls,
 			})
 		}
 	}
@@ -619,13 +677,19 @@ func (s *Server) runManage(ctx context.Context, nw *netEntry, j *Job) (map[strin
 	if err != nil {
 		return nil, err
 	}
-	var repaired bytes.Buffer
+	var repaired, workload bytes.Buffer
 	if err := wsan.SaveSchedule(sched, &repaired); err != nil {
+		return nil, err
+	}
+	// The loop may have re-budgeted retransmissions (TxBudget) on the flows;
+	// persist the workload so the budgets survive alongside the schedule.
+	if err := wsan.SaveWorkload(flows, &workload); err != nil {
 		return nil, err
 	}
 	return map[string][]byte{
 		"iterations.json": iterJSON,
 		"schedule.json":   repaired.Bytes(),
+		"workload.json":   workload.Bytes(),
 	}, nil
 }
 

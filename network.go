@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"wsan/internal/budget"
 	"wsan/internal/flow"
 	"wsan/internal/graph"
 	"wsan/internal/netsim"
@@ -330,6 +331,54 @@ func (n *Network) RouteAvoiding(src, dst int, avoid []int) ([]Link, error) {
 		route[i] = Link{From: path[i], To: path[i+1]}
 	}
 	return route, nil
+}
+
+// LinkPRR returns the survey packet reception ratio of a directed link,
+// averaged over the network's hopping list — the planning-time estimate
+// reliability budgets and bounds are computed from. Links outside the
+// testbed return 0.
+func (n *Network) LinkPRR(l Link) float64 {
+	if len(n.channels) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, ch := range n.channels {
+		sum += n.tb.PRR(l.From, l.To, ch)
+	}
+	return sum / float64(len(n.channels))
+}
+
+// ApplyReliabilityTargets enables reliability-target scheduling for a
+// routed flow set: every flow gets TargetPDR = target (when target > 0;
+// pass 0 to keep per-flow targets already set), and each targeted flow's
+// per-hop retransmission budget (Flow.TxBudget) is planned from the
+// network's survey link PRRs so the end-to-end delivery-probability bound
+// meets the target with the fewest total slots. maxPerHop caps the per-hop
+// attempts (0 selects the default cap of 4). Flows whose target is
+// unreachable even at the cap keep the capped best-effort budget and are
+// reported infeasible in their Assignment. Call before Schedule: the
+// schedulers place TxBudget multiplicities through their ordinary
+// machinery.
+func (n *Network) ApplyReliabilityTargets(flows []*Flow, target float64, maxPerHop int, mets MetricsSink) ([]BudgetAssignment, error) {
+	if target > 0 {
+		for _, f := range flows {
+			f.TargetPDR = target
+		}
+	}
+	out, err := budget.Apply(flows, n.LinkPRR, maxPerHop, mets)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return out, nil
+}
+
+// ReliabilityBounds computes every flow's end-to-end delivery-probability
+// bound from the network's survey link PRRs (see the package-level
+// ReliabilityBounds for an explicit PRR source). attempts is the uniform
+// per-hop slot count for flows without a TxBudget; 0 selects the
+// WirelessHART default of 2.
+func (n *Network) ReliabilityBounds(flows []*Flow, attempts int) ([]ReliabilityBound, error) {
+	return ReliabilityBounds(flows, n.LinkPRR, attempts)
 }
 
 // NewSimConfig pre-fills a simulator configuration for a scheduled

@@ -1,0 +1,115 @@
+package wsan_test
+
+import (
+	"testing"
+
+	"wsan"
+)
+
+// cloneFlows deep-copies a flow set so per-algorithm scheduling runs cannot
+// alias routes, budgets, or priorities.
+func cloneFlows(fs []*wsan.Flow) []*wsan.Flow {
+	out := make([]*wsan.Flow, len(fs))
+	for i, f := range fs {
+		cp := *f
+		cp.Route = append([]wsan.Link(nil), f.Route...)
+		cp.TxBudget = append([]int(nil), f.TxBudget...)
+		out[i] = &cp
+	}
+	return out
+}
+
+// TestReliabilityTargetEndToEnd is the tentpole acceptance test: a WUSTL
+// workload budgeted for a 0.99 delivery-probability target, scheduled under
+// each of NR, RA, and RC, and executed for 1000 hyperperiods. Every flow the
+// planner marked feasible must reach its target in simulation. Fading and
+// survey drift are disabled so the per-attempt delivery probability is
+// exactly the survey PRR the planner consumed — the run then validates the
+// budgeting math end to end rather than the radio model's noise.
+func TestReliabilityTargetEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1000-hyperperiod end-to-end run skipped in -short mode")
+	}
+	const target = 0.99
+	tb, err := wsan.GenerateWUSTL(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := wsan.NewNetwork(tb, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algs := []wsan.Algorithm{wsan.NR, wsan.RA, wsan.RC}
+
+	// Search seeds for a workload that stays schedulable under every
+	// algorithm after the budgeting pass deepens its retransmissions.
+	var flows []*wsan.Flow
+	var feasible map[int]bool
+	var schedules map[wsan.Algorithm]*wsan.ScheduleResult
+seeds:
+	for seed := int64(0); ; seed++ {
+		if seed > 50 {
+			t.Fatal("no budget-schedulable 50-flow WUSTL workload in seeds 0..50")
+		}
+		flows, err = net.GenerateWorkload(wsan.WorkloadConfig{
+			NumFlows:     50,
+			MinPeriodExp: 0,
+			MaxPeriodExp: 0,
+			Traffic:      wsan.PeerToPeer,
+			Seed:         seed,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assigns, err := net.ApplyReliabilityTargets(flows, target, 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(assigns) != len(flows) {
+			t.Fatalf("budgeted %d of %d flows", len(assigns), len(flows))
+		}
+		feasible = make(map[int]bool, len(assigns))
+		for _, a := range assigns {
+			feasible[a.FlowID] = a.Plan.Feasible
+			if a.Plan.Feasible && a.Plan.Prob < target {
+				t.Fatalf("flow %d marked feasible at prob %.4f < %.2f",
+					a.FlowID, a.Plan.Prob, target)
+			}
+		}
+		schedules = make(map[wsan.Algorithm]*wsan.ScheduleResult, len(algs))
+		for _, alg := range algs {
+			res, err := net.Schedule(cloneFlows(flows), alg, wsan.ScheduleConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Schedulable {
+				continue seeds
+			}
+			schedules[alg] = res
+		}
+		break
+	}
+
+	for _, alg := range algs {
+		cfg := net.NewSimConfig(flows, schedules[alg], 1000, 7)
+		// Zero noise: per-attempt delivery probability is the planning PRR.
+		cfg.FadingSigmaDB = 0
+		cfg.SurveyDriftSigmaDB = 0
+		res, err := wsan.Simulate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range flows {
+			if res.Released[f.ID] == 0 {
+				t.Fatalf("%v: flow %d released no packets", alg, f.ID)
+			}
+			pdr := res.PDR(f.ID)
+			if feasible[f.ID] && pdr < target {
+				t.Errorf("%v: feasible flow %d delivered %.4f < target %.2f (budget %v)",
+					alg, f.ID, pdr, target, f.TxBudget)
+			}
+		}
+		t.Logf("%v: all %d feasible flows at or above %.2f over 1000 hyperperiods",
+			alg, len(flows), target)
+	}
+}

@@ -32,6 +32,7 @@ import (
 	"strings"
 
 	"wsan/internal/analysis"
+	"wsan/internal/budget"
 	"wsan/internal/detect"
 	"wsan/internal/faults"
 	"wsan/internal/flow"
@@ -430,7 +431,50 @@ type (
 	DelayBound = analysis.DelayBound
 	// NetworkUtilization accounts a workload's demand.
 	NetworkUtilization = analysis.Utilization
+	// ReliabilityBound is the end-to-end delivery-probability verdict for
+	// one flow — the reliability axis of the analysis, next to DelayBound.
+	ReliabilityBound = analysis.ReliabilityBound
+	// BudgetPlan is a per-hop retransmission-slot plan meeting (or
+	// best-effort approaching) a delivery-probability target.
+	BudgetPlan = budget.Plan
+	// BudgetAssignment pairs a flow with the plan applied to it.
+	BudgetAssignment = budget.Assignment
+	// FlowShortfall reports a targeted flow the manage loop cannot carry
+	// to its TargetPDR under the observed link PRRs.
+	FlowShortfall = manage.FlowShortfall
 )
+
+// DefaultMaxAttemptsPerHop is the default cap on per-hop retransmission
+// budgets (see BudgetPlan).
+const DefaultMaxAttemptsPerHop = budget.DefaultMaxAttemptsPerHop
+
+// PlanBudget computes the minimal per-hop retransmission budget whose
+// end-to-end delivery-probability bound Π(1-(1-pᵢ)^kᵢ) meets target over
+// hops with the given PRRs. maxPerHop caps each hop (0 selects
+// DefaultMaxAttemptsPerHop); an unreachable target returns the capped
+// best-effort plan with Feasible=false.
+func PlanBudget(prrs []float64, target float64, maxPerHop int) (BudgetPlan, error) {
+	p, err := budget.Compute(prrs, target, maxPerHop)
+	return p, wrapErr(err)
+}
+
+// ReliabilityBounds computes every flow's end-to-end delivery-probability
+// bound from per-link PRRs, honoring per-hop TxBudget multiplicities.
+// attempts is the uniform per-hop slot count for flows without a budget; 0
+// selects the WirelessHART source-routing default of 2.
+func ReliabilityBounds(flows []*Flow, linkPRR func(Link) float64, attempts int) ([]ReliabilityBound, error) {
+	if attempts == 0 {
+		attempts = 2
+	}
+	bounds, err := analysis.ReliabilityAnalysis(flows, linkPRR, attempts)
+	return bounds, wrapErr(err)
+}
+
+// AllMeetReliabilityTargets reports whether every targeted flow's bound
+// clears its TargetPDR.
+func AllMeetReliabilityTargets(bounds []ReliabilityBound) bool {
+	return analysis.AllMeetTargets(bounds)
+}
 
 // ScheduleLatencies extracts per-flow end-to-end latencies from a schedule.
 func ScheduleLatencies(flows []*Flow, res *ScheduleResult) ([]FlowLatency, error) {

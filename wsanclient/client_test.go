@@ -389,3 +389,72 @@ func TestCacheEvictionDecode(t *testing.T) {
 		t.Fatalf("eviction = %+v", ev)
 	}
 }
+
+// TestManageHealthRebudgetDecode streams one manage.health event carrying
+// the reliability re-budgeting fields through a stub daemon and checks the
+// typed decode surfaces rebudget counts, rehabilitated channels, and the
+// per-flow shortfall report.
+func TestManageHealthRebudgetDecode(t *testing.T) {
+	payload := `{"iteration":2,"health":"degraded","minPDR":0.91,"meanPDR":0.97,` +
+		`"degradedLinks":1,"moved":0,"unmovable":0,"rerouted":0,` +
+		`"blacklisted":[15],"rehabilitated":[16],"channels":[11,12,13,16],` +
+		`"deltaChanges":6,"affectedDevices":4,` +
+		`"rebudgeted":2,"retriesShed":3,"shedFlows":[7],` +
+		`"shortfalls":[{"flow":7,"target":0.99,"predicted":0.942}]}`
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/jobs/j1/events" {
+			envelope(w, http.StatusNotFound, "not_found", r.URL.Path)
+			return
+		}
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		ev := Event{Seq: 1, Type: EventManageHealth, Job: "j1", Network: "plant",
+			Data: json.RawMessage(payload)}
+		data, _ := json.Marshal(ev)
+		fmt.Fprintf(w, "id: 1\nevent: %s\ndata: %s\n\n", EventManageHealth, data)
+		sseEvent(w, 2, EventJobDone, "j1")
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	st, err := testClient(ts, Options{}).Watch(ctx, "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var mh *ManageHealth
+	for ev := range st.Events() {
+		if ev.Type != EventManageHealth {
+			continue
+		}
+		m, err := ev.ManageHealthData()
+		if err != nil {
+			t.Fatal(err)
+		}
+		mh = &m
+	}
+	if err := st.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if mh == nil {
+		t.Fatal("no manage.health event seen")
+	}
+	if mh.Rebudgeted != 2 || mh.RetriesShed != 3 {
+		t.Fatalf("rebudget fields = %+v", mh)
+	}
+	if len(mh.Rehabilitated) != 1 || mh.Rehabilitated[0] != 16 {
+		t.Fatalf("rehabilitated = %v", mh.Rehabilitated)
+	}
+	if len(mh.ShedFlows) != 1 || mh.ShedFlows[0] != 7 {
+		t.Fatalf("shedFlows = %v", mh.ShedFlows)
+	}
+	if len(mh.Shortfalls) != 1 {
+		t.Fatalf("shortfalls = %+v", mh.Shortfalls)
+	}
+	sf := mh.Shortfalls[0]
+	if sf.Flow != 7 || sf.Target != 0.99 || sf.Predicted != 0.942 {
+		t.Fatalf("shortfall = %+v", sf)
+	}
+}

@@ -210,9 +210,26 @@ type ManageHealth struct {
 	Rerouted        int     `json:"rerouted"`
 	SuspectNodes    []int   `json:"suspectNodes,omitempty"`
 	Blacklisted     []int   `json:"blacklisted,omitempty"`
+	Rehabilitated   []int   `json:"rehabilitated,omitempty"`
 	Channels        []int   `json:"channels"`
 	DeltaChanges    int     `json:"deltaChanges"`
 	AffectedDevices int     `json:"affectedDevices"`
+
+	// Reliability re-budgeting outcome of the iteration. Zero values when
+	// the workload carries no delivery-probability targets.
+	Rebudgeted  int             `json:"rebudgeted,omitempty"`
+	RetriesShed int             `json:"retriesShed,omitempty"`
+	ShedFlows   []int           `json:"shedFlows,omitempty"`
+	Shortfalls  []FlowShortfall `json:"shortfalls,omitempty"`
+}
+
+// FlowShortfall is one reliability shortfall inside a ManageHealth event: a
+// targeted flow whose best-effort retransmission budget cannot reach its
+// delivery-probability target under the observed link PRRs.
+type FlowShortfall struct {
+	Flow      int     `json:"flow"`
+	Target    float64 `json:"target"`
+	Predicted float64 `json:"predicted"`
 }
 
 // APIError is a non-2xx daemon response decoded from the v1 error envelope

@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: build test bench microbench ci lint fuzz-smoke e2e
+.PHONY: build test bench microbench ci lint fuzz-smoke e2e soak-smoke
 
 build:
 	$(GO) build ./...
@@ -9,8 +9,8 @@ build:
 test:
 	$(GO) test ./...
 
-# bench regenerates the committed baseline files BENCH_schedule.json and
-# BENCH_simulate.json with the reproducible harness (fixed seeds; checksums
+# bench regenerates the committed BENCH_*.json baseline files
+# with the reproducible harness (fixed seeds; checksums
 # must not change unless placements legitimately did). `wsansim bench -check`
 # compares a fresh run against them instead of rewriting.
 bench:
@@ -18,6 +18,14 @@ bench:
 
 microbench:
 	$(GO) test -bench=. -benchmem ./...
+
+# soak-smoke drives the sustained-churn harness's full test suite under the
+# race detector: seeded add/remove/reroute/re-budget streams with node-fault
+# batches against a live grid, concurrent runs over the shared scratch
+# pools, and the replay oracle asserting zero schedule drift throughout.
+# `wsansim soak` runs the same harness at evaluation scale (500 flows).
+soak-smoke:
+	$(GO) test -race -count=1 -run TestSoak ./internal/soak/ ./internal/server/
 
 # lint runs go vet always and staticcheck when it is on PATH. Locally the
 # staticcheck half degrades to a notice so a bare toolchain still passes;

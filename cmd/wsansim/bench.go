@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/json"
 	"flag"
@@ -40,6 +41,7 @@ const (
 	benchSimulateFile    = "BENCH_simulate.json"
 	benchStoreFile       = "BENCH_store.json"
 	benchReliabilityFile = "BENCH_reliability.json"
+	benchChurnFile       = "BENCH_churn.json"
 )
 
 // storeBenchArtifacts is the artifact-store population for BENCH_store.json.
@@ -109,6 +111,7 @@ func runBench(args []string, mets obs.Sink) error {
 		{benchSimulateFile, "TSCH network simulator: 50-flow WUSTL schedule, one hyperperiod per op", sim},
 		{benchStoreFile, "artifact store at 10k artifacts: cold-start warm-scan, and disk lookup where ns_per_op is the p99 latency", store},
 		{benchReliabilityFile, "reliability-target budgeting: the planning pass over the Fig 6 Indriya workload, and a budgeted RC schedule of the 50-flow WUSTL operating point", rel},
+		{benchChurnFile, "sustained-churn soak: 200-flow Indriya grid under a seeded add/remove/reroute/re-budget delta stream with replay-oracle checks; ns_per_op is the mean apply latency per committed delta", buildChurnBenchCases()},
 	}
 
 	failed := false
@@ -609,6 +612,49 @@ func algName(alg wsan.Algorithm) string {
 	default:
 		return "rc"
 	}
+}
+
+// buildChurnBenchCases constructs the sustained-churn soak case backing
+// BENCH_churn.json. The measurement is one fixed-size soak run — the op
+// count does NOT shrink under -short, because the checksum covers the final
+// schedule digest and the operation counters, which must stay identical
+// between the CI smoke and a full regeneration. ns_per_op is the churn
+// phase's wall time divided by the committed deltas, so a throughput
+// regression in the delta path's repair ladder gates the build like any
+// other hot path.
+func buildChurnBenchCases() []benchCase {
+	return []benchCase{{
+		name: "churn/soak_200f_1500ops",
+		custom: func(bool) (benchEntry, error) {
+			cfg := wsan.DefaultSoakConfig()
+			cfg.Flows = 200
+			cfg.Ops = 1_500
+			cfg.OracleEvery = 500
+			var before, after runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&before)
+			res, err := wsan.Soak(context.Background(), cfg)
+			if err != nil {
+				return benchEntry{}, err
+			}
+			runtime.ReadMemStats(&after)
+			if res.Applied == 0 || res.OracleChecks == 0 {
+				return benchEntry{}, fmt.Errorf("soak bench did no verified work: %+v", res)
+			}
+			n := int64(res.Applied)
+			sum := sha256.Sum256(fmt.Appendf(nil,
+				"%s|applied=%d|infeasible=%d|skipped=%d|batches=%d|placed=%d|evict=%d|full=%d",
+				res.Digest, res.Applied, res.Infeasible, res.Skipped, res.Batches,
+				res.PlacedTx, res.FallbackEvict, res.FallbackFull))
+			return benchEntry{
+				Name:        "churn/soak_200f_1500ops",
+				NsPerOp:     res.Elapsed.Nanoseconds() / n,
+				AllocsPerOp: int64(after.Mallocs-before.Mallocs) / n,
+				BytesPerOp:  int64(after.TotalAlloc-before.TotalAlloc) / n,
+				Checksum:    fmt.Sprintf("%x", sum[:8]),
+			}, nil
+		},
+	}}
 }
 
 // checkAgainstBaseline compares fresh measurements to a committed baseline:

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho |
-//	                 ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | reschedule | validate | serve | watch | bench>
+//	                 ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | reschedule | validate | serve | watch | bench | soak>
 //
 // "all" regenerates every paper figure; "ext" runs the extension
 // experiments (latency, ρ_t sensitivity, DM-vs-RM, ρ-search ablation).
@@ -66,7 +66,7 @@ func run(args []string) error {
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof and expvar on this address during the run")
 	fs.Usage = func() {
 		fmt.Fprintln(fs.Output(),
-			"usage: wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho | ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | reschedule | validate | serve | watch | bench>")
+			"usage: wsansim [flags] <fig1..fig11 | all | ext | ext-latency | ext-rho | ext-priority | ext-fixedrho | ext-repair | ext-seeds | ext-phases | ext-detector | ext-manage | ext-diversity | ext-bursty | ext-balance | topo | gen-schedule | simulate | describe | analyze-trace | manage | reschedule | validate | serve | watch | bench | soak>")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
@@ -79,7 +79,8 @@ func run(args []string) error {
 	cmd := fs.Arg(0)
 	hasOwnFlags := cmd == "gen-schedule" || cmd == "simulate" || cmd == "describe" ||
 		cmd == "analyze-trace" || cmd == "manage" || cmd == "reschedule" ||
-		cmd == "validate" || cmd == "serve" || cmd == "bench" || cmd == "watch"
+		cmd == "validate" || cmd == "serve" || cmd == "bench" || cmd == "watch" ||
+		cmd == "soak"
 	if fs.NArg() > 1 && !hasOwnFlags {
 		// Accept global flags after the command too (wsansim fig3 -trials 2):
 		// re-parse the remainder into the same flag set.
@@ -189,6 +190,8 @@ func dispatch(cmd string, fs *flag.FlagSet, opt experiment.Options, mets obs.Sin
 		return runWatch(fs.Args()[1:])
 	case "bench":
 		return runBench(fs.Args()[1:], mets)
+	case "soak":
+		return runSoak(fs.Args()[1:], mets)
 	}
 
 	type figure struct {

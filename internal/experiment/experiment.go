@@ -129,6 +129,11 @@ type Env struct {
 
 	mu   sync.Mutex
 	byCh map[int]*ChanEnv
+
+	// schedPool recycles scratch schedule grids across trials (see
+	// countSchedulable): grid construction dominated the sweep loops'
+	// allocation profile, and one warm scratch per worker eliminates it.
+	schedPool sync.Pool
 }
 
 // ChanEnv bundles everything derived from a (testbed, channel count) pair.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"wsan/internal/routing"
+	"wsan/internal/schedule"
 	"wsan/internal/scheduler"
 )
 
@@ -56,7 +57,10 @@ func (e *Env) RatioVsFlows(traffic routing.Traffic, periodExp [2]int, numChannel
 }
 
 // countSchedulable runs opt.Trials random flow sets (in parallel up to
-// opt.Workers) and counts, per algorithm, how many were schedulable.
+// opt.Workers) and counts, per algorithm, how many were schedulable. Only
+// feasibility is kept, so every run in a trial recycles one pooled scratch
+// grid — the schedulers' grid construction dominated this loop's allocation
+// profile; placement decisions are unchanged by the reuse.
 func (e *Env) countSchedulable(traffic routing.Traffic, periodExp [2]int, numFlows, numChannels int, opt Options) (map[scheduler.Algorithm]int, error) {
 	var mu sync.Mutex
 	ok := make(map[scheduler.Algorithm]int, len(allAlgs))
@@ -68,14 +72,33 @@ func (e *Env) countSchedulable(traffic routing.Traffic, periodExp [2]int, numFlo
 			PeriodExp: periodExp,
 			Seed:      opt.Seed*1_000_003 + int64(trial),
 		}
-		results, _, err := e.RunTrial(spec, allAlgs)
+		fs, ce, err := e.GenerateFlows(spec)
 		if err != nil {
 			return err
 		}
+		scratch, _ := e.schedPool.Get().(*schedule.Schedule)
+		feasible := make(map[scheduler.Algorithm]bool, len(allAlgs))
+		for _, alg := range allAlgs {
+			res, err := scheduler.Run(fs, scheduler.Config{
+				Algorithm:   alg,
+				NumChannels: spec.Channels,
+				RhoT:        RhoT,
+				HopGR:       ce.Hop,
+				Retransmit:  true,
+				Metrics:     e.Metrics,
+				Scratch:     scratch,
+			})
+			if err != nil {
+				return fmt.Errorf("%v: %w", alg, err)
+			}
+			scratch = res.Schedule
+			feasible[alg] = res.Schedulable
+		}
+		e.schedPool.Put(scratch)
 		mu.Lock()
 		defer mu.Unlock()
-		for alg, res := range results {
-			if res.Schedulable {
+		for alg, isOK := range feasible {
+			if isOK {
 				ok[alg]++
 			}
 		}

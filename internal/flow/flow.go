@@ -85,6 +85,36 @@ func (f *Flow) TotalAttempts(fallback int) int {
 	return total
 }
 
+// AdaptBudget fits a per-hop transmission budget planned for one route onto
+// a route with hops hops. A budget is planned per-link (internal/budget), so
+// after a reroute its entries describe links the flow no longer traverses;
+// until the next re-budgeting pass re-plans against the new links, the flow
+// keeps its most conservative per-hop concession — every hop of the new
+// route gets the minimum attempt count of the old budget. In particular a
+// shed all-ones budget stays all ones through any detour, never silently
+// re-inflating slot demand during fault recovery. An empty budget stays
+// empty; a same-length budget is copied unchanged (the hop count, and so the
+// planned slot demand, still matches). The result never aliases budget.
+func AdaptBudget(budget []int, hops int) []int {
+	if len(budget) == 0 {
+		return nil
+	}
+	if len(budget) == hops {
+		return append([]int(nil), budget...)
+	}
+	min := budget[0]
+	for _, k := range budget[1:] {
+		if k < min {
+			min = k
+		}
+	}
+	out := make([]int, hops)
+	for i := range out {
+		out[i] = min
+	}
+	return out
+}
+
 // PeriodSlots converts a period exponent (period = 2^exp seconds) to slots.
 // Exponents may be negative (2^-1 s = 50 slots).
 func PeriodSlots(exp int) int {

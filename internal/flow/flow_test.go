@@ -2,6 +2,7 @@ package flow
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -310,5 +311,34 @@ func TestGenerateStaggerPhases(t *testing.T) {
 		if f.Phase != 0 {
 			t.Fatalf("unexpected phase %d", f.Phase)
 		}
+	}
+}
+
+func TestAdaptBudget(t *testing.T) {
+	cases := []struct {
+		name   string
+		budget []int
+		hops   int
+		want   []int
+	}{
+		{"empty stays empty", nil, 3, nil},
+		{"same length copied", []int{3, 1, 2}, 3, []int{3, 1, 2}},
+		{"longer route gets the minimum", []int{3, 2}, 4, []int{2, 2, 2, 2}},
+		{"shorter route gets the minimum", []int{3, 1, 2}, 2, []int{1, 1}},
+		{"shed budget stays shed", []int{1, 1}, 3, []int{1, 1, 1}},
+	}
+	for _, c := range cases {
+		got := AdaptBudget(c.budget, c.hops)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("%s: AdaptBudget(%v, %d) = %v, want %v",
+				c.name, c.budget, c.hops, got, c.want)
+		}
+	}
+	// The adapted budget never aliases the input, even at equal length.
+	in := []int{2, 2}
+	out := AdaptBudget(in, 2)
+	out[0] = 9
+	if in[0] != 2 {
+		t.Error("AdaptBudget aliased its input")
 	}
 }

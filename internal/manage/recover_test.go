@@ -307,3 +307,71 @@ func TestBlacklistChannels(t *testing.T) {
 		t.Errorf("uniform failure blacklisted %v, want nothing", removed)
 	}
 }
+
+// TestRerouteAroundCarriesShedBudget is the budget-carryover regression: a
+// flow whose retries were shed to the all-ones floor loses its relay to a
+// crash, and the only detour is one hop longer. Before the fix the stale
+// two-hop budget failed flow validation inside RerouteFlowDelta and the
+// whole recovery pass errored out; now the reroute must succeed with the
+// shed concession intact (all ones over the new hop count) and the flow's
+// record updated to match what was placed.
+func TestRerouteAroundCarriesShedBudget(t *testing.T) {
+	// 0→1→5 is the scheduled 2-hop route; 0→2→3→5 the only detour.
+	nodes := []topology.Node{{ID: 0}, {ID: 1}, {ID: 2}, {ID: 3}, {ID: 4}, {ID: 5}}
+	good := map[[2]int]bool{
+		{0, 1}: true, {1, 5}: true,
+		{0, 2}: true, {2, 3}: true, {3, 5}: true,
+	}
+	gain := func(u, v, ch int) float64 {
+		a, b := u, v
+		if a > b {
+			a, b = b, a
+		}
+		if good[[2]int{a, b}] {
+			return -50
+		}
+		return -200
+	}
+	tb, err := topology.Custom("budget-detour", nodes, gain, topology.DefaultGenConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flow.Flow{ID: 0, Src: 0, Dst: 5, Period: 20, Deadline: 20,
+		TargetPDR: 0.9,
+		TxBudget:  []int{1, 1}, // shed to the floor by an earlier rebudget pass
+		Route:     []flow.Link{{From: 0, To: 1}, {From: 1, To: 5}}}
+	sched, err := schedule.New(20, 8, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h, l := range f.Route {
+		if err := sched.Place(schedule.Tx{FlowID: 0, Hop: h, Link: l, Slot: h}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	flows := []*flow.Flow{f}
+	rerouted, err := rerouteAround(tb, topology.Channels(8), 0.9, flows, sched, []int{1}, nil)
+	if err != nil {
+		t.Fatalf("rerouteAround: %v", err)
+	}
+	if rerouted != 1 {
+		t.Fatalf("rerouted = %d, want 1", rerouted)
+	}
+	wantRoute := []flow.Link{{From: 0, To: 2}, {From: 2, To: 3}, {From: 3, To: 5}}
+	if !reflect.DeepEqual(f.Route, wantRoute) {
+		t.Fatalf("route = %v, want %v", f.Route, wantRoute)
+	}
+	if want := []int{1, 1, 1}; !reflect.DeepEqual(f.TxBudget, want) {
+		t.Fatalf("budget = %v, want shed floor %v carried onto the detour", f.TxBudget, want)
+	}
+	// What was placed matches the record: one attempt per detour hop.
+	got := 0
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == f.ID {
+			got++
+		}
+	}
+	if got != len(wantRoute) {
+		t.Fatalf("placed %d transmissions, want %d", got, len(wantRoute))
+	}
+}

@@ -65,11 +65,19 @@ type Schedule struct {
 	// most reuse cells) thus costs one allocation per chunk instead of one
 	// per cell, without wasting a second arena slot on the single-occupant
 	// majority. Cells that grow past two occupants escape to the ordinary
-	// allocator via append.
-	arena     []Tx
-	pairArena []Tx
-	// txs records all placements in order.
+	// allocator via append. Both arenas keep every chunk they allocate, so
+	// Reset rewinds them and a recycled schedule re-carves the same memory.
+	arena     txArena
+	pairArena txArena
+	// txs records all placements. The list is in placement order until the
+	// first removal; Remove fills the vacated position with the most recent
+	// placement, so ordering is not stable across removals.
 	txs []Tx
+	// txPos maps each placed transmission to its index in txs. It is built
+	// lazily by the first Remove and maintained by Place/Remove from then
+	// on, so from-scratch scheduling (which never removes) stays map-free
+	// while churn-heavy workloads remove in O(1) instead of scanning txs.
+	txPos map[Tx]int
 
 	// nodeVer stamps each node's busy-bitset state; marking or clearing a
 	// busy bit bumps the node's stamp, so the pair counters below can tell a
@@ -94,6 +102,38 @@ type IndexStats struct {
 
 // IndexStats returns the accumulated index counters.
 func (s *Schedule) IndexStats() IndexStats { return s.stats }
+
+// arenaChunkLen is the carve granularity of a txArena chunk.
+const arenaChunkLen = 512
+
+// txArena hands out small cell carvings from fixed-size chunks. It keeps
+// every chunk it ever allocated: reset rewinds carving to the first chunk,
+// so a schedule recycled through Reset re-carves the same memory instead of
+// growing its footprint by one arena per scheduling cycle.
+type txArena struct {
+	chunks [][]Tx
+	cur    int // chunk currently being carved
+	off    int // next free element within chunks[cur]
+}
+
+// carve returns a zero-length slice with capacity n backed by arena memory.
+// n must be ≤ arenaChunkLen.
+func (a *txArena) carve(n int) []Tx {
+	if len(a.chunks) > 0 && a.off+n > arenaChunkLen {
+		a.cur++
+		a.off = 0
+	}
+	for a.cur >= len(a.chunks) {
+		a.chunks = append(a.chunks, make([]Tx, arenaChunkLen))
+	}
+	c := a.chunks[a.cur][a.off : a.off : a.off+n]
+	a.off += n
+	return c
+}
+
+// reset rewinds carving to the start of the first chunk. Previously carved
+// slices must no longer be referenced.
+func (a *txArena) reset() { a.cur, a.off = 0, 0 }
 
 // New creates an empty schedule covering numSlots slots, numOffsets channel
 // offsets, and nodes 0..numNodes-1.
@@ -121,6 +161,74 @@ func New(numSlots, numOffsets, numNodes int) (*Schedule, error) {
 	}, nil
 }
 
+// Reset clears the schedule in place to an empty grid with the given
+// dimensions, recycling every backing allocation the previous contents used:
+// the busy/occupancy bitsets, the cell table, the transmission list, and the
+// cell arenas all keep their storage. Hot loops that schedule many same-shaped
+// workloads (experiment trials, full-reschedule scratch grids) Reset one
+// schedule instead of paying New's allocations per run.
+//
+// The per-node version stamps are bumped, never rewound, so PairCount caches
+// from before the Reset can never be mistaken for fresh; still, outstanding
+// PairCount handles are bound to the old geometry and must not be used after
+// a Reset that changes the slot or node dimensions.
+func (s *Schedule) Reset(numSlots, numOffsets, numNodes int) error {
+	if numSlots <= 0 || numOffsets <= 0 || numNodes <= 0 {
+		return fmt.Errorf("schedule dimensions must be positive: slots=%d offsets=%d nodes=%d",
+			numSlots, numOffsets, numNodes)
+	}
+	words := (numSlots + 63) / 64
+	offWords := (numOffsets + 63) / 64
+	if words != s.words || numNodes != s.numNodes {
+		// The cached pair counters' word geometry or key space no longer
+		// matches the grid; drop them rather than refresh into the wrong shape.
+		s.pairs = nil
+	}
+	s.nodeBusy = clearGrown(s.nodeBusy, numNodes*words)
+	s.occ = clearGrown(s.occ, numSlots*offWords)
+	nCells := numSlots * numOffsets
+	if cap(s.cells) < nCells {
+		s.cells = make([][]Tx, nCells)
+	} else {
+		s.cells = s.cells[:nCells]
+		clear(s.cells)
+	}
+	if numNodes <= cap(s.nodeVer) {
+		// Reslice instead of reallocating: after a shrink, the backing array
+		// still holds the tail nodes' old stamps, so growing back within
+		// capacity keeps every stamp monotone. A fresh allocation would
+		// restart the tail at zero and could collide with a stamp an
+		// outstanding PairCount cached before the shrink, letting it serve
+		// stale words as fresh.
+		s.nodeVer = s.nodeVer[:numNodes]
+	} else {
+		grown := make([]uint64, numNodes)
+		copy(grown, s.nodeVer)
+		s.nodeVer = grown
+	}
+	for i := range s.nodeVer {
+		s.nodeVer[i]++ // move every stamp past any cache built before the Reset
+	}
+	s.numSlots, s.numOffsets, s.numNodes = numSlots, numOffsets, numNodes
+	s.words, s.offWords = words, offWords
+	s.txs = s.txs[:0]
+	s.txPos = nil
+	s.arena.reset()
+	s.pairArena.reset()
+	return nil
+}
+
+// clearGrown returns a zeroed slice of length n, reusing buf's backing array
+// when it is large enough.
+func clearGrown(buf []uint64, n int) []uint64 {
+	if cap(buf) < n {
+		return make([]uint64, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
 // Reserve grows the transmission list's capacity to hold n more placements
 // without reallocating — schedulers that know the workload size up front call
 // it once instead of paying the append growth copies on the hot path.
@@ -145,7 +253,9 @@ func (s *Schedule) NumNodes() int { return s.numNodes }
 // Len returns the number of placed transmissions.
 func (s *Schedule) Len() int { return len(s.txs) }
 
-// Txs returns all placed transmissions in placement order. The slice is
+// Txs returns all placed transmissions. The list is in placement order
+// until the first removal (Remove compacts by moving the latest placement
+// into the vacated position); new placements always append. The slice is
 // owned by the schedule; callers must not modify it.
 func (s *Schedule) Txs() []Tx { return s.txs }
 
@@ -199,40 +309,42 @@ func (s *Schedule) Place(tx Tx) error {
 	}
 	switch {
 	case cap(c) == 0:
-		if len(s.arena) == 0 {
-			s.arena = make([]Tx, 512)
-		}
-		c = s.arena[:0:1]
-		s.arena = s.arena[1:]
+		c = s.arena.carve(1)
 	case len(c) == 1 && cap(c) == 1:
-		if len(s.pairArena) < 2 {
-			s.pairArena = make([]Tx, 512)
-		}
-		pair := s.pairArena[:1:2]
-		s.pairArena = s.pairArena[2:]
-		pair[0] = c[0]
+		pair := s.pairArena.carve(2)
+		pair = append(pair, c[0])
 		c = pair
 	}
 	s.cells[idx] = append(c, tx)
 	s.txs = append(s.txs, tx)
+	if s.txPos != nil {
+		s.txPos[tx] = len(s.txs) - 1
+	}
 	return nil
 }
 
 // Remove deletes a previously placed transmission, freeing its endpoints'
 // busy bits and its cell entry. The transmission must match an existing
-// placement exactly.
+// placement exactly. The vacated txs position is filled by the most recent
+// placement (swap-with-last), so removal is O(1) on the transmission list —
+// a placement can never occur twice, so the position index is exact.
 func (s *Schedule) Remove(tx Tx) error {
-	idx := -1
-	for i, placed := range s.txs {
-		if placed == tx {
-			idx = i
-			break
+	if s.txPos == nil {
+		s.txPos = make(map[Tx]int, len(s.txs))
+		for i, placed := range s.txs {
+			s.txPos[placed] = i
 		}
 	}
-	if idx < 0 {
+	idx, ok := s.txPos[tx]
+	if !ok {
 		return fmt.Errorf("remove tx flow %d: not placed", tx.FlowID)
 	}
-	s.txs = append(s.txs[:idx], s.txs[idx+1:]...)
+	if last := len(s.txs) - 1; idx != last {
+		s.txs[idx] = s.txs[last]
+		s.txPos[s.txs[idx]] = idx
+	}
+	s.txs = s.txs[:len(s.txs)-1]
+	delete(s.txPos, tx)
 	cellIdx := tx.Slot*s.numOffsets + tx.Offset
 	cell := s.cells[cellIdx]
 	for i, placed := range cell {

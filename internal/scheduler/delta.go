@@ -29,6 +29,7 @@ package scheduler
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 
 	"wsan/internal/flow"
@@ -165,8 +166,13 @@ func (d *deltaOp) removeFlow(flowID int) int {
 
 // rollback replays the journal in reverse, restoring the schedule to its
 // pre-operation state.
-func (d *deltaOp) rollback() {
-	for i := len(d.ops) - 1; i >= 0; i-- {
+func (d *deltaOp) rollback() { d.rollbackTo(0) }
+
+// rollbackTo replays the journal suffix past mark in reverse, restoring the
+// schedule to its state when the journal held mark entries — the rollback
+// point of one operation inside a batch.
+func (d *deltaOp) rollbackTo(mark int) {
+	for i := len(d.ops) - 1; i >= mark; i-- {
 		e := d.ops[i]
 		if e.place {
 			_ = d.sched.Remove(e.tx)
@@ -174,7 +180,7 @@ func (d *deltaOp) rollback() {
 			_ = d.sched.Place(e.tx)
 		}
 	}
-	d.ops = d.ops[:0]
+	d.ops = d.ops[:mark]
 }
 
 // changes nets the journal into a canonical delta: a transmission removed
@@ -281,7 +287,7 @@ func AddFlowDelta(sched *schedule.Schedule, flows []*flow.Flow, f *flow.Flow, cf
 		}
 	}
 	d := newDeltaOp(sched, cfg)
-	res, err := d.place(f, flows)
+	res, err := d.place(f, flows, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -310,9 +316,12 @@ func RemoveFlowDelta(sched *schedule.Schedule, flowID int, mets obs.Sink) (*Delt
 
 // RerouteFlowDelta moves flow flowID onto newRoute, re-placing only that
 // flow's transmissions and descending the repair ladder on infeasibility.
-// flows must be the currently scheduled workload in priority order and
-// contain the flow; neither it nor the flow is mutated — on success the
-// caller updates the flow's Route.
+// The flow's TxBudget rides along, refitted to the new route by
+// flow.AdaptBudget, so a re-budgeted (or shed) flow keeps its concession
+// through a detour of any length. flows must be the currently scheduled
+// workload in priority order and contain the flow; neither it nor the flow
+// is mutated — on success the caller updates the flow's Route (and TxBudget,
+// via flow.AdaptBudget, when one is installed).
 func RerouteFlowDelta(sched *schedule.Schedule, flows []*flow.Flow, flowID int, newRoute []flow.Link, cfg Config) (*DeltaResult, error) {
 	start := time.Now()
 	if err := validateDeltaConfig(sched, cfg); err != nil {
@@ -330,6 +339,7 @@ func RerouteFlowDelta(sched *schedule.Schedule, flows []*flow.Flow, flowID int, 
 	}
 	moved := *orig
 	moved.Route = append([]flow.Link(nil), newRoute...)
+	moved.TxBudget = flow.AdaptBudget(orig.TxBudget, len(newRoute))
 	if err := validateDeltaFlow(sched, &moved); err != nil {
 		return nil, err
 	}
@@ -341,7 +351,7 @@ func RerouteFlowDelta(sched *schedule.Schedule, flows []*flow.Flow, flowID int, 
 	}
 	d := newDeltaOp(sched, cfg)
 	d.removeFlow(flowID)
-	res, err := d.place(&moved, others)
+	res, err := d.place(&moved, others, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -352,9 +362,11 @@ func RerouteFlowDelta(sched *schedule.Schedule, flows []*flow.Flow, flowID int, 
 
 // place runs the repair ladder for flow f against a grid holding others
 // (plus any journaled mutations already performed, e.g. a reroute's
-// removal). On total infeasibility the journal is rolled back and the
-// schedule is left untouched.
-func (d *deltaOp) place(f *flow.Flow, others []*flow.Flow) (*DeltaResult, error) {
+// removal). mark is the journal length at the operation's start: rung 3
+// rolls back to it before rescheduling from scratch, so inside a batch only
+// this operation's mutations are undone. On total infeasibility the journal
+// is rolled back to mark and the schedule is left as it was at mark.
+func (d *deltaOp) place(f *flow.Flow, others []*flow.Flow, mark int) (*DeltaResult, error) {
 	res := &DeltaResult{FailedFlow: -1}
 	if d.placeFlow(f) {
 		return d.finish(res), nil
@@ -365,7 +377,7 @@ func (d *deltaOp) place(f *flow.Flow, others []*flow.Flow) (*DeltaResult, error)
 		return d.finish(res), nil
 	}
 	// Last rung: reschedule the whole mutated workload from scratch.
-	d.rollback()
+	d.rollbackTo(mark)
 	res.Fallback = FallbackFull
 	return d.fullReschedule(mutatedWorkload(others, f), res)
 }
@@ -471,18 +483,33 @@ func mutatedWorkload(others []*flow.Flow, f *flow.Flow) []*flow.Flow {
 	return out
 }
 
+// scratchPool recycles full-reschedule scratch grids across delta
+// operations. Rung 3 used to allocate a fresh grid per descent — the delta
+// path's single largest allocation under sustained churn; recycling one
+// scratch per P (GOMAXPROCS) keeps steady-state soak runs allocation-flat.
+var scratchPool sync.Pool
+
 // fullReschedule is the ladder's last rung: run the configured algorithm
-// over the whole mutated workload into a fresh grid of the same dimensions
+// over the whole mutated workload into a scratch grid of the same dimensions
 // (the existing slotframe is kept — every period divides it, so instance
 // windows repeat exactly), then apply the net difference to the live
 // schedule. Because this rung is the from-scratch scheduler itself,
 // feasibility parity with a full reschedule holds by construction. The
-// caller must have rolled the journal back first.
+// caller must have rolled the journal back to this operation's starting
+// point first; the applied net is journaled so a batched operation can keep
+// building on top of a rung-3 repair and still roll the whole batch back.
 func (d *deltaOp) fullReschedule(mutated []*flow.Flow, res *DeltaResult) (*DeltaResult, error) {
-	fresh, err := schedule.New(d.sched.NumSlots(), d.sched.NumOffsets(), d.sched.NumNodes())
+	fresh, _ := scratchPool.Get().(*schedule.Schedule)
+	var err error
+	if fresh != nil {
+		err = fresh.Reset(d.sched.NumSlots(), d.sched.NumOffsets(), d.sched.NumNodes())
+	} else {
+		fresh, err = schedule.New(d.sched.NumSlots(), d.sched.NumOffsets(), d.sched.NumNodes())
+	}
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: full reschedule: %w", err)
 	}
+	defer scratchPool.Put(fresh)
 	hyper := d.sched.NumSlots()
 	total := 0
 	for _, g := range mutated {
@@ -506,10 +533,25 @@ func (d *deltaOp) fullReschedule(mutated []*flow.Flow, res *DeltaResult) (*Delta
 	if err := schedule.Apply(d.sched, changes); err != nil {
 		return nil, fmt.Errorf("scheduler: full reschedule: %w", err)
 	}
+	// Journal in Apply's execution order (removals before additions) so a
+	// reverse replay undoes the rung cleanly.
+	for _, c := range changes {
+		if c.Kind == schedule.Removed {
+			d.ops = append(d.ops, deltaJournalEntry{tx: c.Tx})
+			d.removeOps++
+		}
+	}
+	for _, c := range changes {
+		if c.Kind == schedule.Added {
+			d.ops = append(d.ops, deltaJournalEntry{place: true, tx: c.Tx})
+			d.placeOps++
+		}
+	}
 	res.Schedulable = true
 	res.FailedFlow = -1
 	res.Changes = changes
 	res.PlacementOps = fresh.Len()
+	res.RemovalOps = 0
 	for _, c := range changes {
 		switch c.Kind {
 		case schedule.Added:

@@ -547,3 +547,53 @@ func assertUnchangedAndInfeasible(t *testing.T, seed int64, step int,
 		t.Fatalf("seed %d step %d: full reschedule feasible but delta path failed", seed, step)
 	}
 }
+
+// TestRerouteFlowDeltaAdaptsBudget: a budgeted flow rerouted onto a route
+// with a different hop count must place under a refitted budget (every hop
+// at the old budget's minimum) rather than failing validation — the shed/
+// re-budget carryover bug. The caller-visible contract is checked too: the
+// placed transmission count matches the adapted budget exactly.
+func TestRerouteFlowDeltaAdaptsBudget(t *testing.T) {
+	// A 6-node graph with a 2-hop route 0→1→5 and a 3-hop detour 0→2→3→5.
+	g := graph.New(6)
+	for _, e := range [][2]int{{0, 1}, {1, 5}, {0, 2}, {2, 3}, {3, 5}} {
+		if err := g.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hop := g.AllPairsHop()
+	f := &flow.Flow{ID: 0, Src: 0, Dst: 5, Period: 100, Deadline: 100,
+		TxBudget: []int{3, 2}}
+	routeThrough(f, 0, 1, 5)
+	flows := []*flow.Flow{f}
+	cfg := Config{Algorithm: RC, NumChannels: 2, RhoT: 2, HopGR: hop, Retransmit: true}
+	sched := deltaBase(t, flows, cfg)
+	before := sched.Clone()
+
+	detour := []flow.Link{{From: 0, To: 2}, {From: 2, To: 3}, {From: 3, To: 5}}
+	res, err := RerouteFlowDelta(sched, flows, f.ID, detour, cfg)
+	if err != nil {
+		t.Fatalf("reroute of a budgeted flow onto a longer route: %v", err)
+	}
+	moved := *f
+	moved.Route = detour
+	moved.TxBudget = flow.AdaptBudget(f.TxBudget, len(detour))
+	if want := []int{2, 2, 2}; !reflect.DeepEqual(moved.TxBudget, want) {
+		t.Fatalf("adapted budget = %v, want %v", moved.TxBudget, want)
+	}
+	checkDelta(t, before, sched, res, []*flow.Flow{&moved}, cfg)
+	got := 0
+	for _, tx := range sched.Txs() {
+		if tx.FlowID == f.ID {
+			got++
+		}
+	}
+	want := (sched.NumSlots() / f.Period) * (2 + 2 + 2)
+	if got != want {
+		t.Fatalf("placed %d transmissions, want %d (adapted budget)", got, want)
+	}
+	// The input flow itself must not have been mutated.
+	if len(f.Route) != 2 || !reflect.DeepEqual(f.TxBudget, []int{3, 2}) {
+		t.Fatalf("input flow mutated: route %v budget %v", f.Route, f.TxBudget)
+	}
+}

@@ -19,7 +19,10 @@ package scheduler
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsan/internal/flow"
@@ -83,6 +86,13 @@ type Config struct {
 	// "scheduler.<alg>." prefix, flushed once per run. Nil disables
 	// observability at near-zero cost.
 	Metrics obs.Sink
+	// Scratch, when non-nil, is an existing schedule whose backing storage
+	// Run recycles (via Reset) instead of allocating a fresh grid — the
+	// dominant allocation cost of high-volume trial loops. The caller hands
+	// over ownership: the scratch's previous contents are destroyed and the
+	// returned Result.Schedule is the same object. Placement decisions are
+	// identical either way.
+	Scratch *schedule.Schedule
 	// scanPaths routes findSlot and laxity through the pre-index reference
 	// scans instead of the bitset/prefix-sum fast paths. Unexported: only
 	// in-package tests can set it, to prove both paths place identically.
@@ -160,9 +170,16 @@ func Run(flows []*flow.Flow, cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("scheduler: %w", err)
 	}
-	sched, err := schedule.New(hyper, cfg.NumChannels, numNodes)
-	if err != nil {
-		return nil, fmt.Errorf("scheduler: %w", err)
+	sched := cfg.Scratch
+	if sched != nil {
+		if err := sched.Reset(hyper, cfg.NumChannels, numNodes); err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
+	} else {
+		sched, err = schedule.New(hyper, cfg.NumChannels, numNodes)
+		if err != nil {
+			return nil, fmt.Errorf("scheduler: %w", err)
+		}
 	}
 	res := &Result{Schedule: sched, FailedFlow: -1}
 	if cfg.Algorithm == RC {
@@ -419,6 +436,10 @@ func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remai
 			} else {
 				rho = e.lambdaR
 			}
+			// Entering the finite-ρ descent: on large dense attempts, fill
+			// the per-cell distance memo for every cached candidate in
+			// parallel before the levels consult it.
+			e.prefillDists(u, v)
 		} else {
 			rho--
 			if rho < e.cfg.RhoT {
@@ -431,6 +452,66 @@ func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remai
 		e.mets.laxityFallbacks++
 	}
 	return fbSlot, fbOffset, fbOK
+}
+
+// distParallelMin is the number of cached candidate cells above which
+// prefillDists fans the distance evaluation out across goroutines. Below it
+// (or on a single-CPU process) the memo stays lazily filled by rcFind.
+const distParallelMin = 256
+
+// prefillDists computes candDist/candLoad and each candidate's maxDist for
+// every cached full slot of the current attempt, in parallel across
+// channels/slots. Each index is written by exactly one worker and the
+// selection loops run only after the join, so the merge is deterministic:
+// placements are byte-identical to the lazy single-threaded fill — the memo
+// holds the same values either way, rcFind merely finds distOK already set.
+// The only observable difference is the memo-miss counter, which under
+// prefill counts every cached cell rather than only the visited ones.
+func (e *engine) prefillDists(u, v int) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers <= 1 || len(e.candOcc) < distParallelMin {
+		return
+	}
+	if workers > len(e.cands) {
+		workers = len(e.cands)
+	}
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
+	misses := make([]int64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(e.cands) {
+					return
+				}
+				c := &e.cands[i]
+				if c.distOK || c.freeOff >= 0 {
+					continue
+				}
+				maxDist := int32(-1)
+				for k := c.occLo; k < c.occHi; k++ {
+					cell := e.sched.Cell(c.slot, e.candOcc[k])
+					d := e.cellMinDist(u, v, cell)
+					e.candDist[k] = d
+					e.candLoad[k] = int32(len(cell))
+					if d > maxDist {
+						maxDist = d
+					}
+				}
+				c.maxDist, c.distOK = maxDist, true
+				misses[w] += int64(c.occHi - c.occLo)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, m := range misses {
+		e.mets.memoMisses += m
+	}
 }
 
 // buildCands collects, once per RC placement attempt, every candidate slot

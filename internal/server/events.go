@@ -56,6 +56,9 @@ const (
 	// EventFaultCounts reports fault events a simulation applied, flushed
 	// once per observation run (FaultCountsDelta payload).
 	EventFaultCounts = "faults.applied"
+	// EventSoakProgress is a live throughput snapshot of a running soak job
+	// (wsan.SoakProgress payload).
+	EventSoakProgress = "soak.progress"
 	// EventMetricsDelta is the periodic counter delta since the previous
 	// delta (MetricsDelta payload). Published on the firehose only.
 	EventMetricsDelta = "metrics.delta"

@@ -32,6 +32,11 @@ const (
 	// reroute) to a schedule artifact through the delta scheduler — the
 	// async equivalent of `wsansim reschedule`.
 	KindReschedule = "reschedule"
+	// KindSoak drives the sustained-churn soak harness over the hosted
+	// network's topology — a seeded add/remove/reroute/re-budget delta
+	// stream with replay-oracle drift checks — the async equivalent of
+	// `wsansim soak`.
+	KindSoak = "soak"
 )
 
 // scheduleParams is the canonical KindSchedule parameter document.
@@ -107,6 +112,20 @@ type rescheduleParams struct {
 	Avoid    []int  `json:"avoid,omitempty"`
 	Alg      string `json:"alg,omitempty"`
 	RhoT     int    `json:"rhoT,omitempty"`
+}
+
+// soakParams is the canonical KindSoak parameter document. The soak churns
+// the hosted network's surveyed topology; Channels defaults to the network's
+// channel count. Defaults are scaled down from the CLI's evaluation
+// operating point so a default job stays short.
+type soakParams struct {
+	Flows       int   `json:"flows"`
+	Channels    int   `json:"channels"`
+	Ops         int   `json:"ops"`
+	Seed        int64 `json:"seed"`
+	BatchEvery  int   `json:"batchEvery"`
+	BatchSize   int   `json:"batchSize"`
+	OracleEvery int   `json:"oracleEvery"`
 }
 
 // defaultSigma is the CLI's fading / survey-drift default (dB).
@@ -293,9 +312,48 @@ func (s *Server) canonicalParams(nw *netEntry, kind string, raw json.RawMessage)
 			return nil, fmt.Errorf("unknown op %q (want add, remove, or reroute)", p.Op)
 		}
 		return json.Marshal(p)
+	case KindSoak:
+		var p soakParams
+		if err := dec(&p); err != nil {
+			return nil, err
+		}
+		if p.Flows == 0 {
+			p.Flows = 100
+		}
+		if p.Flows < 1 {
+			return nil, fmt.Errorf("flows must be positive")
+		}
+		if p.Channels == 0 {
+			p.Channels = len(nw.Channels)
+		}
+		if p.Channels < 1 || p.Channels > len(nw.Channels) {
+			return nil, fmt.Errorf("channels must be in [1, %d]", len(nw.Channels))
+		}
+		if p.Ops == 0 {
+			p.Ops = 1_000
+		}
+		if p.Ops < 1 {
+			return nil, fmt.Errorf("ops must be positive")
+		}
+		if p.Seed == 0 {
+			p.Seed = 1
+		}
+		if p.BatchEvery < 0 || p.BatchSize < 0 || p.OracleEvery < 0 {
+			return nil, fmt.Errorf("batchEvery, batchSize, and oracleEvery must be non-negative")
+		}
+		if p.BatchEvery == 0 {
+			p.BatchEvery = 50
+		}
+		if p.BatchSize == 0 {
+			p.BatchSize = 8
+		}
+		if p.OracleEvery == 0 {
+			p.OracleEvery = 500
+		}
+		return json.Marshal(p)
 	default:
-		return nil, fmt.Errorf("unknown job kind %q (want %s, %s, %s, %s, or %s)",
-			kind, KindSchedule, KindSimulate, KindConverge, KindManage, KindReschedule)
+		return nil, fmt.Errorf("unknown job kind %q (want %s, %s, %s, %s, %s, or %s)",
+			kind, KindSchedule, KindSimulate, KindConverge, KindManage, KindReschedule, KindSoak)
 	}
 }
 
@@ -346,6 +404,8 @@ func (s *Server) runJob(ctx context.Context, j *Job) (string, error) {
 		parts, err = s.runManage(ctx, nw, j)
 	case KindReschedule:
 		parts, err = s.runReschedule(ctx, nw, j.Params)
+	case KindSoak:
+		parts, err = s.runSoak(ctx, nw, j)
 	default:
 		err = fmt.Errorf("unknown job kind %q", j.Kind)
 	}
@@ -822,6 +882,47 @@ func (s *Server) runReschedule(ctx context.Context, nw *netEntry, raw json.RawMe
 		"delta.json":    delta,
 		"summary.json":  summary,
 	}, nil
+}
+
+// runSoak drives the sustained-churn soak harness over the hosted network's
+// topology, producing result.json: churn throughput, apply-latency
+// percentiles, repair-ladder fallback counts, replay-oracle checkpoints, and
+// the canonical schedule digest (an oracle divergence fails the job). While
+// the event bus is enabled, live throughput snapshots are also published as
+// soak.progress events.
+func (s *Server) runSoak(ctx context.Context, nw *netEntry, j *Job) (map[string][]byte, error) {
+	var p soakParams
+	if err := json.Unmarshal(j.Params, &p); err != nil {
+		return nil, err
+	}
+	cfg := wsan.SoakConfig{
+		Flows:       p.Flows,
+		Channels:    p.Channels,
+		Ops:         p.Ops,
+		Seed:        p.Seed,
+		BatchEvery:  p.BatchEvery,
+		BatchSize:   p.BatchSize,
+		OracleEvery: p.OracleEvery,
+		Testbed:     nw.Net.Testbed(),
+		Metrics:     s.jobSink(j),
+	}
+	if s.bus.Enabled() {
+		network, jobID := j.Network, j.ID
+		// Ten snapshots per run, however long it is.
+		cfg.ProgressEvery = max(p.Ops/10, 1)
+		cfg.OnProgress = func(pr wsan.SoakProgress) {
+			s.bus.Publish(EventSoakProgress, network, jobID, pr)
+		}
+	}
+	res, err := wsan.Soak(ctx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	out, err := json.Marshal(res)
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{"result.json": out}, nil
 }
 
 // parseTraffic maps the wire traffic name to the routing pattern.

@@ -1,0 +1,81 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"wsan/wsanclient"
+)
+
+// TestSoakJob drives the soak job kind end to end: submit a scaled-down
+// churn run against the hosted network's topology, wait for completion, and
+// check the result.json artifact (decoded through the client SDK's wire
+// type) reports real work, a passing oracle, and a canonical digest.
+// Resubmitting identical parameters must be a cache hit on the same
+// artifact.
+func TestSoakJob(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	createTestNetwork(t, ts, "plant")
+
+	params := map[string]any{
+		"flows": 12, "ops": 80, "seed": 7,
+		"batchEvery": 20, "batchSize": 3, "oracleEvery": 40,
+	}
+	v, code := submit(t, ts, "plant", KindSoak, params)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: status %d", code)
+	}
+	done := poll(t, ts, v.ID, 60*time.Second)
+	if done.State != StateDone {
+		t.Fatalf("soak job finished %v (%s)", done.State, done.Error)
+	}
+
+	var res wsanclient.SoakResult
+	if err := json.Unmarshal(fetchPart(t, ts, done.Artifact, "result.json"), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Ops != 80 || res.Flows != 12 {
+		t.Fatalf("result does not match params: %+v", res)
+	}
+	// The network was created with 4 channels; the default must follow it.
+	if res.Channels != 4 || res.Nodes != 18 {
+		t.Errorf("soak ran on wrong topology: %d channels, %d nodes", res.Channels, res.Nodes)
+	}
+	if res.Applied == 0 || res.OracleChecks == 0 || res.Digest == "" {
+		t.Fatalf("soak did no verified work: %+v", res)
+	}
+	if res.DeltasPerSec <= 0 || res.Elapsed <= 0 || res.Max < res.P50 {
+		t.Errorf("throughput figures missing: %+v", res)
+	}
+
+	// Identical parameters hash to the same artifact: a cache hit.
+	v2, code := submit(t, ts, "plant", KindSoak, params)
+	if code != http.StatusOK && code != http.StatusAccepted {
+		t.Fatalf("resubmit: status %d", code)
+	}
+	done2 := poll(t, ts, v2.ID, 60*time.Second)
+	if done2.State != StateDone || done2.Artifact != done.Artifact {
+		t.Fatalf("resubmit produced a different artifact: %+v vs %+v", done2, done)
+	}
+}
+
+// TestSoakJobValidation exercises the 400 surface of the soak kind.
+func TestSoakJobValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueCap: 4})
+	createTestNetwork(t, ts, "plant")
+
+	bad := []map[string]any{
+		{"flows": -1},
+		{"ops": -5},
+		{"channels": 99}, // the network has 4
+		{"batchEvery": -1},
+		{"unknownField": true},
+	}
+	for i, params := range bad {
+		if _, code := submit(t, ts, "plant", KindSoak, params); code != http.StatusBadRequest {
+			t.Errorf("case %d: status %d, want 400 (%v)", i, code, params)
+		}
+	}
+}

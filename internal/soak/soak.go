@@ -1,0 +1,850 @@
+// Package soak is the sustained-churn harness: it drives a randomized but
+// fully seeded stream of add / remove / reroute / re-budget deltas — plus
+// periodic node-fault batches that reroute every flow crossing a failed
+// relay in one atomic operation — against a large live schedule, and checks
+// the incremental scheduler's work against an independent replay oracle.
+//
+// The harness answers two questions the per-operation unit tests cannot:
+//
+//   - Throughput: how many deltas per second does the repair ladder sustain
+//     at steady state on a 500-flow grid, and what do the apply-latency
+//     percentiles and fallback rates look like under a realistic mix?
+//   - Drift: after thousands of journaled mutations, rollbacks, evictions,
+//     and full-reschedule repairs — with recycled arenas and pooled scratch
+//     grids underneath — is the live schedule still byte-identical to what a
+//     fresh grid fed the same applied operations produces, and does it still
+//     satisfy every conflict and reuse-distance constraint?
+//
+// Every applied operation is logged; at OracleEvery-operation checkpoints
+// the oracle grid replays the pending log suffix through the same delta
+// APIs and the two schedules' canonical digests must match exactly. Any
+// divergence — a stale index, a leaked arena cell, a journal that rolled
+// back incompletely — fails the run. Progress and counters are emitted
+// under the "sched.churn." metric prefix.
+package soak
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+	"time"
+
+	"wsan/internal/flow"
+	"wsan/internal/graph"
+	"wsan/internal/obs"
+	"wsan/internal/routing"
+	"wsan/internal/schedule"
+	"wsan/internal/scheduler"
+	"wsan/internal/topology"
+)
+
+// RhoT is the minimum channel-reuse hop distance the harness schedules
+// with, matching the evaluation's operating point.
+const RhoT = 2
+
+// Config parameterizes one soak run. The zero value is not runnable; use
+// DefaultConfig as the starting point.
+type Config struct {
+	// Flows is the steady-state active-flow target. The candidate pool is
+	// twice this size, so adds always have somewhere to draw from.
+	Flows int
+	// Channels is the channel count (schedule offsets).
+	Channels int
+	// Ops is the number of churn operations to drive after warmup. A
+	// node-fault batch counts as one operation but applies up to BatchSize
+	// deltas.
+	Ops int
+	// Seed derives the workload, the operation stream, and every routing
+	// decision; two runs with equal Config produce identical results.
+	Seed int64
+	// TopoSeed generates the testbed (default 1, the evaluation topology).
+	TopoSeed int64
+	// Testbed, when non-nil, is the surveyed topology to churn instead of
+	// generating the Indriya evaluation testbed from TopoSeed — this is how
+	// the daemon soaks a hosted network's own topology. Link selection uses
+	// the evaluation PRR threshold (0.9) either way.
+	Testbed *topology.Testbed
+	// MinPeriodExp and MaxPeriodExp bound the pool's harmonic period range
+	// P = [2^min, 2^max] seconds.
+	MinPeriodExp int
+	MaxPeriodExp int
+	// BatchEvery injects a node-fault batch every BatchEvery operations
+	// (0 disables batching).
+	BatchEvery int
+	// BatchSize caps the number of reroutes one node-fault batch carries.
+	BatchSize int
+	// OracleEvery checks the replay oracle every OracleEvery applied
+	// deltas (0 = final check only).
+	OracleEvery int
+	// ProgressEvery invokes OnProgress every ProgressEvery operations
+	// (0 disables intermediate progress).
+	ProgressEvery int
+	// Metrics receives "sched.churn.*" counters; may be nil.
+	Metrics obs.Sink
+	// OnProgress, when non-nil, receives live throughput snapshots.
+	OnProgress func(Progress)
+}
+
+// DefaultConfig is the 500-flow operating point on the Indriya testbed.
+func DefaultConfig() Config {
+	return Config{
+		Flows:        500,
+		Channels:     8,
+		Ops:          5_000,
+		Seed:         1,
+		TopoSeed:     1,
+		MinPeriodExp: 2,
+		MaxPeriodExp: 4,
+		BatchEvery:   50,
+		BatchSize:    8,
+		OracleEvery:  1_000,
+	}
+}
+
+// Progress is a live snapshot of a running soak.
+type Progress struct {
+	Ops          int           `json:"ops"`
+	Applied      int           `json:"applied"`
+	Infeasible   int           `json:"infeasible"`
+	Skipped      int           `json:"skipped"`
+	ActiveFlows  int           `json:"activeFlows"`
+	DeltasPerSec float64       `json:"deltasPerSec"`
+	P99          time.Duration `json:"p99Ns"`
+	FallbackRate float64       `json:"fallbackRate"`
+	Elapsed      time.Duration `json:"elapsedNs"`
+}
+
+// Result reports one completed soak run. All duration fields are
+// nanoseconds on the wire.
+type Result struct {
+	Flows      int `json:"flows"`
+	Channels   int `json:"channels"`
+	Nodes      int `json:"nodes"`
+	HyperSlots int `json:"hyperSlots"`
+
+	// WarmupAdmitted/WarmupFailed count the initial admission deltas that
+	// build the steady-state workload (excluded from throughput figures).
+	WarmupAdmitted int `json:"warmupAdmitted"`
+	WarmupFailed   int `json:"warmupFailed"`
+
+	// Ops counts churn operations driven; Applied counts individual deltas
+	// that committed (a batch contributes each of its deltas). Infeasible
+	// operations were rolled back by the repair ladder's bottom; Skipped
+	// operations had no legal move (no detour exists, nothing to remove).
+	Ops        int `json:"ops"`
+	Applied    int `json:"applied"`
+	Infeasible int `json:"infeasible"`
+	Skipped    int `json:"skipped"`
+	Batches    int `json:"batches"`
+
+	Adds      int `json:"adds"`
+	Removes   int `json:"removes"`
+	Reroutes  int `json:"reroutes"`
+	Rebudgets int `json:"rebudgets"`
+
+	// FallbackEvict/FallbackFull count applied deltas that needed the
+	// deeper repair-ladder rungs.
+	FallbackEvict int `json:"fallbackEvict"`
+	FallbackFull  int `json:"fallbackFull"`
+
+	ActiveFlows int `json:"activeFlows"`
+	PlacedTx    int `json:"placedTx"`
+
+	// DeltasPerSec is Applied divided by the churn phase's wall time.
+	DeltasPerSec float64 `json:"deltasPerSec"`
+	// Apply-latency percentiles over applied operations (batches measured
+	// whole), in nanoseconds.
+	P50 time.Duration `json:"p50Ns"`
+	P95 time.Duration `json:"p95Ns"`
+	P99 time.Duration `json:"p99Ns"`
+	Max time.Duration `json:"maxNs"`
+
+	// OracleChecks counts replay-oracle checkpoints passed (the final
+	// check included). A failed check aborts the run with an error.
+	OracleChecks int `json:"oracleChecks"`
+	// Digest is the canonical digest of the final schedule; with equal
+	// Config it is identical across runs and machines.
+	Digest string `json:"digest"`
+
+	// HeapStartBytes/HeapEndBytes are live-heap samples (after GC) at the
+	// start and end of the churn phase: with recyclable arenas the delta
+	// should stay near zero however long the soak runs.
+	HeapStartBytes uint64 `json:"heapStartBytes"`
+	HeapEndBytes   uint64 `json:"heapEndBytes"`
+
+	Elapsed time.Duration `json:"elapsedNs"`
+}
+
+// opKind enumerates the logged operations the oracle replays.
+type opKind int
+
+const (
+	opAdd opKind = iota
+	opRemove
+	opReroute
+	opRebudget
+	opBatch
+)
+
+// logOp is one applied operation, captured with deep copies so the oracle
+// replay sees exactly what the live grid saw.
+type logOp struct {
+	kind   opKind
+	id     int
+	f      *flow.Flow  // opAdd: the admitted flow as placed
+	route  []flow.Link // opReroute
+	budget []int       // opRebudget
+	batch  []scheduler.BatchOp
+}
+
+// state is the mutable harness state shared by the generator, the live
+// applier, and the oracle.
+type state struct {
+	cfg  Config
+	rng  *rand.Rand
+	gc   *graph.Graph
+	hop  *graph.HopMatrix
+	pcfg scheduler.Config
+
+	sched    *schedule.Schedule
+	active   []*flow.Flow // sorted by ID (priority order)
+	inactive []*flow.Flow
+
+	log     []logOp // applied operations pending oracle replay
+	oSched  *schedule.Schedule
+	oActive []*flow.Flow
+
+	durs []time.Duration
+	res  *Result
+}
+
+// Run executes one soak. It returns an error on any oracle divergence,
+// schedule-validation failure, or internal scheduler error; an infeasible
+// delta is an expected outcome, not an error. ctx cancellation stops the
+// run between operations and surfaces ctx.Err().
+func Run(ctx context.Context, cfg Config) (*Result, error) {
+	if cfg.Flows <= 0 || cfg.Channels <= 0 || cfg.Ops < 0 {
+		return nil, fmt.Errorf("soak: flows %d, channels %d, and ops %d must be positive", cfg.Flows, cfg.Channels, cfg.Ops)
+	}
+	if cfg.TopoSeed == 0 {
+		cfg.TopoSeed = 1
+	}
+	if cfg.MinPeriodExp == 0 && cfg.MaxPeriodExp == 0 {
+		cfg.MinPeriodExp, cfg.MaxPeriodExp = 2, 4
+	}
+	if cfg.BatchEvery > 0 && cfg.BatchSize <= 0 {
+		cfg.BatchSize = 8
+	}
+	s, err := newState(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.warmup(ctx); err != nil {
+		return nil, err
+	}
+
+	runtime.GC()
+	var mem runtime.MemStats
+	runtime.ReadMemStats(&mem)
+	s.res.HeapStartBytes = mem.HeapAlloc
+
+	start := time.Now()
+	sinceOracle := 0
+	for op := 0; op < cfg.Ops; op++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		applied, err := s.step(op)
+		if err != nil {
+			return nil, err
+		}
+		s.res.Ops++
+		sinceOracle += applied
+		if cfg.OracleEvery > 0 && sinceOracle >= cfg.OracleEvery {
+			if err := s.oracleCheck(); err != nil {
+				return nil, err
+			}
+			sinceOracle = 0
+		}
+		if cfg.ProgressEvery > 0 && (op+1)%cfg.ProgressEvery == 0 {
+			s.progress(time.Since(start))
+		}
+	}
+	s.res.Elapsed = time.Since(start)
+	if err := s.oracleCheck(); err != nil {
+		return nil, err
+	}
+
+	runtime.GC()
+	runtime.ReadMemStats(&mem)
+	s.res.HeapEndBytes = mem.HeapAlloc
+
+	s.finish()
+	return s.res, nil
+}
+
+// newState builds the testbed, the candidate flow pool (2× the active
+// target, routed peer-to-peer), and the empty live and oracle grids.
+func newState(cfg Config) (*state, error) {
+	tb := cfg.Testbed
+	if tb == nil {
+		var err error
+		tb, err = topology.Indriya(cfg.TopoSeed)
+		if err != nil {
+			return nil, fmt.Errorf("soak: %w", err)
+		}
+	}
+	chs := topology.Channels(cfg.Channels)
+	gc, err := tb.CommGraph(chs, 0.9)
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	gr, err := tb.ReuseGraph(chs)
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pool, err := flow.Generate(rng, gc, flow.GenConfig{
+		NumFlows:     2 * cfg.Flows,
+		MinPeriodExp: cfg.MinPeriodExp,
+		MaxPeriodExp: cfg.MaxPeriodExp,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	if err := routing.Assign(pool, gc, routing.Config{Traffic: routing.PeerToPeer}); err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	hyper, err := flow.Hyperperiod(pool)
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	sched, err := schedule.New(hyper, cfg.Channels, gc.Len())
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	oSched, err := schedule.New(hyper, cfg.Channels, gc.Len())
+	if err != nil {
+		return nil, fmt.Errorf("soak: %w", err)
+	}
+	return &state{
+		cfg: cfg,
+		rng: rng,
+		gc:  gc,
+		hop: gr.AllPairsHop(),
+		pcfg: scheduler.Config{
+			Algorithm:   scheduler.RC,
+			NumChannels: cfg.Channels,
+			RhoT:        RhoT,
+			HopGR:       gr.AllPairsHop(),
+			Metrics:     cfg.Metrics,
+		},
+		sched:    sched,
+		oSched:   oSched,
+		inactive: pool,
+		res: &Result{
+			Flows:      cfg.Flows,
+			Channels:   cfg.Channels,
+			Nodes:      gc.Len(),
+			HyperSlots: hyper,
+		},
+	}, nil
+}
+
+// warmup admits the first Flows pool flows (in priority order) through the
+// same delta path the churn loop uses; failures leave the flow in the pool.
+func (s *state) warmup(ctx context.Context) error {
+	n := s.cfg.Flows
+	if n > len(s.inactive) {
+		n = len(s.inactive)
+	}
+	cands := s.inactive[:n]
+	s.inactive = append([]*flow.Flow(nil), s.inactive[n:]...)
+	for _, f := range cands {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		res, err := scheduler.AddFlowDelta(s.sched, s.active, f, s.pcfg)
+		if err != nil {
+			return fmt.Errorf("soak warmup: %w", err)
+		}
+		if !res.Schedulable {
+			s.res.WarmupFailed++
+			s.inactive = append(s.inactive, f)
+			continue
+		}
+		s.res.WarmupAdmitted++
+		s.insertActive(f)
+		s.log = append(s.log, logOp{kind: opAdd, id: f.ID, f: cloneFlow(f)})
+	}
+	return nil
+}
+
+// step generates and applies one churn operation, returning how many deltas
+// committed.
+func (s *state) step(op int) (int, error) {
+	if s.cfg.BatchEvery > 0 && (op+1)%s.cfg.BatchEvery == 0 {
+		return s.stepBatch()
+	}
+	// The mix self-balances around the active-flow target: below it adds
+	// dominate, above it removals do.
+	addCut := 40
+	if len(s.active) >= s.cfg.Flows {
+		addCut = 15
+	}
+	const removeCut = 55 // adds + removes always take 55% combined
+	r := s.rng.Intn(100)
+	switch {
+	case r < addCut && len(s.inactive) > 0:
+		return s.stepAdd()
+	case r < removeCut && len(s.active) > 1:
+		return s.stepRemove()
+	case r < 85 && len(s.active) > 0:
+		return s.stepReroute()
+	case len(s.active) > 0:
+		return s.stepRebudget()
+	default:
+		s.res.Skipped++
+		return 0, nil
+	}
+}
+
+func (s *state) stepAdd() (int, error) {
+	i := s.rng.Intn(len(s.inactive))
+	f := s.inactive[i]
+	start := time.Now()
+	res, err := scheduler.AddFlowDelta(s.sched, s.active, f, s.pcfg)
+	if err != nil {
+		return 0, fmt.Errorf("soak add flow %d: %w", f.ID, err)
+	}
+	s.res.Adds++
+	if !res.Schedulable {
+		s.res.Infeasible++
+		return 0, nil
+	}
+	s.inactive = append(s.inactive[:i], s.inactive[i+1:]...)
+	s.insertActive(f)
+	s.applied(res.Fallback, time.Since(start), 1)
+	s.log = append(s.log, logOp{kind: opAdd, id: f.ID, f: cloneFlow(f)})
+	return 1, nil
+}
+
+func (s *state) stepRemove() (int, error) {
+	i := s.rng.Intn(len(s.active))
+	f := s.active[i]
+	start := time.Now()
+	if _, err := scheduler.RemoveFlowDelta(s.sched, f.ID, s.cfg.Metrics); err != nil {
+		return 0, fmt.Errorf("soak remove flow %d: %w", f.ID, err)
+	}
+	s.res.Removes++
+	s.active = append(s.active[:i], s.active[i+1:]...)
+	s.inactive = append(s.inactive, f)
+	s.applied(scheduler.FallbackNone, time.Since(start), 1)
+	s.log = append(s.log, logOp{kind: opRemove, id: f.ID})
+	return 1, nil
+}
+
+// stepReroute is the single-flow fault model: a random relay on the flow's
+// route fails and the flow must detour around it.
+func (s *state) stepReroute() (int, error) {
+	f := s.active[s.rng.Intn(len(s.active))]
+	if len(f.Route) < 2 {
+		s.res.Skipped++
+		return 0, nil // no relay to fail
+	}
+	avoid := f.Route[s.rng.Intn(len(f.Route)-1)].To
+	detour := s.pathAvoiding(f.Src, f.Dst, avoid)
+	if detour == nil || sameRoute(detour, f.Route) {
+		s.res.Skipped++
+		return 0, nil
+	}
+	start := time.Now()
+	res, err := scheduler.RerouteFlowDelta(s.sched, s.active, f.ID, detour, s.pcfg)
+	if err != nil {
+		return 0, fmt.Errorf("soak reroute flow %d: %w", f.ID, err)
+	}
+	s.res.Reroutes++
+	if !res.Schedulable {
+		s.res.Infeasible++
+		return 0, nil
+	}
+	f.Route = append([]flow.Link(nil), detour...)
+	f.TxBudget = flow.AdaptBudget(f.TxBudget, len(detour))
+	s.applied(res.Fallback, time.Since(start), 1)
+	s.log = append(s.log, logOp{kind: opReroute, id: f.ID, route: append([]flow.Link(nil), detour...)})
+	return 1, nil
+}
+
+// stepRebudget toggles a flow's retransmission budget — installing a random
+// per-hop budget where none is set, clearing it otherwise — and re-places
+// the flow on its own route, exactly the manage loop's re-budgeting motion.
+func (s *state) stepRebudget() (int, error) {
+	f := s.active[s.rng.Intn(len(s.active))]
+	var budget []int
+	if len(f.TxBudget) == 0 {
+		budget = make([]int, len(f.Route))
+		for h := range budget {
+			budget[h] = 1 + s.rng.Intn(2)
+		}
+	}
+	old := f.TxBudget
+	f.TxBudget = budget
+	start := time.Now()
+	res, err := scheduler.RerouteFlowDelta(s.sched, s.active, f.ID, f.Route, s.pcfg)
+	if err != nil {
+		f.TxBudget = old
+		return 0, fmt.Errorf("soak rebudget flow %d: %w", f.ID, err)
+	}
+	s.res.Rebudgets++
+	if !res.Schedulable {
+		f.TxBudget = old
+		s.res.Infeasible++
+		return 0, nil
+	}
+	s.applied(res.Fallback, time.Since(start), 1)
+	s.log = append(s.log, logOp{kind: opRebudget, id: f.ID, budget: append([]int(nil), budget...)})
+	return 1, nil
+}
+
+// stepBatch is the node-fault model: a random relay crashes and every
+// active flow crossing it (capped at BatchSize, endpoints excluded — those
+// flows cannot be saved) detours around it in one atomic batch.
+func (s *state) stepBatch() (int, error) {
+	node := s.rng.Intn(s.gc.Len())
+	var ops []scheduler.BatchOp
+	for _, f := range s.active {
+		if len(ops) >= s.cfg.BatchSize {
+			break
+		}
+		if f.Src == node || f.Dst == node || !crossesNode(f.Route, node) {
+			continue
+		}
+		detour := s.pathAvoiding(f.Src, f.Dst, node)
+		if detour == nil {
+			continue
+		}
+		ops = append(ops, scheduler.BatchOp{
+			Kind:   scheduler.BatchReroute,
+			FlowID: f.ID,
+			Route:  detour,
+		})
+	}
+	if len(ops) == 0 {
+		s.res.Skipped++
+		return 0, nil
+	}
+	start := time.Now()
+	res, err := scheduler.ApplyDeltaBatch(s.sched, s.active, ops, s.pcfg)
+	if err != nil {
+		return 0, fmt.Errorf("soak fault batch (node %d): %w", node, err)
+	}
+	s.res.Batches++
+	s.res.Reroutes += len(ops)
+	if !res.Schedulable {
+		s.res.Infeasible++
+		return 0, nil
+	}
+	s.active = res.Flows
+	for _, fb := range res.Fallbacks {
+		s.countFallback(fb)
+	}
+	s.durs = append(s.durs, time.Since(start))
+	s.res.Applied += len(ops)
+	s.log = append(s.log, logOp{kind: opBatch, batch: cloneBatch(ops)})
+	return len(ops), nil
+}
+
+// applied records one committed unit delta.
+func (s *state) applied(fb scheduler.Fallback, d time.Duration, n int) {
+	s.countFallback(fb)
+	s.durs = append(s.durs, d)
+	s.res.Applied += n
+}
+
+func (s *state) countFallback(fb scheduler.Fallback) {
+	switch fb {
+	case scheduler.FallbackEvict:
+		s.res.FallbackEvict++
+	case scheduler.FallbackFull:
+		s.res.FallbackFull++
+	}
+}
+
+// insertActive keeps the active workload sorted by ID (priority order).
+func (s *state) insertActive(f *flow.Flow) {
+	i := sort.Search(len(s.active), func(i int) bool { return s.active[i].ID >= f.ID })
+	s.active = append(s.active, nil)
+	copy(s.active[i+1:], s.active[i:])
+	s.active[i] = f
+}
+
+// pathAvoiding returns the shortest src→dst hop path in the communication
+// graph with node avoid deleted, as a route, or nil when none exists.
+func (s *state) pathAvoiding(src, dst, avoid int) []flow.Link {
+	g := graph.New(s.gc.Len())
+	for u := 0; u < s.gc.Len(); u++ {
+		if u == avoid {
+			continue
+		}
+		for _, v := range s.gc.Neighbors(u) {
+			if int(v) == avoid {
+				continue
+			}
+			// Edges of a valid graph re-add cleanly.
+			_ = g.AddEdge(u, int(v))
+		}
+	}
+	path := g.ShortestPathHop(src, dst)
+	if path == nil {
+		return nil
+	}
+	route := make([]flow.Link, len(path)-1)
+	for i := range route {
+		route[i] = flow.Link{From: path[i], To: path[i+1]}
+	}
+	return route
+}
+
+// oracleCheck replays the pending log suffix into the oracle grid through
+// the same delta APIs (metrics detached) and requires the two schedules'
+// canonical digests to match exactly, then validates the live schedule's
+// conflict and reuse-distance invariants.
+func (s *state) oracleCheck() error {
+	ocfg := s.pcfg
+	ocfg.Metrics = nil
+	for i, op := range s.log {
+		var err error
+		switch op.kind {
+		case opAdd:
+			f := cloneFlow(op.f)
+			var res *scheduler.DeltaResult
+			res, err = scheduler.AddFlowDelta(s.oSched, s.oActive, f, ocfg)
+			if err == nil && !res.Schedulable {
+				err = fmt.Errorf("oracle found add of flow %d infeasible", f.ID)
+			}
+			if err == nil {
+				j := sort.Search(len(s.oActive), func(j int) bool { return s.oActive[j].ID >= f.ID })
+				s.oActive = append(s.oActive, nil)
+				copy(s.oActive[j+1:], s.oActive[j:])
+				s.oActive[j] = f
+			}
+		case opRemove:
+			_, err = scheduler.RemoveFlowDelta(s.oSched, op.id, nil)
+			if err == nil {
+				for j, g := range s.oActive {
+					if g.ID == op.id {
+						s.oActive = append(s.oActive[:j], s.oActive[j+1:]...)
+						break
+					}
+				}
+			}
+		case opReroute:
+			var res *scheduler.DeltaResult
+			res, err = scheduler.RerouteFlowDelta(s.oSched, s.oActive, op.id, op.route, ocfg)
+			if err == nil && !res.Schedulable {
+				err = fmt.Errorf("oracle found reroute of flow %d infeasible", op.id)
+			}
+			if err == nil {
+				g := s.oracleFlow(op.id)
+				g.Route = append([]flow.Link(nil), op.route...)
+				g.TxBudget = flow.AdaptBudget(g.TxBudget, len(op.route))
+			}
+		case opRebudget:
+			g := s.oracleFlow(op.id)
+			g.TxBudget = append([]int(nil), op.budget...)
+			var res *scheduler.DeltaResult
+			res, err = scheduler.RerouteFlowDelta(s.oSched, s.oActive, op.id, g.Route, ocfg)
+			if err == nil && !res.Schedulable {
+				err = fmt.Errorf("oracle found rebudget of flow %d infeasible", op.id)
+			}
+		case opBatch:
+			var res *scheduler.BatchResult
+			res, err = scheduler.ApplyDeltaBatch(s.oSched, s.oActive, op.batch, ocfg)
+			if err == nil && !res.Schedulable {
+				err = fmt.Errorf("oracle found fault batch infeasible (flow %d)", res.FailedFlow)
+			}
+			if err == nil {
+				s.oActive = res.Flows
+			}
+		}
+		if err != nil {
+			return fmt.Errorf("soak oracle: replaying op %d/%d: %w", i+1, len(s.log), err)
+		}
+	}
+	s.log = s.log[:0]
+	live, oracle := Digest(s.sched), Digest(s.oSched)
+	if live != oracle {
+		return fmt.Errorf("soak oracle: schedule drift after %d applied deltas: live %s, oracle replay %s",
+			s.res.Applied, live, oracle)
+	}
+	if err := s.sched.Validate(s.pcfg.HopGR, RhoT); err != nil {
+		return fmt.Errorf("soak oracle: live schedule invalid: %w", err)
+	}
+	s.res.OracleChecks++
+	if s.cfg.Metrics != nil {
+		s.cfg.Metrics.Count("sched.churn.oracle_checks", 1)
+	}
+	return nil
+}
+
+// oracleFlow finds the oracle's record of a flow; replay order guarantees
+// it exists.
+func (s *state) oracleFlow(id int) *flow.Flow {
+	for _, g := range s.oActive {
+		if g.ID == id {
+			return g
+		}
+	}
+	panic(fmt.Sprintf("soak oracle: flow %d not active", id))
+}
+
+// progress emits one live snapshot.
+func (s *state) progress(elapsed time.Duration) {
+	p := Progress{
+		Ops:         s.res.Ops,
+		Applied:     s.res.Applied,
+		Infeasible:  s.res.Infeasible,
+		Skipped:     s.res.Skipped,
+		ActiveFlows: len(s.active),
+		Elapsed:     elapsed,
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		p.DeltasPerSec = float64(s.res.Applied) / sec
+	}
+	if len(s.durs) > 0 {
+		p.P99 = percentile(s.durs, 99)
+	}
+	if s.res.Applied > 0 {
+		p.FallbackRate = float64(s.res.FallbackEvict+s.res.FallbackFull) / float64(s.res.Applied)
+	}
+	if s.cfg.OnProgress != nil {
+		s.cfg.OnProgress(p)
+	}
+	if m := s.cfg.Metrics; m != nil {
+		m.Observe("sched.churn.deltas_per_sec", p.DeltasPerSec)
+		m.Observe("sched.churn.p99_seconds", p.P99.Seconds())
+		m.Observe("sched.churn.fallback_rate", p.FallbackRate)
+	}
+}
+
+// finish seals the result: percentiles, throughput, and final counters.
+func (s *state) finish() {
+	r := s.res
+	r.ActiveFlows = len(s.active)
+	r.PlacedTx = s.sched.Len()
+	r.Digest = Digest(s.sched)
+	if sec := r.Elapsed.Seconds(); sec > 0 {
+		r.DeltasPerSec = float64(r.Applied) / sec
+	}
+	if len(s.durs) > 0 {
+		r.P50 = percentile(s.durs, 50)
+		r.P95 = percentile(s.durs, 95)
+		r.P99 = percentile(s.durs, 99)
+		sorted := append([]time.Duration(nil), s.durs...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		r.Max = sorted[len(sorted)-1]
+	}
+	if m := s.cfg.Metrics; m != nil {
+		const p = "sched.churn."
+		m.Count(p+"ops", int64(r.Ops))
+		m.Count(p+"applied", int64(r.Applied))
+		m.Count(p+"infeasible", int64(r.Infeasible))
+		m.Count(p+"skipped", int64(r.Skipped))
+		m.Count(p+"batches", int64(r.Batches))
+		m.Count(p+"fallback_evict", int64(r.FallbackEvict))
+		m.Count(p+"fallback_full", int64(r.FallbackFull))
+		m.Observe(p+"deltas_per_sec", r.DeltasPerSec)
+		m.Observe(p+"p99_seconds", r.P99.Seconds())
+	}
+}
+
+// percentile returns the q-th percentile (nearest-rank) of durs without
+// mutating it.
+func percentile(durs []time.Duration, q int) time.Duration {
+	sorted := append([]time.Duration(nil), durs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := (len(sorted)*q + 99) / 100
+	if idx < 1 {
+		idx = 1
+	}
+	return sorted[idx-1]
+}
+
+// Digest is the canonical digest of a schedule's contents: its
+// transmissions sorted into a history-independent order and hashed. Two
+// schedules hold the same cells iff their digests are equal, whatever
+// sequence of placements, removals, and rollbacks produced them.
+func Digest(s *schedule.Schedule) string {
+	txs := append([]schedule.Tx(nil), s.Txs()...)
+	sort.Slice(txs, func(i, j int) bool {
+		a, b := txs[i], txs[j]
+		if a.Slot != b.Slot {
+			return a.Slot < b.Slot
+		}
+		if a.Offset != b.Offset {
+			return a.Offset < b.Offset
+		}
+		if a.FlowID != b.FlowID {
+			return a.FlowID < b.FlowID
+		}
+		if a.Instance != b.Instance {
+			return a.Instance < b.Instance
+		}
+		if a.Hop != b.Hop {
+			return a.Hop < b.Hop
+		}
+		return a.Attempt < b.Attempt
+	})
+	h := sha256.New()
+	var buf []byte
+	for _, tx := range txs {
+		buf = fmt.Appendf(buf[:0], "%d/%d/%d/%d/%d>%d@%d.%d;",
+			tx.FlowID, tx.Instance, tx.Hop, tx.Attempt,
+			tx.Link.From, tx.Link.To, tx.Slot, tx.Offset)
+		h.Write(buf)
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:8])
+}
+
+func cloneFlow(f *flow.Flow) *flow.Flow {
+	cp := *f
+	cp.Route = append([]flow.Link(nil), f.Route...)
+	cp.TxBudget = append([]int(nil), f.TxBudget...)
+	return &cp
+}
+
+func cloneBatch(ops []scheduler.BatchOp) []scheduler.BatchOp {
+	out := make([]scheduler.BatchOp, len(ops))
+	for i, op := range ops {
+		out[i] = op
+		out[i].Route = append([]flow.Link(nil), op.Route...)
+		if op.Flow != nil {
+			out[i].Flow = cloneFlow(op.Flow)
+		}
+	}
+	return out
+}
+
+func sameRoute(a, b []flow.Link) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func crossesNode(route []flow.Link, node int) bool {
+	for _, l := range route {
+		if l.From == node || l.To == node {
+			return true
+		}
+	}
+	return false
+}

@@ -23,9 +23,15 @@ microbench:
 # race detector: seeded add/remove/reroute/re-budget streams with node-fault
 # batches against a live grid, concurrent runs over the shared scratch
 # pools, and the replay oracle asserting zero schedule drift throughout.
-# `wsansim soak` runs the same harness at evaluation scale (500 flows).
+# The server half includes the multi-worker queue sweep (four soak jobs plus
+# simulate jobs on a Workers=4 pool, per-job oracle digests compared against
+# a direct in-process run), and the scheduler half pins the sharded placeRC
+# candidate evaluation byte-identical to the sequential reference with the
+# parallel path forced on. `wsansim soak` runs the same harness at
+# evaluation scale (500 flows).
 soak-smoke:
-	$(GO) test -race -count=1 -run TestSoak ./internal/soak/ ./internal/server/
+	$(GO) test -race -count=1 -run 'TestSoak|TestScanVsIndexIdentical' \
+		./internal/soak/ ./internal/server/ ./internal/scheduler/
 
 # lint runs go vet always and staticcheck when it is on PATH. Locally the
 # staticcheck half degrades to a notice so a bare toolchain still passes;

@@ -643,9 +643,9 @@ func buildChurnBenchCases() []benchCase {
 			}
 			n := int64(res.Applied)
 			sum := sha256.Sum256(fmt.Appendf(nil,
-				"%s|applied=%d|infeasible=%d|skipped=%d|batches=%d|placed=%d|evict=%d|full=%d",
+				"%s|applied=%d|infeasible=%d|skipped=%d|batches=%d|placed=%d|evict=%d|cascade=%d|full=%d",
 				res.Digest, res.Applied, res.Infeasible, res.Skipped, res.Batches,
-				res.PlacedTx, res.FallbackEvict, res.FallbackFull))
+				res.PlacedTx, res.FallbackEvict, res.FallbackCascade, res.FallbackFull))
 			return benchEntry{
 				Name:        "churn/soak_200f_1500ops",
 				NsPerOp:     res.Elapsed.Nanoseconds() / n,

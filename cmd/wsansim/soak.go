@@ -77,9 +77,9 @@ func runSoak(args []string, mets obs.Sink) error {
 		res.Ops, res.Batches, res.Applied, res.Infeasible, res.Skipped)
 	fmt.Printf("mix:        %d adds, %d removes, %d reroutes, %d rebudgets\n",
 		res.Adds, res.Removes, res.Reroutes, res.Rebudgets)
-	fmt.Printf("ladder:     %d evict, %d full reschedule (%.2f%% of applied)\n",
-		res.FallbackEvict, res.FallbackFull,
-		pctOf(res.FallbackEvict+res.FallbackFull, res.Applied))
+	fmt.Printf("ladder:     %d evict, %d cascade, %d full reschedule (%.2f%% of applied)\n",
+		res.FallbackEvict, res.FallbackCascade, res.FallbackFull,
+		pctOf(res.FallbackEvict+res.FallbackCascade+res.FallbackFull, res.Applied))
 	fmt.Printf("throughput: %.0f deltas/sec over %v\n", res.DeltasPerSec, res.Elapsed.Round(time.Millisecond))
 	fmt.Printf("latency:    p50 %v  p95 %v  p99 %v  max %v\n",
 		res.P50.Round(time.Microsecond), res.P95.Round(time.Microsecond),

@@ -205,6 +205,18 @@ func (m *HopMatrix) Dist(u, v int) uint8 {
 	return m.dist[u*m.n+v]
 }
 
+// Row returns the distance row of node u — Row(u)[v] == Dist(u, v) — or nil
+// when u is out of range. Graphs are undirected, so the matrix is symmetric
+// and a row doubles as the column of the same node; hot loops that query
+// many distances from one endpoint hoist the row once instead of paying
+// Dist's bounds checks per lookup. The slice aliases the matrix: read-only.
+func (m *HopMatrix) Row(u int) []uint8 {
+	if u < 0 || u >= m.n {
+		return nil
+	}
+	return m.dist[u*m.n : (u+1)*m.n]
+}
+
 // Diameter returns the maximum finite hop distance over all node pairs, i.e.
 // the diameter of the largest connected component. An empty or edgeless graph
 // has diameter 0.
@@ -293,6 +305,28 @@ func (g *Graph) ShortestPathHop(src, dst int) []int {
 		path[i] = int(at)
 	}
 	return path
+}
+
+// HopDist returns the number of hops on a minimum-hop path from src to dst,
+// or -1 when dst is unreachable. It walks the cached BFS forest without
+// materializing the path, so callers comparing many destinations (access-point
+// selection) pay no allocation per query.
+func (g *Graph) HopDist(src, dst int) int {
+	if src < 0 || src >= g.n || dst < 0 || dst >= g.n {
+		return -1
+	}
+	if src == dst {
+		return 0
+	}
+	prev := g.pathForest(src)
+	if prev[dst] < 0 {
+		return -1
+	}
+	hops := 0
+	for at := int32(dst); at != -1; at = prev[at] {
+		hops++
+	}
+	return hops - 1
 }
 
 // pathForest returns the BFS predecessor forest rooted at src, building and

@@ -98,7 +98,7 @@ func Assign(flows []*flow.Flow, g *graph.Graph, cfg Config) error {
 				return fmt.Errorf("flow %d downlink: %w", f.ID, err)
 			}
 			load[apDown] += rate
-			f.Route = append(pathLinks(up), pathLinks(down)...)
+			f.Route = joinLinks(up, down)
 		}
 		return nil
 	default:
@@ -126,6 +126,53 @@ func route(g *graph.Graph, src, dst int, weight graph.WeightFunc) ([]int, error)
 // unit) of the cheapest. With reverse=true the returned path runs AP→node
 // (the downlink direction); otherwise node→AP.
 func routeToAP(g *graph.Graph, node int, cfg Config, load map[int]float64, reverse bool) ([]int, int, error) {
+	for _, ap := range cfg.APs {
+		if ap == node {
+			// The endpoint is itself an access point: zero wireless hops.
+			return []int{node}, ap, nil
+		}
+	}
+	var bestAP int
+	if cfg.Weight == nil {
+		// Minimum-hop metric: select the AP from alloc-free forest-walk hop
+		// counts (cost ≡ path node count = hops+1, matching the weighted
+		// branch's float costs exactly) and materialize only the chosen path.
+		bestCost := math.Inf(1)
+		for _, ap := range cfg.APs {
+			if h := g.HopDist(node, ap); h >= 0 && float64(h+1) < bestCost {
+				bestCost = float64(h + 1)
+			}
+		}
+		if math.IsInf(bestCost, 1) {
+			return nil, 0, fmt.Errorf("node %d cannot reach any access point", node)
+		}
+		cost, ld, found := 0.0, 0.0, false
+		for _, ap := range cfg.APs {
+			h := g.HopDist(node, ap)
+			if h < 0 {
+				continue
+			}
+			c := float64(h + 1)
+			if cfg.BalanceAPs {
+				if c > bestCost+1 {
+					continue
+				}
+				if !found ||
+					load[ap] < ld ||
+					(load[ap] == ld && c < cost) ||
+					(load[ap] == ld && c == cost && ap < bestAP) {
+					bestAP, cost, ld, found = ap, c, load[ap], true
+				}
+			} else if !found || c < cost {
+				bestAP, cost, found = ap, c, true
+			}
+		}
+		path := g.ShortestPathHop(node, bestAP)
+		if reverse {
+			reverseInts(path)
+		}
+		return path, bestAP, nil
+	}
 	type candidate struct {
 		ap   int
 		path []int
@@ -134,18 +181,7 @@ func routeToAP(g *graph.Graph, node int, cfg Config, load map[int]float64, rever
 	var cands []candidate
 	bestCost := math.Inf(1)
 	for _, ap := range cfg.APs {
-		if ap == node {
-			// The endpoint is itself an access point: zero wireless hops.
-			return []int{node}, ap, nil
-		}
-		var path []int
-		var cost float64
-		if cfg.Weight == nil {
-			path = g.ShortestPathHop(node, ap)
-			cost = float64(len(path))
-		} else {
-			path, cost = g.ShortestPathWeighted(node, ap, cfg.Weight)
-		}
+		path, cost := g.ShortestPathWeighted(node, ap, cfg.Weight)
 		if path == nil {
 			continue
 		}
@@ -171,11 +207,9 @@ func routeToAP(g *graph.Graph, node int, cfg Config, load map[int]float64, rever
 				best = c
 				found = true
 			}
-		} else if c.cost < best.cost || !found {
-			if !found || c.cost < best.cost || (c.cost == best.cost && c.ap < best.ap) {
-				best = c
-				found = true
-			}
+		} else if !found || c.cost < best.cost {
+			best = c
+			found = true
 		}
 	}
 	path := best.path
@@ -187,6 +221,38 @@ func routeToAP(g *graph.Graph, node int, cfg Config, load map[int]float64, rever
 		return rev, best.ap, nil
 	}
 	return path, best.ap, nil
+}
+
+// reverseInts flips a node path in place; the minimum-hop branch owns the
+// freshly materialized path, so no copy is needed for the downlink direction.
+func reverseInts(p []int) {
+	for i, j := 0, len(p)-1; i < j; i, j = i+1, j-1 {
+		p[i], p[j] = p[j], p[i]
+	}
+}
+
+// joinLinks concatenates the uplink and downlink node paths into one directed
+// link slice, sized exactly — one allocation instead of two pathLinks slices
+// plus an append regrow per flow.
+func joinLinks(up, down []int) []flow.Link {
+	n := 0
+	if len(up) > 1 {
+		n += len(up) - 1
+	}
+	if len(down) > 1 {
+		n += len(down) - 1
+	}
+	if n == 0 {
+		return nil
+	}
+	links := make([]flow.Link, 0, n)
+	for i := 0; i+1 < len(up); i++ {
+		links = append(links, flow.Link{From: up[i], To: up[i+1]})
+	}
+	for i := 0; i+1 < len(down); i++ {
+		links = append(links, flow.Link{From: down[i], To: down[i+1]})
+	}
+	return links
 }
 
 // pathLinks converts a node path to directed links; a single-node path has

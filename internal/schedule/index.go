@@ -78,6 +78,67 @@ func (s *Schedule) FirstFreeOffset(slot int) int {
 	return -1
 }
 
+// SlotFull reports whether every channel offset of the slot is occupied —
+// one bit test against the maintained slot-full bitset.
+func (s *Schedule) SlotFull(slot int) bool {
+	if slot < 0 || slot >= s.numSlots {
+		return false
+	}
+	return s.slotFull[slot/64]&(1<<uint(slot%64)) != 0
+}
+
+// NextSharedNonFullSlot returns the earliest slot in the inclusive range
+// [from, to] where neither u nor v is busy and at least one channel offset
+// is still free, or -1 if there is none. It is the no-reuse placement query:
+// a saturated slot can never host a reuse-forbidden transmission, so the
+// scan folds the slot-full bitset into the same word-at-a-time pass
+// NextSharedFreeSlot makes over the endpoint busy bitsets.
+func (s *Schedule) NextSharedNonFullSlot(u, v, from, to int) int {
+	if from < 0 {
+		from = 0
+	}
+	if to >= s.numSlots {
+		to = s.numSlots - 1
+	}
+	if from > to || u < 0 || u >= s.numNodes || v < 0 || v >= s.numNodes {
+		return -1
+	}
+	bu := s.nodeBusy[u*s.words : (u+1)*s.words]
+	bv := s.nodeBusy[v*s.words : (v+1)*s.words]
+	wFrom, wTo := from/64, to/64
+	for w := wFrom; w <= wTo; w++ {
+		free := ^(bu[w] | bv[w] | s.slotFull[w])
+		if w == wFrom {
+			free &= ^uint64(0) << uint(from%64)
+		}
+		if free == 0 {
+			continue
+		}
+		slot := w*64 + bits.TrailingZeros64(free)
+		if slot > to {
+			return -1
+		}
+		return slot
+	}
+	return -1
+}
+
+// OccupiedCount returns the number of non-empty channel offsets in slot —
+// the exact length OccupiedOffsets would append — in one popcount pass over
+// the occupancy row. Sized-ahead callers (the scheduler's sharded candidate
+// evaluation) use it to carve disjoint output ranges before filling them.
+func (s *Schedule) OccupiedCount(slot int) int {
+	if slot < 0 || slot >= s.numSlots {
+		return 0
+	}
+	row := s.occ[slot*s.offWords : (slot+1)*s.offWords]
+	n := 0
+	for _, word := range row {
+		n += bits.OnesCount64(word)
+	}
+	return n
+}
+
 // OccupiedOffsets appends the slot's non-empty channel offsets to buf in
 // ascending order and returns the extended slice. Callers reuse buf across
 // calls to stay allocation-free.
@@ -97,11 +158,11 @@ func (s *Schedule) OccupiedOffsets(slot int, buf []int) []int {
 
 // PairCount is the per-link conflict index of one node pair: a prefix-sum
 // over the popcounts of the union of the two nodes' slot-busy bitsets. After
-// one O(slots/64) rebuild per schedule mutation it answers UnionCount — "how
-// many slots in [a,b] conflict with link (u,v)?" — in O(1), where the plain
-// BusyUnionCount scan is O((b-a)/64) on every call. The laxity computation
-// issues one UnionCount per remaining transmission per candidate slot per ρ
-// step, so the cache amortizes quickly.
+// at most one O(maxQueriedSlot/64) rebuild per mutation epoch (see ensure) it
+// answers UnionCount — "how many slots in [a,b] conflict with link (u,v)?" —
+// in O(1), where the plain BusyUnionCount scan is O((b-a)/64) on every call.
+// The laxity computation issues one UnionCount per remaining transmission per
+// candidate slot per ρ step, so the cache amortizes quickly.
 //
 // A PairCount is bound to the schedule that created it (see Pair) and is lazily
 // refreshed: a Place or Remove — including Diff/Apply replays and scheduler
@@ -111,6 +172,7 @@ type PairCount struct {
 	s          *Schedule
 	u, v       int
 	verU, verV uint64   // node version stamps the cache reflects; 0 = never built
+	built      int      // words valid this epoch: words[:built] and prefix[:built+1]
 	words      []uint64 // cached union of the two busy bitsets
 	prefix     []int32  // prefix[w] = popcount(words[:w]); len = words+1
 }
@@ -143,22 +205,47 @@ func (s *Schedule) Pair(u, v int) *PairCount {
 	return p
 }
 
-// refresh rebuilds the union words and their popcount prefix sums from the
-// current busy bitsets.
-func (p *PairCount) refresh() {
+// ensure makes the union words and popcount prefix sums valid through word
+// index w (inclusive), rebuilding lazily and only as far as queried: a stale
+// version stamp resets the epoch, and each query extends the built range from
+// where the previous one stopped. Queries are bounded by the caller's
+// deadline, so a pair whose flow lives in the front of the hyperperiod never
+// pays for the words behind its horizon — the old refresh rebuilt all of
+// them on every mutation epoch. prefix[0] is the zero value and always
+// correct, so an extension from built=0 starts from a valid base.
+// It is split from extend so the built-and-current fast path inlines into
+// the query methods; extend carries the rebuild loop.
+func (p *PairCount) ensure(w int) {
 	s := p.s
+	if p.built > w && p.verU == s.nodeVer[p.u] && p.verV == s.nodeVer[p.v] {
+		return
+	}
+	p.extend(w)
+}
+
+// extend is ensure's slow path: reset the epoch if the version stamps moved,
+// then build words and prefix sums through word w.
+func (p *PairCount) extend(w int) {
+	s := p.s
+	if p.verU != s.nodeVer[p.u] || p.verV != s.nodeVer[p.v] {
+		p.verU, p.verV = s.nodeVer[p.u], s.nodeVer[p.v]
+		p.built = 0
+		s.stats.PairRebuilds++
+	}
+	if p.built > w {
+		return
+	}
 	bu := s.nodeBusy[p.u*s.words : (p.u+1)*s.words]
 	bv := s.nodeBusy[p.v*s.words : (p.v+1)*s.words]
-	var sum int32
-	for w := range p.words {
-		word := bu[w] | bv[w]
-		p.words[w] = word
-		p.prefix[w] = sum
+	sum := p.prefix[p.built]
+	for i := p.built; i <= w; i++ {
+		word := bu[i] | bv[i]
+		p.words[i] = word
+		p.prefix[i] = sum
 		sum += int32(bits.OnesCount64(word))
 	}
-	p.prefix[len(p.words)] = sum
-	p.verU, p.verV = s.nodeVer[p.u], s.nodeVer[p.v]
-	s.stats.PairRebuilds++
+	p.prefix[w+1] = sum
+	p.built = w + 1
 }
 
 // CountThrough returns the number of slots in [0, x] in which either node of
@@ -175,11 +262,9 @@ func (p *PairCount) CountThrough(x int) int {
 	if x >= s.numSlots {
 		x = s.numSlots - 1
 	}
-	if p.verU != s.nodeVer[p.u] || p.verV != s.nodeVer[p.v] {
-		p.refresh()
-	}
-	s.stats.PairQueries++
 	w := x / 64
+	p.ensure(w)
+	s.stats.PairQueries++
 	return int(p.prefix[w]) +
 		bits.OnesCount64(p.words[w]&(uint64(1)<<(uint(x%64)+1)-1))
 }
@@ -198,11 +283,9 @@ func (p *PairCount) UnionCount(from, to int) int {
 	if from > to {
 		return 0
 	}
-	if p.verU != s.nodeVer[p.u] || p.verV != s.nodeVer[p.v] {
-		p.refresh()
-	}
-	s.stats.PairQueries++
 	wFrom, wTo := from/64, to/64
+	p.ensure(wTo)
+	s.stats.PairQueries++
 	count := int(p.prefix[wTo+1] - p.prefix[wFrom])
 	count -= bits.OnesCount64(p.words[wFrom] & (1<<uint(from%64) - 1))
 	if r := uint(to % 64); r != 63 {

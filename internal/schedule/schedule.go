@@ -55,18 +55,26 @@ type Schedule struct {
 	// set iff cell (slot, c) is non-empty. It lets slot scans skip empty
 	// columns without touching the cells themselves.
 	occ []uint64
+	// slotFull holds one bit per slot, set iff every channel offset of the
+	// slot is occupied. It lets no-reuse searches (and the RC candidate
+	// scan's free-offset test) skip saturated slots a word at a time instead
+	// of popcounting each occupancy row — see NextSharedNonFullSlot and
+	// SlotFull. Maintained on the empty↔occupied cell transitions of
+	// Place/Remove.
+	slotFull []uint64
 	// cells[slot*numOffsets+offset] lists the transmissions sharing that
 	// slot and offset (channel reuse when len > 1).
 	cells [][]Tx
 	// arena and pairArena back cell storage in chunks: a freshly occupied
 	// cell carves a single-entry slice from arena, and a cell gaining its
-	// second occupant moves to a two-entry carving from pairArena. A schedule
-	// with thousands of one- and two-occupant cells (every NR schedule, and
-	// most reuse cells) thus costs one allocation per chunk instead of one
-	// per cell, without wasting a second arena slot on the single-occupant
-	// majority. Cells that grow past two occupants escape to the ordinary
-	// allocator via append. Both arenas keep every chunk they allocate, so
-	// Reset rewinds them and a recycled schedule re-carves the same memory.
+	// second (or 2^k+1-th) occupant moves to a doubled carving from
+	// pairArena. A schedule with thousands of one- and two-occupant cells
+	// (every NR schedule, and most reuse cells) thus costs one allocation
+	// per chunk instead of one per cell, without wasting a second arena
+	// slot on the single-occupant majority, and heavily packed cells grow
+	// inside the arena instead of escaping to the heap allocator. Both
+	// arenas keep every chunk they allocate, so Reset rewinds them and a
+	// recycled schedule re-carves the same memory.
 	arena     txArena
 	pairArena txArena
 	// txs records all placements. The list is in placement order until the
@@ -85,6 +93,17 @@ type Schedule struct {
 	// touched neither of their endpoints. Stamps start at 1 so a zero-stamped
 	// counter is always rebuilt.
 	nodeVer []uint64
+	// ver counts every mutation — each Place, Remove, and Reset bumps it
+	// once. Callers that cache derived state across calls (the scheduler's
+	// candidate-cache warm start) compare Version stamps to detect grid
+	// changes they did not make themselves, e.g. the delta ladder's removals
+	// and rollbacks between placements on a shared engine.
+	ver uint64
+	// busyCnt[node] is the popcount of the node's busy bitset — the total
+	// number of slots it sends or receives in — maintained on every
+	// markBusy/clearBusy. NodeBusyCount serves it in O(1); the schedulers
+	// use it as a cheap upper bound on any pair's busy-union count.
+	busyCnt []int32
 	// pairs caches the PairCount handles by normalized (u,v) key so repeated
 	// Pair calls share one index per node pair.
 	pairs map[uint64]*PairCount
@@ -156,8 +175,10 @@ func New(numSlots, numOffsets, numNodes int) (*Schedule, error) {
 		offWords:   offWords,
 		nodeBusy:   make([]uint64, numNodes*words),
 		occ:        make([]uint64, numSlots*offWords),
+		slotFull:   make([]uint64, words),
 		cells:      make([][]Tx, numSlots*numOffsets),
 		nodeVer:    nodeVer,
+		busyCnt:    make([]int32, numNodes),
 	}, nil
 }
 
@@ -186,6 +207,7 @@ func (s *Schedule) Reset(numSlots, numOffsets, numNodes int) error {
 	}
 	s.nodeBusy = clearGrown(s.nodeBusy, numNodes*words)
 	s.occ = clearGrown(s.occ, numSlots*offWords)
+	s.slotFull = clearGrown(s.slotFull, words)
 	nCells := numSlots * numOffsets
 	if cap(s.cells) < nCells {
 		s.cells = make([][]Tx, nCells)
@@ -209,6 +231,13 @@ func (s *Schedule) Reset(numSlots, numOffsets, numNodes int) error {
 	for i := range s.nodeVer {
 		s.nodeVer[i]++ // move every stamp past any cache built before the Reset
 	}
+	if cap(s.busyCnt) < numNodes {
+		s.busyCnt = make([]int32, numNodes)
+	} else {
+		s.busyCnt = s.busyCnt[:numNodes]
+		clear(s.busyCnt)
+	}
+	s.ver++
 	s.numSlots, s.numOffsets, s.numNodes = numSlots, numOffsets, numNodes
 	s.words, s.offWords = words, offWords
 	s.txs = s.txs[:0]
@@ -270,6 +299,24 @@ func (s *Schedule) NodeBusy(node, slot int) bool {
 func (s *Schedule) markBusy(node, slot int) {
 	s.nodeBusy[node*s.words+slot/64] |= 1 << uint(slot%64)
 	s.nodeVer[node]++
+	s.busyCnt[node]++
+}
+
+// Version returns the schedule's mutation count: every Place, Remove, and
+// Reset bumps it once. Two equal Version readings bracket a span with no
+// grid changes, which lets callers keep derived caches alive across calls.
+func (s *Schedule) Version() uint64 { return s.ver }
+
+// NodeBusyCount returns the number of slots in which the node sends or
+// receives — the popcount of its busy bitset, served from an incrementally
+// maintained counter. For any pair (u, v) and any slot range,
+// BusyUnionCount(u, v, from, to) ≤ NodeBusyCount(u) + NodeBusyCount(v), which
+// the schedulers use as a constant-time conflict-sum certificate.
+func (s *Schedule) NodeBusyCount(node int) int {
+	if node < 0 || node >= s.numNodes {
+		return 0
+	}
+	return int(s.busyCnt[node])
 }
 
 // Cell returns the transmissions already assigned to (slot, offset). The
@@ -300,20 +347,27 @@ func (s *Schedule) Place(tx Tx) error {
 		return fmt.Errorf("place tx flow %d: transmission conflict in slot %d for link %d→%d",
 			tx.FlowID, tx.Slot, u, v)
 	}
+	s.ver++
 	s.markBusy(u, tx.Slot)
 	s.markBusy(v, tx.Slot)
 	idx := tx.Slot*s.numOffsets + tx.Offset
 	c := s.cells[idx]
 	if len(c) == 0 {
 		s.occ[tx.Slot*s.offWords+tx.Offset/64] |= 1 << uint(tx.Offset%64)
+		if s.OccupiedCount(tx.Slot) == s.numOffsets {
+			s.slotFull[tx.Slot/64] |= 1 << uint(tx.Slot%64)
+		}
 	}
 	switch {
 	case cap(c) == 0:
 		c = s.arena.carve(1)
-	case len(c) == 1 && cap(c) == 1:
-		pair := s.pairArena.carve(2)
-		pair = append(pair, c[0])
-		c = pair
+	case len(c) == cap(c) && 2*len(c) <= arenaChunkLen:
+		// Full cell: carve a doubled chunk instead of letting append hit
+		// the heap allocator. The abandoned chunk stays in its arena until
+		// the next reset — bounded waste for pool-recycled grids.
+		grown := s.pairArena.carve(2 * len(c))
+		grown = append(grown, c...)
+		c = grown
 	}
 	s.cells[idx] = append(c, tx)
 	s.txs = append(s.txs, tx)
@@ -339,6 +393,7 @@ func (s *Schedule) Remove(tx Tx) error {
 	if !ok {
 		return fmt.Errorf("remove tx flow %d: not placed", tx.FlowID)
 	}
+	s.ver++
 	if last := len(s.txs) - 1; idx != last {
 		s.txs[idx] = s.txs[last]
 		s.txPos[s.txs[idx]] = idx
@@ -355,6 +410,7 @@ func (s *Schedule) Remove(tx Tx) error {
 	}
 	if len(s.cells[cellIdx]) == 0 {
 		s.occ[tx.Slot*s.offWords+tx.Offset/64] &^= 1 << uint(tx.Offset%64)
+		s.slotFull[tx.Slot/64] &^= 1 << uint(tx.Slot%64)
 	}
 	s.clearBusy(tx.Link.From, tx.Slot)
 	s.clearBusy(tx.Link.To, tx.Slot)
@@ -364,6 +420,7 @@ func (s *Schedule) Remove(tx Tx) error {
 func (s *Schedule) clearBusy(node, slot int) {
 	s.nodeBusy[node*s.words+slot/64] &^= 1 << uint(slot%64)
 	s.nodeVer[node]++
+	s.busyCnt[node]--
 }
 
 // BusyUnionCount returns the number of slots in the inclusive range

@@ -12,11 +12,14 @@
 //  2. scoped eviction — evict lower-criticality flows colliding with the
 //     delta's instance windows one at a time, retry, then re-place the
 //     evicted flows against the updated grid (FallbackEvict);
-//  3. full reschedule — rebuild the whole mutated workload from scratch
+//  3. cascade — like rung 2, but a re-placement failure evicts further
+//     strictly-lower-criticality colliders instead of aborting, bounded by
+//     a total eviction budget so the tail stays amortized (FallbackCascade);
+//  4. full reschedule — rebuild the whole mutated workload from scratch
 //     into a fresh grid of the same dimensions and apply the net difference
 //     (FallbackFull).
 //
-// Rung 3 is the from-scratch scheduler itself, so whenever a full
+// The last rung is the from-scratch scheduler itself, so whenever a full
 // reschedule of the mutated workload is feasible the delta operation
 // succeeds too — feasibility parity holds by construction. Every mutation
 // is journaled; on total infeasibility the journal is replayed in reverse
@@ -47,6 +50,10 @@ const (
 	// FallbackEvict: lower-criticality colliding flows were evicted and
 	// re-placed around the delta.
 	FallbackEvict
+	// FallbackCascade: the bounded cascade rung — evictions were allowed to
+	// trigger further evictions while re-placing, up to cascadeBudget
+	// removals, before resorting to a full reschedule.
+	FallbackCascade
 	// FallbackFull: the whole mutated workload was rescheduled from
 	// scratch.
 	FallbackFull
@@ -59,6 +66,8 @@ func (f Fallback) String() string {
 		return "none"
 	case FallbackEvict:
 		return "evict"
+	case FallbackCascade:
+		return "cascade"
 	case FallbackFull:
 		return "full"
 	default:
@@ -376,6 +385,14 @@ func (d *deltaOp) place(f *flow.Flow, others []*flow.Flow, mark int) (*DeltaResu
 		res.Evicted = evicted
 		return d.finish(res), nil
 	}
+	// Budgeted cascade rung: restart from the operation's mark and let
+	// re-placement failures evict further colliders within the budget.
+	d.rollbackTo(mark)
+	if evicted, ok := d.evictCascade(f, others); ok {
+		res.Fallback = FallbackCascade
+		res.Evicted = evicted
+		return d.finish(res), nil
+	}
 	// Last rung: reschedule the whole mutated workload from scratch.
 	d.rollbackTo(mark)
 	res.Fallback = FallbackFull
@@ -470,6 +487,69 @@ func (d *deltaOp) evictAndPlace(f *flow.Flow, others []*flow.Flow) (evicted []in
 		}
 		ids = append(ids, g.ID)
 	}
+	return ids, true
+}
+
+// cascadeBudget bounds the total number of evictions one cascade descent may
+// perform. The bound is what keeps the rung cheaper than a full reschedule:
+// each eviction costs one removal plus one bounded re-placement attempt, so
+// the rung's work stays O(budget · flow), independent of network size.
+const cascadeBudget = 16
+
+// evictCascade is the budgeted middle rung between scoped eviction and full
+// reschedule. It generalizes evictAndPlace: pending flows are re-placed
+// highest-criticality (lowest ID) first, and when a re-placement fails its
+// own strictly-lower-criticality colliders are evicted in turn — rung 2
+// aborts there — until everything is placed or the eviction budget is spent.
+// Every evicted flow has a strictly higher ID than the flow it was evicted
+// for, so transitively no eviction ever outranks the delta flow itself.
+// Termination: each loop iteration either places a pending flow or consumes
+// budget; ok=false leaves the journal for the caller to roll back.
+func (d *deltaOp) evictCascade(f *flow.Flow, others []*flow.Flow) (evicted []int, ok bool) {
+	byID := make(map[int]*flow.Flow, len(others))
+	for _, g := range others {
+		byID[g.ID] = g
+	}
+	pending := []*flow.Flow{f}
+	budget := cascadeBudget
+	evictedSet := make(map[int]bool)
+	for len(pending) > 0 {
+		// Pop the highest-criticality pending flow.
+		best := 0
+		for i, g := range pending {
+			if g.ID < pending[best].ID {
+				best = i
+			}
+		}
+		g := pending[best]
+		pending = append(pending[:best], pending[best+1:]...)
+		if d.placeFlow(g) {
+			continue
+		}
+		placed := false
+		for _, c := range d.evictionCandidates(g, byID) {
+			if budget <= 0 {
+				break
+			}
+			h := byID[c.id]
+			d.removeFlow(h.ID)
+			budget--
+			evictedSet[h.ID] = true
+			pending = append(pending, h)
+			if d.placeFlow(g) {
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	ids := make([]int, 0, len(evictedSet))
+	for id := range evictedSet {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	return ids, true
 }
 

@@ -251,6 +251,79 @@ func TestAddFlowDeltaFullFallback(t *testing.T) {
 	checkDelta(t, before, sched, res, mutated, cfg)
 }
 
+// TestAddFlowDeltaCascade exercises the budgeted middle rung: rung 2 evicts
+// flow B to admit the new flow, but B's own re-placement window is blocked by
+// flow C — which sits outside the new flow's instance window, so rung 2 can
+// never evict it and aborts. The cascade rung lets B's re-placement evict C
+// in turn, and C re-places in the free tail, so no full reschedule runs.
+func TestAddFlowDeltaCascade(t *testing.T) {
+	// One link, one channel, four slots: b holds slot 0 (window [0,2)),
+	// c holds slot 1 (window [0,4)).
+	b := &flow.Flow{ID: 10, Src: 0, Dst: 1, Period: 4, Deadline: 2}
+	routeThrough(b, 0, 1)
+	c := &flow.Flow{ID: 20, Src: 0, Dst: 1, Period: 4, Deadline: 4}
+	routeThrough(c, 0, 1)
+	flows := []*flow.Flow{b, c}
+	cfg := Config{Algorithm: NR, NumChannels: 1}
+	sched := deltaBase(t, flows, cfg)
+	before := sched.Clone()
+
+	// The new top-criticality flow needs exactly slot 0.
+	a := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: 4, Deadline: 1}
+	routeThrough(a, 0, 1)
+	res, err := AddFlowDelta(sched, flows, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackCascade {
+		t.Fatalf("fallback = %v, want cascade", res.Fallback)
+	}
+	if want := []int{b.ID, c.ID}; !reflect.DeepEqual(res.Evicted, want) {
+		t.Fatalf("evicted = %v, want %v", res.Evicted, want)
+	}
+	mutated := []*flow.Flow{a, b, c}
+	checkDelta(t, before, sched, res, mutated, cfg)
+	// The cascade repacked the chain in criticality order: a=0, b=1, c=2.
+	wantSlots := map[int]int{a.ID: 0, b.ID: 1, c.ID: 2}
+	for _, tx := range sched.Txs() {
+		if want, ok := wantSlots[tx.FlowID]; !ok || tx.Slot != want {
+			t.Fatalf("flow %d landed in slot %d, want %d", tx.FlowID, tx.Slot, wantSlots[tx.FlowID])
+		}
+	}
+}
+
+// TestAddFlowDeltaCascadeBudget builds an eviction chain longer than
+// cascadeBudget — each flow's re-placement window ends just past the next
+// flow's slot — and checks the cascade gives up at the budget and the ladder
+// still succeeds through the full-reschedule rung (feasibility parity).
+func TestAddFlowDeltaCascadeBudget(t *testing.T) {
+	const chain = cascadeBudget + 2
+	frame := 2 * chain
+	var flows []*flow.Flow
+	for k := 1; k <= chain; k++ {
+		f := &flow.Flow{ID: 10 * k, Src: 0, Dst: 1, Period: frame, Deadline: k + 1}
+		routeThrough(f, 0, 1)
+		flows = append(flows, f)
+	}
+	cfg := Config{Algorithm: NR, NumChannels: 1}
+	sched := deltaBase(t, flows, cfg)
+	// Priority order packs flow k into slot k-1.
+	before := sched.Clone()
+
+	a := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: frame, Deadline: 1}
+	routeThrough(a, 0, 1)
+	res, err := AddFlowDelta(sched, flows, a, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fallback != FallbackFull {
+		t.Fatalf("fallback = %v, want full (budget %d < chain %d)", res.Fallback, cascadeBudget, chain)
+	}
+	mutated := append(append([]*flow.Flow(nil), flows...), a)
+	sort.Slice(mutated, func(i, j int) bool { return mutated[i].ID < mutated[j].ID })
+	checkDelta(t, before, sched, res, mutated, cfg)
+}
+
 func TestAddFlowDeltaInfeasibleRollsBack(t *testing.T) {
 	a := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: 100, Deadline: 1}
 	routeThrough(a, 0, 1)
@@ -595,5 +668,61 @@ func TestRerouteFlowDeltaAdaptsBudget(t *testing.T) {
 	// The input flow itself must not have been mutated.
 	if len(f.Route) != 2 || !reflect.DeepEqual(f.TxBudget, []int{3, 2}) {
 		t.Fatalf("input flow mutated: route %v budget %v", f.Route, f.TxBudget)
+	}
+}
+
+// TestEvictionCandidatesDeterministic pins the eviction ranking against two
+// nondeterminism hazards: the score tally is accumulated in a map (iteration
+// order varies run to run) and sort.Slice is unstable — ties broken anywhere
+// but the comparator would leak map order into the eviction sequence, and
+// with it the delta's Changes. Equal-criticality colliders must rank by
+// score descending, then strictly by flow ID descending (lowest criticality
+// evicted first), identically on every evaluation.
+func TestEvictionCandidatesDeterministic(t *testing.T) {
+	const frame = 16
+	var flows []*flow.Flow
+	mk := func(id, from, to, period, deadline int) {
+		f := &flow.Flow{ID: id, Src: from, Dst: to, Period: period, Deadline: deadline}
+		routeThrough(f, from, to)
+		flows = append(flows, f)
+	}
+	// Three score tiers for the new flow below (route 0→1, window = frame):
+	// two-instance on-route flows score 2·9, one-instance on-route flows 9,
+	// off-route flows sharing only the window score 1 per transmission.
+	for id := 10; id <= 14; id++ {
+		mk(id, 0, 1, frame, frame)
+	}
+	for id := 20; id <= 22; id++ {
+		mk(id, 0, 1, frame/2, frame/2)
+	}
+	for id := 30; id <= 33; id++ {
+		mk(id, 2, 3, frame, frame)
+	}
+	cfg := Config{Algorithm: NR, NumChannels: 2}
+	sched := deltaBase(t, flows, cfg)
+
+	f := &flow.Flow{ID: 0, Src: 0, Dst: 1, Period: frame, Deadline: frame}
+	routeThrough(f, 0, 1)
+	byID := make(map[int]*flow.Flow, len(flows))
+	for _, g := range flows {
+		byID[g.ID] = g
+	}
+	want := []int{22, 21, 20, 14, 13, 12, 11, 10, 33, 32, 31, 30}
+	for iter := 0; iter < 50; iter++ {
+		d := newDeltaOp(sched, cfg)
+		cands := d.evictionCandidates(f, byID)
+		got := make([]int, len(cands))
+		for i, c := range cands {
+			got[i] = c.id
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("iter %d: candidate order %v, want %v", iter, got, want)
+		}
+		for i := 1; i < len(cands); i++ {
+			a, b := cands[i-1], cands[i]
+			if a.score < b.score || (a.score == b.score && a.id < b.id) {
+				t.Fatalf("iter %d: ranking invariant broken at %d: %+v before %+v", iter, i, a, b)
+			}
+		}
 	}
 }

@@ -15,7 +15,10 @@ import (
 // optimization: on real testbeds across fixed workload seeds, all three
 // algorithms must produce byte-identical transmission sequences whether the
 // hot paths run through the bitset/prefix-sum indexes or through the
-// pre-index reference scans (cfg.scanPaths).
+// pre-index reference scans (cfg.scanPaths). A third run per case forces the
+// sharded candidate evaluation (4 workers, threshold 1) so the parallel
+// reduction's determinism is pinned against the same reference — run the
+// package under -race to also prove the shards never touch shared state.
 func TestScanVsIndexIdentical(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -77,6 +80,31 @@ func TestScanVsIndexIdentical(t *testing.T) {
 							tc.name, seed, alg, i, it[i], st[i])
 					}
 				}
+				forced, err := func() (*Result, error) {
+					testEvalWorkers, distParallelMin = 4, 1
+					defer func() { testEvalWorkers, distParallelMin = 0, 256 }()
+					parCfg := cfg
+					parCfg.scanPaths = false
+					return Run(cloneFlows(fs), parCfg)
+				}()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if forced.Schedulable != indexed.Schedulable {
+					t.Fatalf("%s seed=%d %v: forced-parallel schedulable differs: %v vs %v",
+						tc.name, seed, alg, forced.Schedulable, indexed.Schedulable)
+				}
+				ft := forced.Schedule.Txs()
+				if len(ft) != len(it) {
+					t.Fatalf("%s seed=%d %v: forced-parallel %d vs %d transmissions",
+						tc.name, seed, alg, len(ft), len(it))
+				}
+				for i := range ft {
+					if ft[i] != it[i] {
+						t.Fatalf("%s seed=%d %v: forced-parallel tx %d differs: %+v vs %+v",
+							tc.name, seed, alg, i, ft[i], it[i])
+					}
+				}
 			}
 		}
 	}
@@ -131,19 +159,19 @@ func TestPlaceRCFallbackPrefersPermissive(t *testing.T) {
 		tx := schedule.Tx{FlowID: 0, Link: flow.Link{From: 0, To: 1}}
 
 		// Sanity: the ρ steps see the placements the scenario intends.
-		if s, c, ok := eng.findSlot(tx, 0, 6, rhoInf); !ok || s != 1 {
+		if s, c, ok := eng.findSlot(&tx, 0, 6, rhoInf); !ok || s != 1 {
 			t.Fatalf("scan=%v: ρ=∞ placement = (%d,%d,%v), want slot 1", scan, s, c, ok)
 		}
-		if s, c, ok := eng.findSlot(tx, 0, 6, 3); !ok || s != 0 || c != 0 {
+		if s, c, ok := eng.findSlot(&tx, 0, 6, 3); !ok || s != 0 || c != 0 {
 			t.Fatalf("scan=%v: ρ=3 placement = (%d,%d,%v), want (0,0)", scan, s, c, ok)
 		}
-		if s, c, ok := eng.findSlot(tx, 0, 6, 2); !ok || s != 0 || c != 1 {
+		if s, c, ok := eng.findSlot(&tx, 0, 6, 2); !ok || s != 0 || c != 1 {
 			t.Fatalf("scan=%v: ρ=2 placement = (%d,%d,%v), want (0,1)", scan, s, c, ok)
 		}
 
 		// remaining=10 forces laxity = 6 − s − 10 < 0 at every candidate,
 		// so placeRC runs the ρ search to exhaustion and must fall back.
-		slot, offset, ok := eng.placeOne(f, tx, 0, 6, 10)
+		slot, offset, ok := eng.placeOne(f, &tx, 0, 6, 10)
 		if !ok {
 			t.Fatalf("scan=%v: placement failed", scan)
 		}

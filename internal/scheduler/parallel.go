@@ -1,0 +1,103 @@
+// Sharded candidate evaluation. evalCands fans the per-cell reuse-distance
+// and load computation of one RC placement attempt out across a small
+// process-wide worker pool. Every shard writes only precomputed disjoint
+// index ranges of candOcc/candDist/candLoad (sized up front from
+// OccupiedCount) and the selection loops run strictly after the join, so the
+// reduction over the (dist, load, offset) key is deterministic: schedules
+// are byte-identical to the sequential fill no matter how many workers run.
+
+package scheduler
+
+import (
+	"runtime"
+	"sync"
+)
+
+var (
+	// testEvalWorkers, when positive, overrides GOMAXPROCS as the shard
+	// worker count so in-package tests can force the parallel path (and its
+	// -race coverage) on any machine, including single-CPU CI boxes.
+	testEvalWorkers int
+
+	// distParallelMin is the cached-cell count above which evalCands shards
+	// the evaluation across the pool. Below it (or on a single-CPU process)
+	// the sequential fill wins: the pool hand-off costs more than the work.
+	// A variable so tests can drop the threshold; production code treats it
+	// as a constant.
+	distParallelMin = 256
+)
+
+// evalWorkerCount is the shard count for an attempt with the given number of
+// candidate slots: GOMAXPROCS (or the test override), never more than one
+// shard per candidate.
+func evalWorkerCount(cands int) int {
+	w := runtime.GOMAXPROCS(0)
+	if testEvalWorkers > 0 {
+		w = testEvalWorkers
+	}
+	if w > cands {
+		w = cands
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// shardJob is one unit handed to the pool: run fn(shard), then release the
+// caller's barrier.
+type shardJob struct {
+	fn    func(shard int)
+	shard int
+	wg    *sync.WaitGroup
+}
+
+var (
+	shardMu   sync.Mutex
+	shardCh   chan shardJob
+	shardLive int
+)
+
+// runShards executes fn(0) … fn(shards-1), dispatching shards 1..n-1 to the
+// process-wide pool while the caller runs shard 0 itself, and returns after
+// all shards complete. The pool is lazily grown to the largest shard count
+// ever requested and its workers idle on a channel receive between attempts;
+// concurrent engines share it, so a busy pool degrades to queuing (never
+// deadlock: shard functions are leaf computations that take no locks and
+// submit no nested jobs).
+func runShards(shards int, fn func(shard int)) {
+	if shards <= 1 {
+		if shards == 1 {
+			fn(0)
+		}
+		return
+	}
+	shardMu.Lock()
+	if shardCh == nil {
+		shardCh = make(chan shardJob, 64)
+	}
+	for shardLive < shards-1 {
+		shardLive++
+		go shardWorker(shardCh)
+	}
+	ch := shardCh
+	shardMu.Unlock()
+	var wg sync.WaitGroup
+	wg.Add(shards - 1)
+	for i := 1; i < shards; i++ {
+		ch <- shardJob{fn: fn, shard: i, wg: &wg}
+	}
+	fn(0)
+	wg.Wait()
+}
+
+func shardWorker(ch chan shardJob) {
+	for j := range ch {
+		runShardJob(j)
+	}
+}
+
+func runShardJob(j shardJob) {
+	defer j.wg.Done()
+	j.fn(j.shard)
+}

@@ -19,10 +19,7 @@ package scheduler
 
 import (
 	"fmt"
-	"runtime"
 	"strings"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"wsan/internal/flow"
@@ -219,21 +216,67 @@ type engine struct {
 	mets    schedCounters
 
 	// Index-path state. routePairs holds the current flow's per-hop
-	// conflict-count handles so laxity issues zero map lookups; occBuf is
-	// the reusable OccupiedOffsets buffer.
+	// conflict-count handles so laxity issues zero map lookups; hopAtt is
+	// the flow's resolved per-hop attempt count (budgeted or uniform);
+	// occBuf is the reusable OccupiedOffsets buffer.
 	curFlow    *flow.Flow
 	routePairs []*schedule.PairCount
+	hopAtt     []int
 	occBuf     []int
 	statsBase  schedule.IndexStats // schedule index stats at engine creation
 
-	// cands and candOcc cache one RC placement attempt's candidate slots and
-	// their occupied offsets (see buildCands); candDist and candLoad run
-	// parallel to candOcc with each cell's memoized minimum reuse-constraint
-	// distance and load (see rcFind). All four are reused across attempts.
-	cands    []slotCand
-	candOcc  []int
-	candDist []int32
-	candLoad []int32
+	// placedShared records, for the placement the engine just returned,
+	// whether the chosen cell already held a transmission — every placement
+	// path knows this as a byproduct, sparing scheduleInstance a Cell lookup.
+	placedShared bool
+
+	// rowU/rowV are the current attempt's hoisted G_R distance rows
+	// (rowU[y] = d(u,y), rowV[x] = d(x,v) by symmetry), bound by bindRows;
+	// nil when the matrix does not cover every schedule node. Read-only
+	// while evaluation shards run.
+	rowU, rowV []uint8
+
+	// cands caches one RC placement attempt's candidate slots (see
+	// buildCands); candOcc holds their occupied offsets and candDist and
+	// candLoad run parallel to it with each cell's memoized minimum
+	// reuse-constraint distance and load, all filled by evalCands on the
+	// attempt's first finite-ρ need (candsEval). maxDistAll is the best
+	// cell distance over every full candidate — the highest ρ at which the
+	// descent can select anything other than the free candidate. All
+	// buffers are reused across attempts.
+	cands      []slotCand
+	candOcc    []int
+	candDist   []int32
+	candLoad   []int32
+	candsEval  bool
+	maxDistAll int32
+
+	// Warm-start bookkeeping: the (link, deadline) key the candidate cache
+	// was built for, and the slot this pair placed into since the build
+	// (-1 = none). A retransmission attempt that follows its primary can
+	// then re-adopt the cache's suffix instead of rebuilding — see
+	// warmCands. candsValid drops on any placement that breaks the
+	// single-own-mutation invariant.
+	candsU, candsV, candsDead int
+	candsPlaced               int
+	candsValid                bool
+	// candsVer is the schedule Version the cache reflects. notePlaced admits
+	// exactly one own placement (ver+1); any other mutation — a delta-ladder
+	// removal, rollback, or another engine's placement on a shared grid —
+	// leaves the version stamps unequal and the cache is discarded instead
+	// of warm-adopted.
+	candsVer uint64
+
+	// instD[h] is CountThrough(deadline) of routePairs[h] for the instance
+	// being scheduled — the deadline term of Eq. 1 per hop pair. It is built
+	// once per instance on first use and then maintained incrementally: each
+	// committed placement can only change the busy-union of pairs that share
+	// one of its two endpoints, and only at the placed slot, so the update is
+	// a handful of integer compares per remaining hop instead of a prefix
+	// query per pair per attempt. Valid only while instDOK and within one
+	// scheduleInstance call (the deadline is fixed there).
+	instD   []int32
+	instDOK bool
 
 	// laxDeadSum memoizes the deadline term of the attempt's laxity sums:
 	// Σ CountThrough(deadline) over the remaining route pairs. It is fixed for
@@ -242,24 +285,35 @@ type engine struct {
 	// the CountThrough(slot) subtractions. Reset by buildCands.
 	laxDeadSum int
 	laxDeadOK  bool
+
+	// laxBound memoizes a constant-time upper bound on the attempt's conflict
+	// sum: Σ multiplicity × (NodeBusyCount(u) + NodeBusyCount(v)) over the
+	// remaining route pairs. Any pair's busy-union count over any slot range
+	// is at most the two endpoints' total busy-slot counts, so a candidate
+	// with slack ≥ laxBound passes Eq. 1 without touching the prefix index —
+	// the common case in uncongested regions of a sweep. Like laxDeadSum it
+	// is fixed for one placement attempt; reset alongside it.
+	laxBound   int
+	laxBoundOK bool
 }
 
 // slotCand is one cached candidate slot of an RC placement attempt: a slot
-// where both endpoints are free, its first free offset (-1 when every offset
-// is occupied), the occupied offsets (recorded for full slots only), and the
-// attempt's laxity at this slot, computed at most once across all ρ levels.
-// maxDist is the slot's best cell minDist, filled on the slot's first
-// finite-ρ visit (distOK) so later levels skip incompatible slots with one
-// comparison.
+// where both endpoints are free and its first free offset (-1 when every
+// offset is occupied), recorded by buildCands. evalCands later fills the
+// occupancy range (candOcc[occLo:occHi]) and maxDist, the slot's best
+// memoized cell distance, so the ρ levels skip incompatible slots with one
+// comparison. laxFail marks a slot whose laxity was computed and found
+// negative — a passing laxity returns immediately, so the memo only ever
+// needs to record failures. Fields are int32 to keep the per-attempt append
+// traffic compact; slot indices fit because a grid anywhere near 2^31 slots
+// could not have been allocated.
 type slotCand struct {
-	slot    int
-	freeOff int
-	occLo   int // candOcc[occLo:occHi] lists the slot's occupied offsets
-	occHi   int
-	lax     int
-	laxOK   bool
+	slot    int32
+	freeOff int32
+	occLo   int32 // candOcc[occLo:occHi] lists the slot's occupied offsets
+	occHi   int32
 	maxDist int32
-	distOK  bool
+	laxFail bool
 }
 
 // newEngine prepares the scheduling state for one run over sched.
@@ -269,16 +323,54 @@ func newEngine(cfg Config, sched *schedule.Schedule, lambdaR int) engine {
 }
 
 // setFlow binds the engine's per-flow index state (the route's conflict-count
-// handles) to f. Instances of the same flow share the binding.
+// handles and resolved per-hop attempt counts) to f. Instances of the same
+// flow share the binding.
 func (e *engine) setFlow(f *flow.Flow) {
 	if e.curFlow == f {
 		return
 	}
 	e.curFlow = f
 	e.routePairs = e.routePairs[:0]
-	for _, l := range f.Route {
-		e.routePairs = append(e.routePairs, e.sched.Pair(l.From, l.To))
+	e.hopAtt = e.hopAtt[:0]
+	base := e.cfg.attempts()
+	// Only RC's laxity consults the pair handles; NR and RA skip the per-hop
+	// map lookups entirely.
+	needPairs := e.cfg.Algorithm == RC
+	for hop, l := range f.Route {
+		if needPairs {
+			e.routePairs = append(e.routePairs, e.sched.Pair(l.From, l.To))
+		}
+		e.hopAtt = append(e.hopAtt, f.HopAttempts(hop, base))
 	}
+}
+
+// bindRows hoists the current attempt's G_R distance rows for cellMinDist,
+// or clears them when the matrix does not cover every schedule node (then
+// cellMinDist falls back to bounds-checked Dist lookups, which treat
+// out-of-range nodes as unreachable).
+func (e *engine) bindRows(u, v int) {
+	e.rowU, e.rowV = nil, nil
+	if m := e.cfg.HopGR; m != nil && m.Len() >= e.sched.NumNodes() {
+		e.rowU, e.rowV = m.Row(u), m.Row(v)
+	}
+}
+
+// notePlaced records a committed placement for the candidate-cache warm
+// start: the cache stays adoptable only while the single mutation since its
+// build is one placement by its own pair. Anything else invalidates it.
+func (e *engine) notePlaced(u, v, slot int) {
+	if !e.candsValid {
+		return
+	}
+	if u != e.candsU || v != e.candsV || e.candsPlaced >= 0 ||
+		e.sched.Version() != e.candsVer+1 {
+		// Wrong pair, a second placement, or a mutation the engine did not
+		// make (delta removals/rollbacks on a shared grid) — not adoptable.
+		e.candsValid = false
+		return
+	}
+	e.candsPlaced = slot
+	e.candsVer++
 }
 
 // schedCounters accumulates one run's observability counters locally (plain
@@ -325,36 +417,36 @@ func (e *engine) flushMetrics(elapsed time.Duration) {
 
 // hopAttempts returns the attempt count for one hop of f: the flow's
 // per-hop TxBudget entry when reliability-target budgeting installed one,
-// the uniform policy attempt count otherwise.
+// the uniform policy attempt count otherwise. Served from the per-flow
+// binding (setFlow), so the hot loops pay one slice load.
 func (e *engine) hopAttempts(f *flow.Flow, hop int) int {
-	return f.HopAttempts(hop, e.cfg.attempts())
+	return e.hopAtt[hop]
 }
 
 // scheduleInstance places every transmission of one release of flow f,
 // returning false on a deadline miss.
 func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
 	e.setFlow(f)
+	e.instDOK = false // the deadline term cache is per instance
 	release := f.Release(inst)
 	deadline := release + f.Deadline - 1 // last usable slot index
 	prevSlot := release - 1
 	total := f.TotalAttempts(e.cfg.attempts())
 	seq := 0 // transmissions placed so far in this instance
+	// One Tx is built per instance and mutated per attempt: the placement
+	// chain reads only Hop, Attempt, and Link, and Slot/Offset are set
+	// before the value is handed to Place.
+	tx := schedule.Tx{FlowID: f.ID, Instance: inst}
 	for hop, link := range f.Route {
 		attempts := e.hopAttempts(f, hop)
+		tx.Hop, tx.Link = hop, link
 		for attempt := 0; attempt < attempts; attempt++ {
-			tx := schedule.Tx{
-				FlowID:   f.ID,
-				Instance: inst,
-				Hop:      hop,
-				Attempt:  attempt,
-				Link:     link,
-			}
-			slot, offset, ok := e.placeOne(f, tx, prevSlot+1, deadline, total-seq-1)
+			tx.Attempt = attempt
+			slot, offset, ok := e.placeOne(f, &tx, prevSlot+1, deadline, total-seq-1)
 			if !ok {
 				e.mets.deadlineMisses++
 				return false
 			}
-			shared := len(e.sched.Cell(slot, offset)) > 0
 			tx.Slot, tx.Offset = slot, offset
 			if err := e.sched.Place(tx); err != nil {
 				// The engine only proposes conflict-free placements; a
@@ -362,8 +454,10 @@ func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
 				e.mets.deadlineMisses++
 				return false
 			}
+			e.notePlaced(link.From, link.To, slot)
+			e.bumpInstD(f, hop, link, slot)
 			e.mets.placements++
-			if shared {
+			if e.placedShared {
 				e.mets.reusePlacements++
 			}
 			prevSlot = slot
@@ -376,7 +470,7 @@ func (e *engine) scheduleInstance(f *flow.Flow, inst int) bool {
 // placeOne chooses a (slot, offset) for tx within [earliest, deadline]
 // according to the configured algorithm. remaining is |T_post|, the number
 // of transmissions of this instance still to schedule after tx.
-func (e *engine) placeOne(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+func (e *engine) placeOne(f *flow.Flow, tx *schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
 	switch e.cfg.Algorithm {
 	case NR:
 		return e.findSlot(tx, earliest, deadline, rhoInf)
@@ -397,192 +491,387 @@ func (e *engine) placeOne(f *flow.Flow, tx schedule.Tx, earliest, deadline, rema
 // then schedule"). The fallback keeps the earliest feasible slot found —
 // lower ρ relaxes the reuse constraint, so candidate slots are monotonically
 // non-increasing and an earlier slot never costs schedulability — and, among
-// placements tied on that slot, the most permissive (highest-ρ) one. This
-// replaces the old rule of blindly keeping the last placement tried, which
-// discarded a higher-ρ (safer-reuse) placement even when the extra ρ steps
-// bought no earlier slot.
-func (e *engine) placeRC(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+// placements tied on that slot, the most permissive (highest-ρ) one.
+//
+// The index path resolves the whole descent from the candidate cache built
+// once per attempt (buildCands, evaluated on first finite-ρ need by
+// evalCands). Two regimes shortcut the level-by-level loop without changing
+// any placement relative to placeRCRef:
+//
+//   - when even the earliest schedulable slot's deadline budget is negative,
+//     no level can pass the laxity test (the conflict sum only subtracts
+//     further), so placeRCFallback scans directly to the slot the descent's
+//     fallback rule would keep and stops there;
+//   - levels above the best candidate reuse distance (maxDistAll) cannot
+//     select any full slot, so the loop starts at min(λ_R, maxDistAll) with
+//     the skipped levels resolved arithmetically.
+//
+// The skipped-level arithmetic keeps the scheduling counters exactly as the
+// full loop would have; the all-fail scan keeps placements, fallbacks, and
+// deadline misses exact but advances the per-level counters (ρ steps, laxity
+// failures, slots examined, memo traffic) as one exhausted descent rather
+// than replaying every level — see placeRCFallback.
+func (e *engine) placeRC(f *flow.Flow, tx *schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
 	if e.cfg.scanPaths {
 		return e.placeRCRef(f, tx, earliest, deadline, remaining)
 	}
 	u, v := tx.Link.From, tx.Link.To
-	e.buildCands(u, v, earliest, deadline)
-	rho := rhoInf
-	fbSlot, fbOffset, fbOK := 0, 0, false
-	for {
-		ci, offset, ok := e.rcFind(u, v, rho)
-		if ok {
-			c := &e.cands[ci]
-			if !c.laxOK {
-				c.lax, c.laxOK = e.laxity(f, tx, c.slot, deadline, remaining), true
-			}
-			if c.lax >= 0 {
-				e.mets.laxityPass++
-				return c.slot, offset, true
-			}
-			e.mets.laxityFail++
-			if !fbOK || c.slot < fbSlot {
-				// Strictly earlier only: on a slot tie the earlier-tried
-				// (higher-ρ) placement stands.
-				fbSlot, fbOffset, fbOK = c.slot, offset, true
-			}
+	rhoT := e.cfg.RhoT
+	nLevels := 0
+	if e.lambdaR >= rhoT {
+		nLevels = e.lambdaR - rhoT + 1
+		if e.cfg.FixedRho {
+			nLevels = 1 // ablation: no hop-distance maximization
 		}
-		if rho == rhoInf {
-			if e.lambdaR < e.cfg.RhoT {
-				break // reuse impossible on this G_R; keep the ρ=∞ result
-			}
-			if e.cfg.FixedRho {
-				rho = e.cfg.RhoT // ablation: no hop-distance maximization
-			} else {
-				rho = e.lambdaR
-			}
-			// Entering the finite-ρ descent: on large dense attempts, fill
-			// the per-cell distance memo for every cached candidate in
-			// parallel before the levels consult it.
-			e.prefillDists(u, v)
-		} else {
-			rho--
-			if rho < e.cfg.RhoT {
-				break
-			}
+	}
+	s0 := e.sched.NextSharedFreeSlot(u, v, earliest, deadline)
+	if s0 < 0 {
+		e.mets.rhoSteps += int64(nLevels) // the empty descent still stepped
+		return 0, 0, false
+	}
+	if nLevels > 0 && deadline-s0-remaining < 0 {
+		return e.placeRCFallback(u, v, s0, deadline, nLevels)
+	}
+	if !e.warmCands(u, v, s0, deadline) {
+		e.buildCands(u, v, s0, deadline)
+	}
+	// ρ = ∞ level: at most one candidate — always the last — offers a free
+	// cell, and under least-loaded tie-breaking it wins outright.
+	fbSlot, fbOffset, fbOK, fbShared := 0, 0, false, false
+	freeIdx := -1
+	if c := &e.cands[len(e.cands)-1]; c.freeOff >= 0 {
+		freeIdx = len(e.cands) - 1
+		slot := int(c.slot)
+		if e.laxity(f, tx, slot, deadline, remaining) >= 0 {
+			e.mets.laxityPass++
+			e.placedShared = false
+			return slot, int(c.freeOff), true
 		}
+		c.laxFail = true
+		e.mets.laxityFail++
+		fbSlot, fbOffset, fbOK = slot, int(c.freeOff), true
+	}
+	if nLevels == 0 {
+		// Reuse impossible on this G_R; keep the ρ=∞ result.
+		if fbOK {
+			e.mets.laxityFallbacks++
+			e.placedShared = false
+		}
+		return fbSlot, fbOffset, fbOK
+	}
+	rhoStart := e.lambdaR
+	if e.cfg.FixedRho {
+		rhoStart = rhoT
+	}
+	e.evalCands(u, v)
+	rho := rhoStart
+	if int(e.maxDistAll) < rho {
+		// Levels above the best candidate distance select no full slot:
+		// each re-finds the free candidate (already a memoized laxity
+		// failure, tied on its own slot) or nothing at all.
+		stop := int(e.maxDistAll)
+		if stop < rhoT-1 {
+			stop = rhoT - 1
+		}
+		e.mets.rhoSteps += int64(rho - stop)
+		if freeIdx >= 0 {
+			e.mets.laxityFail += int64(rho - stop)
+		}
+		rho = stop
+	}
+	for ; rho >= rhoT; rho-- {
 		e.mets.rhoSteps++
+		ci, offset, ok := e.rcFind(rho)
+		if !ok {
+			continue
+		}
+		c := &e.cands[ci]
+		if !c.laxFail {
+			slot := int(c.slot)
+			if e.laxity(f, tx, slot, deadline, remaining) >= 0 {
+				e.mets.laxityPass++
+				e.placedShared = c.freeOff < 0
+				return slot, offset, true
+			}
+			c.laxFail = true
+		}
+		e.mets.laxityFail++
+		if !fbOK || int(c.slot) < fbSlot {
+			// Strictly earlier only: on a slot tie the earlier-tried
+			// (higher-ρ) placement stands.
+			fbSlot, fbOffset, fbOK, fbShared = int(c.slot), offset, true, c.freeOff < 0
+		}
 	}
 	if fbOK {
 		e.mets.laxityFallbacks++
+		e.placedShared = fbShared
 	}
 	return fbSlot, fbOffset, fbOK
 }
 
-// distParallelMin is the number of cached candidate cells above which
-// prefillDists fans the distance evaluation out across goroutines. Below it
-// (or on a single-CPU process) the memo stays lazily filled by rcFind.
-const distParallelMin = 256
+// warmCands re-adopts the previous attempt's candidate cache when it is
+// provably identical to what buildCands would produce: same link, same
+// deadline, and exactly one schedule mutation since the build — this pair's
+// own committed placement (a retransmission attempt immediately follows its
+// primary on the same link). That placement made its slot endpoint-busy,
+// removing it from the candidate window, and touched no other slot's
+// occupancy, so the cache's suffix from s0 on — free offsets, occupancy
+// ranges, reuse distances, loads — is byte-for-byte what a cold rebuild
+// would recompute. Only the laxity memos go stale (the grid and the
+// remaining-transmission count both changed), so they are cleared, and
+// maxDistAll is re-reduced over the surviving suffix. An attempt that
+// placed on the cache's free terminal slot invalidates instead: a rebuild
+// would scan fresh slots past it (the drop loop then consumes the whole
+// cache). The suffix counts into slotsExamined as a rebuild would; its
+// cells count as memo hits — their reuse verdicts are served from cache.
+func (e *engine) warmCands(u, v, s0, deadline int) bool {
+	if !e.candsValid || u != e.candsU || v != e.candsV ||
+		deadline != e.candsDead || e.candsPlaced < 0 ||
+		e.sched.Version() != e.candsVer {
+		return false
+	}
+	k := 0
+	for k < len(e.cands) && int(e.cands[k].slot) < s0 {
+		k++
+	}
+	if k == len(e.cands) {
+		e.candsValid = false
+		return false
+	}
+	// Shift the suffix to the front instead of reslicing forward: the cache
+	// is rebuilt in place every cold attempt, and moving the base pointer
+	// would permanently bleed append capacity from the backing array.
+	if k > 0 {
+		n := copy(e.cands, e.cands[k:])
+		e.cands = e.cands[:n]
+	}
+	e.candsPlaced = -1
+	e.laxDeadOK, e.laxBoundOK = false, false
+	maxAll := int32(-1)
+	for i := range e.cands {
+		c := &e.cands[i]
+		c.laxFail = false
+		if c.freeOff < 0 && c.maxDist > maxAll {
+			maxAll = c.maxDist
+		}
+	}
+	e.mets.slotsExamined += int64(len(e.cands))
+	if e.candsEval {
+		e.maxDistAll = maxAll
+		e.mets.memoHits += int64(e.cands[len(e.cands)-1].occHi - e.cands[0].occLo)
+	}
+	return true
+}
 
-// prefillDists computes candDist/candLoad and each candidate's maxDist for
-// every cached full slot of the current attempt, in parallel across
-// channels/slots. Each index is written by exactly one worker and the
-// selection loops run only after the join, so the merge is deterministic:
-// placements are byte-identical to the lazy single-threaded fill — the memo
-// holds the same values either way, rcFind merely finds distOK already set.
-// The only observable difference is the memo-miss counter, which under
-// prefill counts every cached cell rather than only the visited ones.
-func (e *engine) prefillDists(u, v int) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers <= 1 || len(e.candOcc) < distParallelMin {
-		return
+// placeRCFallback resolves an RC descent whose laxity test cannot pass at
+// any level: deadline − s0 − remaining is already negative at the earliest
+// schedulable slot, and the conflict sum only subtracts further, so every
+// level's find lands in the fallback accumulator and the loop never returns
+// early. The minimum fallback slot over the whole descent is then the first
+// slot feasible at ρ_t — as ρ drops the chosen slot only moves earlier,
+// never later — and the placement that first reaches it is the most
+// permissive level ρ_hi = min(maxDist, ρ_start), whose offset choice stands
+// on every lower (slot-tied) level. A slot with a free cell is feasible at
+// every level including ρ=∞, so the scan stops at the first slot that is
+// either non-full or reuse-compatible at ρ_t, without materializing the
+// candidate cache the abandoned descent would have built.
+//
+// Placements, the fallback count, and deadline misses are exactly those of
+// the level-by-level loop; the per-level counters (laxity failures, slots
+// examined, memo traffic) are advanced for the one resolving slot only —
+// levels that would have re-found later slots the scan never reaches are
+// not replayed. The laxity-failure ledger credits one failure per level
+// that provably found this slot (all nLevels plus ρ=∞ when it is non-full,
+// the ρ_hi…ρ_t band when reuse was required).
+func (e *engine) placeRCFallback(u, v, s0, deadline, nLevels int) (int, int, bool) {
+	e.mets.rhoSteps += int64(nLevels)
+	rhoT := e.cfg.RhoT
+	rhoStart := e.lambdaR
+	if e.cfg.FixedRho {
+		rhoStart = rhoT
 	}
-	if workers > len(e.cands) {
-		workers = len(e.cands)
-	}
-	var (
-		wg   sync.WaitGroup
-		next atomic.Int64
-	)
-	misses := make([]int64, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(e.cands) {
-					return
-				}
-				c := &e.cands[i]
-				if c.distOK || c.freeOff >= 0 {
-					continue
-				}
-				maxDist := int32(-1)
-				for k := c.occLo; k < c.occHi; k++ {
-					cell := e.sched.Cell(c.slot, e.candOcc[k])
-					d := e.cellMinDist(u, v, cell)
-					e.candDist[k] = d
-					e.candLoad[k] = int32(len(cell))
-					if d > maxDist {
-						maxDist = d
-					}
-				}
-				c.maxDist, c.distOK = maxDist, true
-				misses[w] += int64(c.occHi - c.occLo)
+	e.bindRows(u, v)
+	for s := s0; s >= 0; s = e.sched.NextSharedFreeSlot(u, v, s+1, deadline) {
+		e.mets.slotsExamined++
+		if !e.sched.SlotFull(s) {
+			e.mets.laxityFail += int64(nLevels) + 1
+			e.mets.laxityFallbacks++
+			e.placedShared = false
+			return s, e.sched.FirstFreeOffset(s), true
+		}
+		e.occBuf = e.sched.OccupiedOffsets(s, e.occBuf[:0])
+		n := len(e.occBuf)
+		if n > cap(e.candDist) {
+			e.candDist, e.candLoad = make([]int32, n), make([]int32, n)
+		}
+		dists, loads := e.candDist[:n], e.candLoad[:n]
+		maxDist := int32(-1)
+		for k, off := range e.occBuf {
+			cell := e.sched.Cell(s, off)
+			d := e.cellMinDist(u, v, cell)
+			dists[k], loads[k] = d, int32(len(cell))
+			if d > maxDist {
+				maxDist = d
 			}
-		}(w)
+		}
+		e.mets.memoMisses += int64(n)
+		if int(maxDist) < rhoT {
+			continue // no cell compatible even at ρ_t: no level places here
+		}
+		rhoHi := int(maxDist)
+		if rhoHi > rhoStart {
+			rhoHi = rhoStart
+		}
+		best, bestLoad := -1, int32(0)
+		for k, off := range e.occBuf {
+			if int(dists[k]) < rhoHi {
+				continue
+			}
+			if best < 0 || loads[k] < bestLoad {
+				best, bestLoad = off, loads[k]
+			}
+		}
+		e.mets.laxityFail += int64(rhoHi - rhoT + 1)
+		e.mets.laxityFallbacks++
+		e.placedShared = true
+		return s, best, true
 	}
-	wg.Wait()
-	for _, m := range misses {
-		e.mets.memoMisses += m
-	}
+	// No free cell and no full slot compatible even at ρ_t anywhere in the
+	// window: no level of the descent found any placement.
+	return 0, 0, false
 }
 
 // buildCands collects, once per RC placement attempt, every candidate slot
-// the descending ρ search can ever choose: the endpoint-free slots from
-// earliest up to and including the first one offering a free offset. Under
-// least-loaded tie-breaking a free cell wins at every ρ, so no later slot is
-// ever selected; when no slot has a free offset the cache extends to the
-// deadline. The schedule is unmutated for the attempt's duration, so the
-// per-slot occupancy recorded here serves all ρ levels.
-func (e *engine) buildCands(u, v, earliest, deadline int) {
+// the descending ρ search can ever choose: the endpoint-free slots from s0
+// (the attempt's first such slot, located by the caller) up to and including
+// the first one offering a free offset. Under least-loaded tie-breaking a
+// free cell wins at every ρ, so no later slot is ever selected; when no slot
+// has a free offset the cache extends to the deadline. Only the slot and its
+// first free offset are recorded here — full slots resolve with one SlotFull
+// bit test, and the occupancy rows and reuse distances are deferred to
+// evalCands because the common RC outcome, a laxity pass at ρ=∞, never
+// needs them.
+func (e *engine) buildCands(u, v, s0, deadline int) {
 	e.cands = e.cands[:0]
-	e.candOcc = e.candOcc[:0]
-	e.laxDeadOK = false
-	for s := e.sched.NextSharedFreeSlot(u, v, earliest, deadline); s >= 0; s = e.sched.NextSharedFreeSlot(u, v, s+1, deadline) {
+	e.candsEval = false
+	e.laxDeadOK, e.laxBoundOK = false, false
+	e.candsU, e.candsV, e.candsDead = u, v, deadline
+	e.candsPlaced, e.candsValid = -1, true
+	e.candsVer = e.sched.Version()
+	for s := s0; s >= 0; s = e.sched.NextSharedFreeSlot(u, v, s+1, deadline) {
 		e.mets.slotsExamined++
-		free := e.sched.FirstFreeOffset(s)
-		lo := len(e.candOcc)
-		if free < 0 {
-			e.candOcc = e.sched.OccupiedOffsets(s, e.candOcc)
+		if e.sched.SlotFull(s) {
+			e.cands = append(e.cands, slotCand{slot: int32(s), freeOff: -1})
+			continue
 		}
-		e.cands = append(e.cands, slotCand{slot: s, freeOff: free, occLo: lo, occHi: len(e.candOcc)})
-		if free >= 0 {
-			break
-		}
-	}
-	if n := len(e.candOcc); n <= cap(e.candDist) {
-		e.candDist = e.candDist[:n]
-		e.candLoad = e.candLoad[:n]
-	} else {
-		e.candDist = make([]int32, n)
-		e.candLoad = make([]int32, n)
+		e.cands = append(e.cands, slotCand{slot: int32(s), freeOff: int32(e.sched.FirstFreeOffset(s))})
+		break
 	}
 }
 
-// rcFind answers one ρ level of the descent from the candidate cache,
-// choosing exactly what findSlot would: the earliest candidate offering a
-// free cell, or before that a least-loaded compatible occupied cell (ties on
-// load to the lowest offset). It returns the candidate's index so placeRC
-// can memoize per-slot laxity.
+// evalCands computes, once per RC placement attempt, the reuse state of
+// every cached full candidate slot: its occupied offsets (candOcc), each
+// cell's memoized minimum reuse-constraint distance and load
+// (candDist/candLoad), the slot's best cell distance (maxDist), and the
+// attempt-wide best (maxDistAll). The schedule is unmutated for the
+// attempt's duration, so one evaluation serves every ρ level.
 //
-// A full slot's first finite-ρ visit computes each cell's minimum
-// reuse-constraint distance and load into candDist/candLoad — fixed for the
-// attempt's duration — so every later level resolves the slot with integer
-// compares: skip when maxDist < ρ (no cell can be compatible, since
-// compatibility at ρ is exactly minDist ≥ ρ), else pick the least-loaded
-// cell with minDist ≥ ρ.
-func (e *engine) rcFind(u, v, rho int) (ci, offset int, ok bool) {
+// Above distParallelMin cells the fill is sharded across the worker pool:
+// pass 1 sizes each slot's candOcc range from OccupiedCount, so every shard
+// writes only its own slots' precomputed disjoint index ranges, and every
+// selection loop — rcFind's (load, offset) minimum, the fallback reduction,
+// the maxDistAll maximum — runs strictly after the join. The merge is
+// therefore deterministic and placements are byte-identical to the
+// sequential fill; the only observable difference is in the reuse-memo
+// hit/miss counters, which count every cached cell once here rather than
+// per ρ-level visit.
+func (e *engine) evalCands(u, v int) {
+	if e.candsEval {
+		return
+	}
+	e.candsEval = true
+	total := 0
+	for i := range e.cands {
+		c := &e.cands[i]
+		c.occLo = int32(total)
+		if c.freeOff < 0 {
+			total += e.sched.OccupiedCount(int(c.slot))
+		}
+		c.occHi = int32(total)
+	}
+	if total <= cap(e.candOcc) {
+		e.candOcc = e.candOcc[:total]
+	} else {
+		e.candOcc = make([]int, total)
+	}
+	if total <= cap(e.candDist) {
+		e.candDist, e.candLoad = e.candDist[:total], e.candLoad[:total]
+	} else {
+		e.candDist, e.candLoad = make([]int32, total), make([]int32, total)
+	}
+	workers := 1
+	if total >= distParallelMin || testEvalWorkers > 0 {
+		workers = evalWorkerCount(len(e.cands))
+	}
+	e.bindRows(u, v)
+	if workers == 1 {
+		e.fillCandRange(u, v, 0, 1) // direct call: no closure on the hot path
+	} else {
+		runShards(workers, func(shard int) { e.fillCandRange(u, v, shard, workers) })
+	}
+	maxAll := int32(-1)
+	for i := range e.cands {
+		if c := &e.cands[i]; c.freeOff < 0 && c.maxDist > maxAll {
+			maxAll = c.maxDist
+		}
+	}
+	e.maxDistAll = maxAll
+	e.mets.memoMisses += int64(total)
+}
+
+// fillCandRange evaluates the strided shard of full candidates whose index ≡
+// shard (mod stride): their occupied offsets, per-cell reuse distances and
+// loads, and per-slot maxDist. Shards touch disjoint candOcc/candDist/
+// candLoad ranges (sized by evalCands pass 1), so concurrent shards never
+// overlap a write.
+func (e *engine) fillCandRange(u, v, shard, stride int) {
+	for i := shard; i < len(e.cands); i += stride {
+		c := &e.cands[i]
+		if c.freeOff >= 0 {
+			continue
+		}
+		// The three-index slice caps the append at exactly the range
+		// OccupiedCount sized, so the offsets land in candOcc in place.
+		e.sched.OccupiedOffsets(int(c.slot), e.candOcc[c.occLo:c.occLo:c.occHi])
+		maxDist := int32(-1)
+		for k := c.occLo; k < c.occHi; k++ {
+			cell := e.sched.Cell(int(c.slot), e.candOcc[k])
+			d := e.cellMinDist(u, v, cell)
+			e.candDist[k] = d
+			e.candLoad[k] = int32(len(cell))
+			if d > maxDist {
+				maxDist = d
+			}
+		}
+		c.maxDist = maxDist
+	}
+}
+
+// rcFind answers one finite-ρ level of the descent from the evaluated
+// candidate cache (evalCands must have run), choosing exactly what findSlot
+// would: the earliest candidate offering a free cell, or before that a
+// least-loaded compatible occupied cell (ties on load to the lowest offset).
+// It returns the candidate's index so placeRC can memoize per-slot laxity.
+// A full slot resolves with integer compares: skip when maxDist < ρ (no cell
+// can be compatible, since compatibility at ρ is exactly minDist ≥ ρ), else
+// pick the least-loaded cell with minDist ≥ ρ.
+func (e *engine) rcFind(rho int) (ci, offset int, ok bool) {
 	for i := range e.cands {
 		c := &e.cands[i]
 		if c.freeOff >= 0 {
-			return i, c.freeOff, true // least-loaded: an empty cell always wins
+			return i, int(c.freeOff), true // least-loaded: an empty cell always wins
 		}
-		if rho == rhoInf {
-			continue // every offset occupied and reuse forbidden
-		}
-		if !c.distOK {
-			maxDist := int32(-1)
-			for k := c.occLo; k < c.occHi; k++ {
-				cell := e.sched.Cell(c.slot, e.candOcc[k])
-				d := e.cellMinDist(u, v, cell)
-				e.candDist[k] = d
-				e.candLoad[k] = int32(len(cell))
-				if d > maxDist {
-					maxDist = d
-				}
-			}
-			c.maxDist, c.distOK = maxDist, true
-			e.mets.memoMisses += int64(c.occHi - c.occLo)
-		} else {
-			e.mets.memoHits += int64(c.occHi - c.occLo)
-		}
+		e.mets.memoHits += int64(c.occHi - c.occLo)
 		if int(c.maxDist) < rho {
 			continue
 		}
@@ -602,9 +891,23 @@ func (e *engine) rcFind(u, v, rho int) (ci, offset int, ok bool) {
 
 // cellMinDist is the memoized ingredient of the channel constraint: the
 // minimum over the cell's occupants of min(d(u, y), d(x, v)) on G_R. The
-// cell is compatible with (u→v) at hop distance ρ iff this is ≥ ρ.
+// cell is compatible with (u→v) at hop distance ρ iff this is ≥ ρ. The fast
+// path indexes the distance rows bindRows hoisted for the attempt's (u, v);
+// when the matrix does not cover every schedule node the rows are nil and
+// the bounds-checked Dist lookups (out-of-range ⇒ unreachable) apply.
 func (e *engine) cellMinDist(u, v int, cell []schedule.Tx) int32 {
 	minDist := int32(1) << 30
+	if rowU, rowV := e.rowU, e.rowV; rowU != nil {
+		for _, other := range cell {
+			if d := int32(rowU[other.Link.To]); d < minDist {
+				minDist = d
+			}
+			if d := int32(rowV[other.Link.From]); d < minDist {
+				minDist = d
+			}
+		}
+		return minDist
+	}
 	for _, other := range cell {
 		if d := int32(e.cfg.HopGR.Dist(u, other.Link.To)); d < minDist {
 			minDist = d
@@ -619,9 +922,9 @@ func (e *engine) cellMinDist(u, v int, cell []schedule.Tx) int32 {
 // placeRCRef is the reference formulation of Algorithm 1's inner loop, used
 // under scanPaths: each ρ level re-runs a full findSlot/laxity pass through
 // the pre-index reference implementations, with no cross-level caching.
-func (e *engine) placeRCRef(f *flow.Flow, tx schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
+func (e *engine) placeRCRef(f *flow.Flow, tx *schedule.Tx, earliest, deadline, remaining int) (int, int, bool) {
 	rho := rhoInf
-	fbSlot, fbOffset, fbOK := 0, 0, false
+	fbSlot, fbOffset, fbOK, fbShared := 0, 0, false, false
 	for {
 		slot, offset, ok := e.findSlot(tx, earliest, deadline, rho)
 		if ok {
@@ -633,7 +936,7 @@ func (e *engine) placeRCRef(f *flow.Flow, tx schedule.Tx, earliest, deadline, re
 			if !fbOK || slot < fbSlot {
 				// Strictly earlier only: on a slot tie the earlier-tried
 				// (higher-ρ) placement stands.
-				fbSlot, fbOffset, fbOK = slot, offset, true
+				fbSlot, fbOffset, fbOK, fbShared = slot, offset, true, e.placedShared
 			}
 		}
 		if rho == rhoInf {
@@ -655,6 +958,7 @@ func (e *engine) placeRCRef(f *flow.Flow, tx schedule.Tx, earliest, deadline, re
 	}
 	if fbOK {
 		e.mets.laxityFallbacks++
+		e.placedShared = fbShared
 	}
 	return fbSlot, fbOffset, fbOK
 }
@@ -664,7 +968,7 @@ func (e *engine) placeRCRef(f *flow.Flow, tx schedule.Tx, earliest, deadline, re
 // each remaining transmission, minus the count of remaining transmissions.
 // The conflict sum is served by the per-pair prefix-popcount handles bound
 // in setFlow — O(1) per remaining transmission instead of a bitset scan.
-func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int) int {
+func (e *engine) laxity(f *flow.Flow, tx *schedule.Tx, s, deadline, remaining int) int {
 	if e.cfg.scanPaths {
 		return e.laxityScan(f, tx, s, deadline, remaining)
 	}
@@ -677,13 +981,35 @@ func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int
 	// hop's leftover attempts, then a full per-hop attempt count per later
 	// hop.
 	curCnt := e.hopAttempts(f, tx.Hop) - tx.Attempt - 1
-	if !e.laxDeadOK {
-		sum := 0
+	// Constant-time certificate first: a pair's busy-union count over any
+	// range is at most the endpoints' total busy-slot counts, so slack ≥ the
+	// memoized sum of those bounds proves the laxity non-negative without a
+	// single prefix-index query. The returned magnitude is then a lower bound
+	// on Eq. 1; every caller branches on the sign only.
+	if !e.laxBoundOK {
+		bound := 0
 		if curCnt > 0 {
-			sum = curCnt * e.routePairs[tx.Hop].CountThrough(deadline)
+			bound = curCnt * (e.sched.NodeBusyCount(tx.Link.From) + e.sched.NodeBusyCount(tx.Link.To))
 		}
 		for h := tx.Hop + 1; h < len(f.Route); h++ {
-			sum += e.hopAttempts(f, h) * e.routePairs[h].CountThrough(deadline)
+			link := f.Route[h]
+			bound += e.hopAttempts(f, h) * (e.sched.NodeBusyCount(link.From) + e.sched.NodeBusyCount(link.To))
+		}
+		e.laxBound, e.laxBoundOK = bound, true
+	}
+	if lax >= e.laxBound {
+		return lax - e.laxBound
+	}
+	if !e.laxDeadOK {
+		if !e.instDOK {
+			e.buildInstD(f, deadline)
+		}
+		sum := 0
+		if curCnt > 0 {
+			sum = curCnt * int(e.instD[tx.Hop])
+		}
+		for h := tx.Hop + 1; h < len(f.Route); h++ {
+			sum += e.hopAttempts(f, h) * int(e.instD[h])
 		}
 		e.laxDeadSum, e.laxDeadOK = sum, true
 	}
@@ -699,9 +1025,48 @@ func (e *engine) laxity(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int
 	return lax - conflictSum
 }
 
+// buildInstD snapshots the deadline term of Eq. 1 for the current instance:
+// one CountThrough(deadline) per hop pair. bumpInstD keeps the snapshot
+// exact across the instance's own placements, so later attempts reuse it
+// without further prefix queries.
+func (e *engine) buildInstD(f *flow.Flow, deadline int) {
+	e.instD = e.instD[:0]
+	for h := range f.Route {
+		e.instD = append(e.instD, int32(e.routePairs[h].CountThrough(deadline)))
+	}
+	e.instDOK = true
+}
+
+// bumpInstD folds one committed placement into the instance's deadline-term
+// snapshot. Placing at slot p busies exactly the placed link's two endpoints
+// there, so a pair's busy-union count changes — by at most one, at slot p —
+// only if the pair shares an endpoint with the placed link and the union bit
+// at p was previously clear. The pre-placement union bit is reconstructible
+// after the fact: the placed endpoints were necessarily free at p, and every
+// other node's busy bit is untouched. Hops before the placed one are never
+// queried again within the instance and are skipped.
+func (e *engine) bumpInstD(f *flow.Flow, hop int, placed flow.Link, p int) {
+	if !e.instDOK {
+		return
+	}
+	a, b := placed.From, placed.To
+	for h := hop; h < len(f.Route); h++ {
+		x, y := f.Route[h].From, f.Route[h].To
+		xIn := x == a || x == b
+		yIn := y == a || y == b
+		if !xIn && !yIn {
+			continue
+		}
+		before := (!xIn && e.sched.NodeBusy(x, p)) || (!yIn && e.sched.NodeBusy(y, p))
+		if !before {
+			e.instD[h]++
+		}
+	}
+}
+
 // laxityScan is the pre-index reference implementation of laxity, summing
 // BusyUnionCount word scans per remaining transmission.
-func (e *engine) laxityScan(f *flow.Flow, tx schedule.Tx, s, deadline, remaining int) int {
+func (e *engine) laxityScan(f *flow.Flow, tx *schedule.Tx, s, deadline, remaining int) int {
 	lax := deadline - s - remaining
 	if lax < 0 {
 		return lax
@@ -727,30 +1092,41 @@ func (e *engine) laxityScan(f *flow.Flow, tx schedule.Tx, s, deadline, remaining
 // least-loaded for NR/RC (reduce channel contention), most-loaded for RA
 // (aggressive packing).
 //
-// The index path iterates candidate slots via NextSharedFreeSlot (skipping
-// busy runs a word at a time) and resolves the offset choice from the
-// occupancy bitset, exploiting two facts the reference scan rediscovers every
-// call: under least-loaded tie-breaking an empty cell (load 0, earliest
-// offset) beats every occupied one, and under most-loaded tie-breaking only
-// occupied cells can win, with the first free offset as fallback. The two
-// paths choose identical placements (see TestScanVsIndexIdentical).
-func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
+// The index path resolves the offset choice from the occupancy bitset,
+// exploiting two facts the reference scan rediscovers every call: under
+// least-loaded tie-breaking an empty cell (load 0, earliest offset) beats
+// every occupied one, and under most-loaded tie-breaking only occupied cells
+// can win, with the first free offset as fallback. At ρ=∞ only a slot with a
+// free cell can host at all, so the whole query fuses into one
+// NextSharedNonFullSlot word scan over the endpoint-busy and slot-full
+// bitsets — full-slot runs cost one popword, not one occupancy scan each
+// (slotsExamined then counts the accepted slot only). Finite-ρ levels
+// iterate via NextSharedFreeSlot, using the slot-full bit to skip the
+// free-offset scan on saturated slots. The scan and index paths choose
+// identical placements (see TestScanVsIndexIdentical).
+func (e *engine) findSlot(tx *schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
 	if e.cfg.scanPaths {
 		return e.findSlotScan(tx, earliest, deadline, rho)
 	}
 	u, v := tx.Link.From, tx.Link.To
+	if rho == rhoInf {
+		s := e.sched.NextSharedNonFullSlot(u, v, earliest, deadline)
+		if s < 0 {
+			return 0, 0, false
+		}
+		e.mets.slotsExamined++
+		e.placedShared = false
+		return s, e.sched.FirstFreeOffset(s), true
+	}
 	preferLoaded := e.cfg.Algorithm == RA
+	e.bindRows(u, v)
 	for s := e.sched.NextSharedFreeSlot(u, v, earliest, deadline); s >= 0; s = e.sched.NextSharedFreeSlot(u, v, s+1, deadline) {
 		e.mets.slotsExamined++
-		free := e.sched.FirstFreeOffset(s)
-		if rho == rhoInf {
-			if free >= 0 {
-				return s, free, true
-			}
-			continue // every offset occupied and reuse forbidden
-		}
-		if !preferLoaded && free >= 0 {
-			return s, free, true // least-loaded: an empty cell always wins
+		full := e.sched.SlotFull(s)
+		if !preferLoaded && !full {
+			// least-loaded: an empty cell always wins
+			e.placedShared = false
+			return s, e.sched.FirstFreeOffset(s), true
 		}
 		e.occBuf = e.sched.OccupiedOffsets(s, e.occBuf[:0])
 		best, bestLoad := -1, 0
@@ -767,10 +1143,13 @@ func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int,
 			}
 		}
 		if best >= 0 {
+			e.placedShared = true
 			return s, best, true
 		}
-		if preferLoaded && free >= 0 {
-			return s, free, true // most-loaded: free offsets only as fallback
+		if preferLoaded && !full {
+			// most-loaded: free offsets only as fallback
+			e.placedShared = false
+			return s, e.sched.FirstFreeOffset(s), true
 		}
 	}
 	return 0, 0, false
@@ -778,7 +1157,7 @@ func (e *engine) findSlot(tx schedule.Tx, earliest, deadline int, rho int) (int,
 
 // findSlotScan is the pre-index reference implementation of findSlot: walk
 // every slot, check both endpoints' busy bits, scan every offset.
-func (e *engine) findSlotScan(tx schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
+func (e *engine) findSlotScan(tx *schedule.Tx, earliest, deadline int, rho int) (int, int, bool) {
 	if earliest < 0 {
 		earliest = 0
 	}
@@ -787,6 +1166,7 @@ func (e *engine) findSlotScan(tx schedule.Tx, earliest, deadline int, rho int) (
 	}
 	u, v := tx.Link.From, tx.Link.To
 	preferLoaded := e.cfg.Algorithm == RA
+	e.bindRows(u, v)
 	for s := earliest; s <= deadline; s++ {
 		if e.sched.NodeBusy(u, s) || e.sched.NodeBusy(v, s) {
 			continue
@@ -808,6 +1188,7 @@ func (e *engine) findSlotScan(tx schedule.Tx, earliest, deadline int, rho int) (
 			}
 		}
 		if best >= 0 {
+			e.placedShared = bestLoad > 0
 			return s, best, true
 		}
 	}
@@ -818,6 +1199,16 @@ func (e *engine) findSlotScan(tx schedule.Tx, earliest, deadline int, rho int) (
 // sender u must be ≥ rho hops from every scheduled receiver y, and every
 // scheduled sender x must be ≥ rho hops from the new receiver v, on G_R.
 func (e *engine) reuseCompatible(u, v int, cell []schedule.Tx, rho int) bool {
+	// Callers bind the G_R rows of (u, v) first (see bindRows); the hoisted
+	// rows replace two bounds-checked matrix lookups per occupant.
+	if rowU, rowV := e.rowU, e.rowV; rowU != nil {
+		for _, other := range cell {
+			if int(rowU[other.Link.To]) < rho || int(rowV[other.Link.From]) < rho {
+				return false
+			}
+		}
+		return true
+	}
 	for _, other := range cell {
 		if int(e.cfg.HopGR.Dist(u, other.Link.To)) < rho ||
 			int(e.cfg.HopGR.Dist(other.Link.From, v)) < rho {

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wsan/internal/obs"
@@ -256,6 +257,11 @@ type Pool struct {
 	maxRetries   int
 	retryBackoff time.Duration
 
+	// running counts jobs currently executing on workers; Retry-After
+	// estimates would otherwise see an empty queue as an idle pool even
+	// with every worker pinned on a long job.
+	running atomic.Int64
+
 	mu     sync.RWMutex
 	closed bool
 }
@@ -330,12 +336,21 @@ func (p *Pool) Submit(j *Job) error {
 }
 
 // RetryAfterSeconds estimates how long a rejected client should wait before
-// resubmitting: the time to drain the current backlog assuming roughly one
-// second per queued job per worker, clamped to [1, 60] so clients neither
-// hammer a saturated daemon nor stall for minutes after a momentary spike.
-// It backs the Retry-After header of 429 responses.
+// resubmitting: the time to drain the current backlog — queued jobs plus the
+// ones already running on workers — assuming roughly one second per job per
+// worker, clamped to [1, 60] so clients neither hammer a saturated daemon nor
+// stall for minutes after a momentary spike. It backs the Retry-After header
+// of 429 responses. Counting running jobs matters: a full complement of
+// long-running jobs with an empty queue used to report the 1-second floor, so
+// rejected clients resubmitted into a still-saturated pool.
 func (p *Pool) RetryAfterSeconds() int {
-	secs := (len(p.queue) + p.workers - 1) / p.workers
+	return retryAfterEstimate(len(p.queue), int(p.running.Load()), p.workers)
+}
+
+// retryAfterEstimate is RetryAfterSeconds' pure computation, split out for
+// table testing.
+func retryAfterEstimate(queued, running, workers int) int {
+	secs := (queued + running + workers - 1) / workers
 	if secs < 1 {
 		secs = 1
 	}
@@ -361,7 +376,9 @@ func (p *Pool) worker() {
 			p.mets.Observe("server.jobs.queue_seconds", time.Since(j.View().Created).Seconds())
 		}
 		start := time.Now()
+		p.running.Add(1)
 		art, err := p.runWithRetries(j)
+		p.running.Add(-1)
 		state := j.finish(art, err)
 		j.notifyTransition()
 		if p.mets != nil {

@@ -376,3 +376,59 @@ func TestBackoffDelayNeverOverflows(t *testing.T) {
 		t.Errorf("negative base: %v, want 0", got)
 	}
 }
+
+// TestRetryAfterEstimate pins the Retry-After backlog arithmetic, in
+// particular that running jobs count toward the drain estimate: a saturated
+// pool with an empty queue is not an idle pool.
+func TestRetryAfterEstimate(t *testing.T) {
+	cases := []struct {
+		name                     string
+		queued, running, workers int
+		want                     int
+	}{
+		{"idle pool floors at 1s", 0, 0, 2, 1},
+		{"queue only", 4, 0, 2, 2},
+		{"running only, saturated", 0, 2, 2, 1},
+		{"running and queued", 2, 2, 2, 2},
+		{"busy workers shift the estimate", 5, 3, 2, 4},
+		{"single worker counts itself", 3, 1, 1, 4},
+		{"clamped at 60s", 500, 8, 2, 60},
+	}
+	for _, c := range cases {
+		if got := retryAfterEstimate(c.queued, c.running, c.workers); got != c.want {
+			t.Errorf("%s: retryAfterEstimate(%d, %d, %d) = %d, want %d",
+				c.name, c.queued, c.running, c.workers, got, c.want)
+		}
+	}
+}
+
+// TestRetryAfterSeesRunningJobs saturates every worker with a blocking job,
+// leaves the queue loaded, and checks RetryAfterSeconds reflects the running
+// jobs — the pre-fix estimate ignored them and under-reported the backlog.
+func TestRetryAfterSeesRunningJobs(t *testing.T) {
+	release := make(chan struct{})
+	started := make(chan struct{}, 4)
+	p := NewPool(PoolConfig{Workers: 2, QueueCap: 4}, func(ctx context.Context, j *Job) (string, error) {
+		started <- struct{}{}
+		<-release
+		return "", nil
+	})
+	defer func() { close(release); p.Close(context.Background()) }()
+	for i := 0; i < 4; i++ {
+		if err := p.Submit(newTestJob(string(rune('a' + i)))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("workers did not pick up jobs")
+		}
+	}
+	// Two jobs running, two queued, two workers: ceil(4/2) = 2 seconds.
+	// Ignoring the running pair would report ceil(2/2) = 1.
+	if got := p.RetryAfterSeconds(); got != 2 {
+		t.Fatalf("RetryAfterSeconds = %d, want 2 (2 running + 2 queued on 2 workers)", got)
+	}
+}

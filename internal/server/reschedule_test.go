@@ -272,7 +272,8 @@ func TestQueueFullRetryAfter(t *testing.T) {
 	}
 
 	// The overflow submission is rejected with the backlog-derived header:
-	// 2 queued jobs / 1 worker → 2 seconds.
+	// 1 running + 2 queued jobs on 1 worker → 3 seconds. (The running job
+	// counts: before the fix the estimate ignored busy workers and said 2.)
 	body, _ := json.Marshal(map[string]any{"kind": KindSimulate, "params": long(14)})
 	resp, err := http.Post(ts.URL+"/networks/plant/jobs", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -286,8 +287,8 @@ func TestQueueFullRetryAfter(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Retry-After %q is not an integer: %v", resp.Header.Get("Retry-After"), err)
 	}
-	if ra != 2 {
-		t.Errorf("Retry-After = %d, want 2", ra)
+	if ra != 3 {
+		t.Errorf("Retry-After = %d, want 3", ra)
 	}
 
 	for _, v := range queued {

@@ -145,10 +145,11 @@ type Result struct {
 	Reroutes  int `json:"reroutes"`
 	Rebudgets int `json:"rebudgets"`
 
-	// FallbackEvict/FallbackFull count applied deltas that needed the
-	// deeper repair-ladder rungs.
-	FallbackEvict int `json:"fallbackEvict"`
-	FallbackFull  int `json:"fallbackFull"`
+	// FallbackEvict/FallbackCascade/FallbackFull count applied deltas that
+	// needed the deeper repair-ladder rungs.
+	FallbackEvict   int `json:"fallbackEvict"`
+	FallbackCascade int `json:"fallbackCascade"`
+	FallbackFull    int `json:"fallbackFull"`
 
 	ActiveFlows int `json:"activeFlows"`
 	PlacedTx    int `json:"placedTx"`
@@ -568,6 +569,8 @@ func (s *state) countFallback(fb scheduler.Fallback) {
 	switch fb {
 	case scheduler.FallbackEvict:
 		s.res.FallbackEvict++
+	case scheduler.FallbackCascade:
+		s.res.FallbackCascade++
 	case scheduler.FallbackFull:
 		s.res.FallbackFull++
 	}
@@ -718,7 +721,7 @@ func (s *state) progress(elapsed time.Duration) {
 		p.P99 = percentile(s.durs, 99)
 	}
 	if s.res.Applied > 0 {
-		p.FallbackRate = float64(s.res.FallbackEvict+s.res.FallbackFull) / float64(s.res.Applied)
+		p.FallbackRate = float64(s.res.FallbackEvict+s.res.FallbackCascade+s.res.FallbackFull) / float64(s.res.Applied)
 	}
 	if s.cfg.OnProgress != nil {
 		s.cfg.OnProgress(p)
@@ -755,6 +758,7 @@ func (s *state) finish() {
 		m.Count(p+"skipped", int64(r.Skipped))
 		m.Count(p+"batches", int64(r.Batches))
 		m.Count(p+"fallback_evict", int64(r.FallbackEvict))
+		m.Count(p+"fallback_cascade", int64(r.FallbackCascade))
 		m.Count(p+"fallback_full", int64(r.FallbackFull))
 		m.Observe(p+"deltas_per_sec", r.DeltasPerSec)
 		m.Observe(p+"p99_seconds", r.P99.Seconds())

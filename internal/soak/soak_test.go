@@ -2,9 +2,12 @@ package soak
 
 import (
 	"context"
+	"math/rand"
+	"reflect"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"wsan/internal/obs"
 )
@@ -197,5 +200,43 @@ func TestSoakDigestCanonical(t *testing.T) {
 	}
 	if res.Elapsed <= 0 || res.DeltasPerSec <= 0 {
 		t.Errorf("throughput not measured: %+v", res)
+	}
+}
+
+// TestPercentileDoesNotMutateSamples pins percentile's copy-before-sort
+// contract: the latency buffer is shared by the progress callback (p99 every
+// interval) and the final report (p50/p95/p99 over the same slice), so an
+// in-place sort would silently reorder the live buffer between readers and
+// skew every later percentile. The samples stay permuted, and the answers
+// match the values computed from a pre-sorted copy.
+func TestPercentileDoesNotMutateSamples(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	samples := make([]time.Duration, 101)
+	for i := range samples {
+		samples[i] = time.Duration(i+1) * time.Microsecond
+	}
+	rng.Shuffle(len(samples), func(i, j int) { samples[i], samples[j] = samples[j], samples[i] })
+	orig := append([]time.Duration(nil), samples...)
+
+	// 1..101 µs: percentile q lands exactly on ceil(101·q/100) µs.
+	for _, c := range []struct {
+		q    int
+		want time.Duration
+	}{
+		{50, 51 * time.Microsecond},
+		{95, 96 * time.Microsecond},
+		{99, 100 * time.Microsecond},
+		{100, 101 * time.Microsecond},
+	} {
+		if got := percentile(samples, c.q); got != c.want {
+			t.Errorf("percentile(%d) = %v, want %v", c.q, got, c.want)
+		}
+		if !reflect.DeepEqual(samples, orig) {
+			t.Fatalf("percentile(%d) mutated its input", c.q)
+		}
+	}
+	// Interleaved progress/report reads over the permuted buffer agree.
+	if p1, p2 := percentile(samples, 99), percentile(samples, 99); p1 != p2 {
+		t.Fatalf("repeated percentile(99) disagree: %v vs %v", p1, p2)
 	}
 }

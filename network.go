@@ -235,6 +235,9 @@ const (
 	// DeltaFallbackEvict: lower-criticality colliding flows were evicted and
 	// re-placed to make room.
 	DeltaFallbackEvict = scheduler.FallbackEvict
+	// DeltaFallbackCascade: evictions cascaded within a bounded budget while
+	// re-placing, before any full reschedule.
+	DeltaFallbackCascade = scheduler.FallbackCascade
 	// DeltaFallbackFull: the mutated workload was rescheduled from scratch.
 	DeltaFallbackFull = scheduler.FallbackFull
 )

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -257,6 +258,114 @@ func TestStreamGivesUpAfterMaxRetries(t *testing.T) {
 	}
 	if n := conns.Load(); n < 3 {
 		t.Fatalf("server saw %d connections, want initial + 2 retries", n)
+	}
+}
+
+// TestStreamBackoffResetsAfterDelivery checks that the reconnect failure
+// budget — and with it the exponential backoff position — resets whenever a
+// connection delivers an event. The server alternates connections that
+// deliver one event with connections that deliver nothing, dropping every
+// one; with MaxRetries=2 the stream survives six drops (far more than the
+// budget) only because each delivery resets the count, then ends cleanly on
+// the seventh connection's terminal event.
+func TestStreamBackoffResetsAfterDelivery(t *testing.T) {
+	var conns atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		switch n := conns.Add(1); {
+		case n >= 7:
+			sseEvent(w, uint64(n), EventJobDone, "j1")
+		case n%2 == 1:
+			// Odd connections deliver progress, then drop.
+			sseEvent(w, uint64(n), EventJobRunning, "j1")
+		default:
+			// Even connections drop without delivering anything, burning
+			// one reconnect attempt each.
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c := testClient(ts, Options{})
+	st, err := c.Subscribe(ctx, StreamOptions{Job: "j1", MaxRetries: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var delivered int
+	for range st.Events() {
+		delivered++
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream err: %v — failure budget did not reset on delivery", err)
+	}
+	if n := conns.Load(); n != 7 {
+		t.Fatalf("server saw %d connections, want 7 (six drops survived)", n)
+	}
+	if delivered != 4 {
+		t.Fatalf("delivered %d events, want 4 (three progress + terminal)", delivered)
+	}
+}
+
+// TestStreamResumeSurvivesConsecutiveDrops drops the connection twice in a
+// row without delivering anything in between and checks every reconnect
+// still resumes from the highest sequence number actually seen — an empty
+// connection must not regress or clear Last-Event-ID.
+func TestStreamResumeSurvivesConsecutiveDrops(t *testing.T) {
+	var mu sync.Mutex
+	var resumes []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		resumes = append(resumes, r.Header.Get("Last-Event-ID"))
+		n := len(resumes)
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		w.WriteHeader(http.StatusOK)
+		w.(http.Flusher).Flush()
+		switch n {
+		case 1:
+			sseEvent(w, 5, EventJobRunning, "j1")
+			// Drop after seq 5.
+		case 2, 3:
+			// Two consecutive empty drops.
+		default:
+			sseEvent(w, 9, EventJobDone, "j1")
+		}
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	c := testClient(ts, Options{})
+	st, err := c.Watch(ctx, "j1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	var seqs []uint64
+	for ev := range st.Events() {
+		seqs = append(seqs, ev.Seq)
+	}
+	if err := st.Err(); err != nil {
+		t.Fatalf("stream err: %v", err)
+	}
+	mu.Lock()
+	got := append([]string(nil), resumes...)
+	mu.Unlock()
+	want := []string{"", "5", "5", "5"}
+	if len(got) != len(want) {
+		t.Fatalf("resume headers %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("connection %d resumed from %q, want %q (all: %q)", i+1, got[i], want[i], got)
+		}
+	}
+	if len(seqs) != 2 || seqs[0] != 5 || seqs[1] != 9 {
+		t.Fatalf("delivered seqs %v, want [5 9]", seqs)
 	}
 }
 

@@ -271,8 +271,9 @@ type SoakResult struct {
 	Reroutes  int `json:"reroutes"`
 	Rebudgets int `json:"rebudgets"`
 
-	FallbackEvict int `json:"fallbackEvict"`
-	FallbackFull  int `json:"fallbackFull"`
+	FallbackEvict   int `json:"fallbackEvict"`
+	FallbackCascade int `json:"fallbackCascade"`
+	FallbackFull    int `json:"fallbackFull"`
 
 	ActiveFlows int `json:"activeFlows"`
 	PlacedTx    int `json:"placedTx"`
